@@ -1,0 +1,82 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Usage:
+     bench/main.exe                 run every experiment (full scale)
+     bench/main.exe fig12 fig13     run selected experiments
+     bench/main.exe --quick         reduced scale (CI-sized)
+     bench/main.exe --list          list experiment ids
+     bench/main.exe --bechamel      bechamel micro-benchmarks of the
+                                    (quick-scale) experiment runs *)
+
+let usage () =
+  print_endline "usage: main.exe [--quick] [--seed N] [--list] [--bechamel] [experiment ids...]"
+
+(* One bechamel Test.make per table/figure: measures the wall-clock cost
+   of the (quick-scale) experiment regeneration itself, so regressions in
+   simulator performance show up as bench regressions. *)
+let bechamel_suite seed =
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun spec ->
+        Test.make ~name:spec.Bmhive.Experiments.id
+          (Staged.stage (fun () ->
+               ignore (spec.Bmhive.Experiments.run ~quick:true ~seed))))
+      Bmhive.Experiments.all
+  in
+  Test.make_grouped ~name:"experiments" tests
+
+let run_bechamel seed =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg instances (bechamel_suite seed) in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun label ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Printf.printf "%-36s %12.3f ms/run\n" label (est /. 1e6)
+      | Some [] | None -> Printf.printf "%-36s (no estimate)\n" label)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let bechamel = List.mem "--bechamel" args in
+  let rec seed_of = function
+    | "--seed" :: v :: _ -> int_of_string v
+    | _ :: rest -> seed_of rest
+    | [] -> 2020
+  in
+  let seed = seed_of args in
+  let positional =
+    List.filter
+      (fun a -> (not (String.length a > 1 && a.[0] = '-')) && a <> string_of_int seed)
+      args
+  in
+  if List.mem "--help" args then usage ()
+  else if List.mem "--list" args then
+    List.iter
+      (fun s ->
+        Printf.printf "%-10s %-10s %s\n" s.Bmhive.Experiments.id s.Bmhive.Experiments.paper_ref
+          s.Bmhive.Experiments.title)
+      Bmhive.Experiments.all
+  else if bechamel then run_bechamel seed
+  else begin
+    let targets = if positional = [] then Bmhive.Experiments.ids () else positional in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun id ->
+        match Bmhive.Experiments.run_one ~quick ~seed id with
+        | Ok outcome -> Bmhive.Experiments.print_outcome outcome
+        | Error e ->
+          prerr_endline e;
+          exit 1)
+      targets;
+    Printf.printf "\n%d experiment(s) in %.1fs (%s scale, seed %d)\n" (List.length targets)
+      (Unix.gettimeofday () -. t0)
+      (if quick then "quick" else "full")
+      seed
+  end

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Bm_cloud Bm_engine Bmhive Control_plane Image Printf Rng

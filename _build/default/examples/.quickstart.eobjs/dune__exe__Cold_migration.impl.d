@@ -1,0 +1,1 @@
+examples/cold_migration.ml: Bm_cloud Bm_engine Bm_guest Bm_workload Boot Control_plane Image Printf Sim Simtime Testbed

@@ -1,0 +1,1 @@
+examples/cold_migration.mli:

@@ -1,0 +1,1 @@
+examples/live_ops.ml: Bm_cloud Bm_engine Bm_guest Bm_hw Bm_hyp Bm_hypervisor Bm_iobond Bm_workload Float Instance Live_migration Netperf Printf Result Rng Sgx Sim Simtime Testbed

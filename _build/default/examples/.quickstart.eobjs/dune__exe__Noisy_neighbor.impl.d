@@ -1,0 +1,1 @@
+examples/noisy_neighbor.ml: Bm_engine Bm_guest Bm_hw Bm_iobond Board Cache Cpu_spec Firmware Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bm_cloud Bm_engine Bm_guest Bm_hyp Bm_workload Boot Instance Printf Sim Simtime Stats Testbed

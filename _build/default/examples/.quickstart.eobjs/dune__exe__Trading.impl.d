@@ -1,0 +1,1 @@
+examples/trading.ml: Bm_engine Bm_guest Bm_hw Bm_hyp Bm_workload Instance Printf Sim Stats Testbed

@@ -1,0 +1,1 @@
+examples/web_tier.ml: Bm_guest Bm_workload Instance List Nginx Printf Testbed

@@ -1,0 +1,71 @@
+(* Interoperability & cold migration (§3.1, §3.2).
+
+   "Interoperability requires that a bm-guest can be run in a VM as
+   well. We call this feature cold migration." One image, one control
+   plane, two substrates: the instance boots on a compute board, is
+   stopped, re-placed on a virtualization server, and boots again from
+   the same image — then migrates back.
+
+     dune exec examples/cold_migration.exe *)
+
+open Bm_engine
+open Bm_cloud
+open Bm_guest
+open Bm_workload
+
+let boot_on tb instance =
+  let timing = ref None in
+  Sim.spawn tb.Testbed.sim (fun () -> timing := Some (Boot.run instance ~image:Image.centos7 ()));
+  Testbed.run tb;
+  match !timing with
+  | Some (Ok t) -> t
+  | Some (Error e) -> failwith e
+  | None -> failwith "boot did not finish"
+
+let show tag (p : Control_plane.placement) =
+  Printf.printf "%-18s server=%d substrate=%s threads=%d\n" tag p.Control_plane.server
+    (match p.Control_plane.substrate with
+    | Control_plane.Bare_metal -> "bare-metal"
+    | Control_plane.Virtual -> "virtual")
+    p.Control_plane.threads
+
+let () =
+  (* Fleet: one BM-Hive server, one virtualization server. *)
+  let cp = Control_plane.create () in
+  let _bm_id = Control_plane.add_server cp (Control_plane.Bm_server { boards = 8; board_threads = 32 }) in
+  let _vm_id = Control_plane.add_server cp (Control_plane.Vm_server { sellable_threads = 88 }) in
+  Printf.printf "fleet capacity: %d sellable HT\n\n" (Control_plane.sellable_threads cp);
+
+  (* Place on bare metal first. *)
+  (match Control_plane.place cp ~name:"app" ~vcpus:32 ~prefer:Control_plane.Bare_metal ~image:Image.centos7 () with
+  | Ok p -> show "placed:" p
+  | Error e -> failwith e);
+
+  (* Boot as a bm-guest and measure. *)
+  let tb = Testbed.make ~seed:21 () in
+  let _, bm = Testbed.bm_guest tb in
+  let bm_boot = boot_on tb bm in
+  Printf.printf "bm-guest boot: %s (probe %d accesses via IO-Bond @1.6us)\n"
+    (Simtime.to_string bm_boot.Boot.total_ns)
+    bm_boot.Boot.probe_accesses;
+
+  (* Cold-migrate to the virtualization substrate. *)
+  (match Control_plane.cold_migrate cp ~name:"app" ~to_:Control_plane.Virtual with
+  | Ok p -> show "migrated:" p
+  | Error e -> failwith e);
+
+  let tb2 = Testbed.make ~seed:21 () in
+  let _, vm = Testbed.vm_guest tb2 in
+  let vm_boot = boot_on tb2 vm in
+  Printf.printf "vm-guest boot: %s (same image; probe %d accesses via trapped config @10us)\n"
+    (Simtime.to_string vm_boot.Boot.total_ns)
+    vm_boot.Boot.probe_accesses;
+
+  (* And back to bare metal. *)
+  (match Control_plane.cold_migrate cp ~name:"app" ~to_:Control_plane.Bare_metal with
+  | Ok p -> show "migrated back:" p
+  | Error e -> failwith e);
+
+  assert (vm_boot.Boot.bytes_loaded = bm_boot.Boot.bytes_loaded);
+  Printf.printf "\nsame %d-byte image booted on both substrates; fleet now uses %d HT\n"
+    bm_boot.Boot.bytes_loaded (Control_plane.used_threads cp)

@@ -1,0 +1,64 @@
+(* High-frequency trading: the paper's motivating tenant (§1, §3.3).
+
+   A trading engine wants (a) the best single-thread performance — served
+   by a compute board with a desktop-class CPU, something virtualization
+   servers never offer — and (b) minimal latency jitter, which rules out
+   sharing a host with other tenants. This example compares order-to-ack
+   latency across three rentals:
+
+     - vm-guest on the standard Xeon E5 host (pinned, exclusive)
+     - bm-guest on a Xeon E5-2682 v4 board
+     - bm-guest on a Xeon E3-1240 v6 board (the §4.2 high-frequency SKU)
+
+     dune exec examples/trading.exe *)
+
+open Bm_engine
+open Bm_guest
+open Bm_workload
+
+(* One order: parse + risk checks + book update, ~15 us of single-thread
+   work on the reference core, then an ack on the wire. *)
+let order_work_ns = 15_000.0
+
+let run_engine make name =
+  let tb = Testbed.make ~seed:11 () in
+  let inst = make tb in
+  let hist = Stats.Histogram.create ~lo:100.0 ~hi:1e9 () in
+  Sim.spawn tb.Testbed.sim (fun () ->
+      for _ = 1 to 20_000 do
+        let t0 = Sim.clock () in
+        inst.Instance.pause ();
+        (* Single-thread work scales with the SKU's single-thread mark. *)
+        inst.Instance.exec_ns (order_work_ns /. Instance.relative_single_thread inst);
+        Stats.Histogram.add hist (Sim.clock () -. t0)
+      done);
+  Testbed.run tb;
+  Printf.printf "%-26s avg %7.1fus  p99 %7.1fus  p99.9 %7.1fus  max %8.1fus\n" name
+    (Stats.Histogram.mean hist /. 1e3)
+    (Stats.Histogram.percentile hist 99.0 /. 1e3)
+    (Stats.Histogram.percentile hist 99.9 /. 1e3)
+    (Stats.Histogram.max hist /. 1e3)
+
+let () =
+  print_endline "order-to-ack latency, 20,000 orders:";
+  run_engine
+    (fun tb -> snd (Testbed.vm_guest ~host_load:0.6 ~pinning:Bm_hyp.Preempt.Exclusive tb))
+    "vm-guest (E5, exclusive)";
+  run_engine
+    (fun tb -> snd (Testbed.vm_guest ~host_load:0.6 ~pinning:Bm_hyp.Preempt.Shared tb))
+    "vm-guest (E5, shared)";
+  run_engine (fun tb -> snd (Testbed.bm_guest tb)) "bm-guest (E5-2682 v4)";
+  run_engine
+    (fun tb ->
+      let server =
+        Bm_hyp.Bm_hypervisor.create_server tb.Testbed.sim tb.Testbed.rng ~fabric:tb.Testbed.fabric
+          ~storage:tb.Testbed.storage ~board_spec:Bm_hw.Cpu_spec.xeon_e3_1240_v6 ~boards:16 ()
+      in
+      match Bm_hyp.Bm_hypervisor.provision server ~name:"hft" () with
+      | Ok i -> i
+      | Error e -> failwith e)
+    "bm-guest (E3-1240 v6)";
+  print_endline
+    "\nThe E3 board is ~31% faster per order (single-thread mark, §4.2) and the\n\
+     bm-guests have no host-preemption tail — the vm tail is host tasks stealing\n\
+     the vCPU (§2.1/Fig. 1)."

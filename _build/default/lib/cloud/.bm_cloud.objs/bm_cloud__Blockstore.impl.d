@@ -1,0 +1,1 @@
+lib/cloud/blockstore.ml: Bm_engine Rng Sim

@@ -1,0 +1,1 @@
+lib/cloud/blockstore.mli: Bm_engine

@@ -1,0 +1,1 @@
+lib/cloud/control_plane.ml: Hashtbl Image List Option

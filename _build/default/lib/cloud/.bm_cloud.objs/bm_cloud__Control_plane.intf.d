@@ -1,0 +1,1 @@
+lib/cloud/control_plane.mli: Image

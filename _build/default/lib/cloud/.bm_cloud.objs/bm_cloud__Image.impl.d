@@ -1,0 +1,1 @@
+lib/cloud/image.ml: Hashtbl

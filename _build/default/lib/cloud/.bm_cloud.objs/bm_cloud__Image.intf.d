@@ -1,0 +1,1 @@
+lib/cloud/image.mli:

@@ -1,0 +1,1 @@
+lib/cloud/limits.ml: Bm_engine Float Token_bucket

@@ -1,0 +1,1 @@
+lib/cloud/limits.mli: Bm_engine

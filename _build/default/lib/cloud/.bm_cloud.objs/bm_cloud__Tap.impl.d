@@ -1,0 +1,1 @@
+lib/cloud/tap.ml: Bm_engine Bm_virtio Packet Sim

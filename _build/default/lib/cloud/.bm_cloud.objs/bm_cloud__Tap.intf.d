@@ -1,0 +1,1 @@
+lib/cloud/tap.mli: Bm_engine Bm_virtio

@@ -1,0 +1,1 @@
+lib/cloud/vhost_user.ml: Array Bm_virtio Option

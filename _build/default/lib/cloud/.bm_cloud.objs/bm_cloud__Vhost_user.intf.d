@@ -1,0 +1,1 @@
+lib/cloud/vhost_user.mli:

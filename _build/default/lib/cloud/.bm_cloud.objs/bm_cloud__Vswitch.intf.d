@@ -1,0 +1,1 @@
+lib/cloud/vswitch.mli: Bm_engine Bm_hw Bm_virtio

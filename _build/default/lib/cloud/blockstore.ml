@@ -1,0 +1,88 @@
+open Bm_engine
+
+type kind = Cloud_ssd | Local_ssd
+
+type params = {
+  net_rtt_ns : float; (* network round trip to the storage node; 0 for local *)
+  read_median_ns : float;
+  write_median_ns : float;
+  sigma : float; (* lognormal shape *)
+  tail_p : float; (* probability of a background-management stall *)
+  tail_scale_ns : float; (* Pareto scale of the stall *)
+  per_kb_ns : float; (* transfer time per KB at the device *)
+}
+
+(* Cloud SSD: ~100 us median reads dominated by the network + replica
+   path. Local NVMe: ~50 us ("The average latency is only 60 us", §4.3,
+   measured through the whole local path). *)
+let params_of = function
+  | Cloud_ssd ->
+    {
+      net_rtt_ns = 40_000.0;
+      read_median_ns = 60_000.0;
+      write_median_ns = 75_000.0;
+      sigma = 0.30;
+      tail_p = 0.0006;
+      tail_scale_ns = 150_000.0;
+      per_kb_ns = 250.0;
+    }
+  | Local_ssd ->
+    {
+      net_rtt_ns = 0.0;
+      read_median_ns = 45_000.0;
+      write_median_ns = 30_000.0;
+      sigma = 0.25;
+      tail_p = 0.0008;
+      tail_scale_ns = 120_000.0;
+      per_kb_ns = 150.0;
+    }
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  kind : kind;
+  params : params;
+  servers : Sim.Resource.resource;
+  mutable served : int;
+}
+
+let create sim rng ~kind ?parallelism () =
+  let parallelism =
+    match parallelism with
+    | Some n -> n
+    | None -> ( match kind with Cloud_ssd -> 128 | Local_ssd -> 16)
+  in
+  {
+    sim;
+    rng;
+    kind;
+    params = params_of kind;
+    servers = Sim.Resource.create ~capacity:parallelism;
+    served = 0;
+  }
+
+let kind t = t.kind
+
+let media_time t ~op ~bytes_ =
+  let p = t.params in
+  let median = match op with `Read -> p.read_median_ns | `Write | `Flush -> p.write_median_ns in
+  let base = Rng.lognormal t.rng ~median ~sigma:p.sigma in
+  let tail =
+    if Rng.bernoulli t.rng ~p:p.tail_p then Rng.pareto t.rng ~scale:p.tail_scale_ns ~shape:1.5
+    else 0.0
+  in
+  base +. tail +. (p.per_kb_ns *. float_of_int bytes_ /. 1024.0)
+
+let serve t ~op ~bytes_ =
+  let p = t.params in
+  Sim.delay (p.net_rtt_ns /. 2.0);
+  Sim.Resource.with_resource t.servers (fun () -> Sim.delay (media_time t ~op ~bytes_));
+  Sim.delay (p.net_rtt_ns /. 2.0);
+  t.served <- t.served + 1
+
+let served t = t.served
+
+let mean_service_ns t ~op =
+  match op with
+  | `Read -> t.params.read_median_ns
+  | `Write | `Flush -> t.params.write_median_ns

@@ -1,0 +1,34 @@
+(** SPDK-style cloud block storage (§3.4.2).
+
+    Guests access SSD-backed storage across the datacenter network
+    ("In the cloud, storage is normally accessed through the network",
+    §4.3). A request pays: the network round trip, queueing at the
+    storage node (bounded server-side parallelism), and the SSD service
+    time — log-normally distributed with a rare heavy tail (background
+    flash management), which is what makes the p99.9 experiments
+    interesting. *)
+
+type kind = Cloud_ssd | Local_ssd
+
+type t
+
+val create :
+  Bm_engine.Sim.t ->
+  Bm_engine.Rng.t ->
+  kind:kind ->
+  ?parallelism:int ->
+  unit ->
+  t
+(** Defaults: [parallelism] 128 requests in service concurrently for
+    [Cloud_ssd] (a distributed backend), 16 for [Local_ssd]. *)
+
+val kind : t -> kind
+
+val serve : t -> op:[ `Read | `Write | `Flush ] -> bytes_:int -> unit
+(** Block the calling process for the whole storage round trip. *)
+
+val served : t -> int
+
+val mean_service_ns : t -> op:[ `Read | `Write | `Flush ] -> float
+(** The configured median service time (excluding queueing/tail), for
+    documentation and tests. *)

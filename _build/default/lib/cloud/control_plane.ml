@@ -1,0 +1,137 @@
+type substrate = Bare_metal | Virtual
+
+type server_kind =
+  | Bm_server of { boards : int; board_threads : int }
+  | Vm_server of { sellable_threads : int }
+
+type placement = { server : int; substrate : substrate; threads : int }
+
+type strategy = First_fit | Best_fit | Spread
+
+type server = { id : int; kind : server_kind; mutable used_boards : int; mutable used_threads : int }
+
+type record = { placement : placement; vcpus : int; image : Image.t }
+
+type t = {
+  mutable servers : server list;
+  mutable next_id : int;
+  instances : (string, record) Hashtbl.t;
+}
+
+let create () = { servers = []; next_id = 0; instances = Hashtbl.create 32 }
+
+let add_server t kind =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.servers <- t.servers @ [ { id; kind; used_boards = 0; used_threads = 0 } ];
+  id
+
+(* Remaining capacity in the unit the strategy compares: free boards for
+   bare metal, free threads for virtual. *)
+let headroom server ~substrate =
+  match (server.kind, substrate) with
+  | Bm_server { boards; _ }, Bare_metal -> boards - server.used_boards
+  | Vm_server { sellable_threads }, Virtual -> sellable_threads - server.used_threads
+  | Bm_server _, Virtual | Vm_server _, Bare_metal -> 0
+
+let try_place_on server ~vcpus ~substrate =
+  match (server.kind, substrate) with
+  | Bm_server { boards; board_threads }, Bare_metal
+    when server.used_boards < boards && board_threads >= vcpus ->
+    server.used_boards <- server.used_boards + 1;
+    server.used_threads <- server.used_threads + board_threads;
+    Some { server = server.id; substrate = Bare_metal; threads = board_threads }
+  | Vm_server { sellable_threads }, Virtual when sellable_threads - server.used_threads >= vcpus ->
+    server.used_threads <- server.used_threads + vcpus;
+    Some { server = server.id; substrate = Virtual; threads = vcpus }
+  | (Bm_server _ | Vm_server _), (Bare_metal | Virtual) -> None
+
+let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ~image () =
+  if Hashtbl.mem t.instances name then Error (name ^ " already placed")
+  else begin
+    let substrates = match prefer with Some s -> [ s ] | None -> [ Bare_metal; Virtual ] in
+    (* Order candidate servers by strategy: first-fit keeps declaration
+       order; best-fit packs the fullest feasible server; spread
+       balances onto the emptiest. *)
+    let candidates substrate =
+      match strategy with
+      | First_fit -> t.servers
+      | Best_fit ->
+        List.stable_sort
+          (fun a b -> compare (headroom a ~substrate) (headroom b ~substrate))
+          t.servers
+      | Spread ->
+        List.stable_sort
+          (fun a b -> compare (headroom b ~substrate) (headroom a ~substrate))
+          t.servers
+    in
+    let rec scan = function
+      | [] -> Error "no capacity for request"
+      | substrate :: rest ->
+        let rec over_servers = function
+          | [] -> scan rest
+          | server :: others -> (
+            match try_place_on server ~vcpus ~substrate with
+            | Some placement ->
+              Hashtbl.replace t.instances name { placement; vcpus; image };
+              Ok placement
+            | None -> over_servers others)
+        in
+        over_servers (candidates substrate)
+    in
+    scan substrates
+  end
+
+let lookup t name = Option.map (fun r -> r.placement) (Hashtbl.find_opt t.instances name)
+
+let release t name =
+  match Hashtbl.find_opt t.instances name with
+  | None -> ()
+  | Some { placement; _ } ->
+    Hashtbl.remove t.instances name;
+    List.iter
+      (fun server ->
+        if server.id = placement.server then begin
+          match placement.substrate with
+          | Bare_metal ->
+            server.used_boards <- server.used_boards - 1;
+            server.used_threads <- server.used_threads - placement.threads
+          | Virtual -> server.used_threads <- server.used_threads - placement.threads
+        end)
+      t.servers
+
+let cold_migrate t ~name ~to_ =
+  match Hashtbl.find_opt t.instances name with
+  | None -> Error (name ^ " not placed")
+  | Some { vcpus; image; placement } ->
+    if placement.substrate = to_ then Error "already on that substrate"
+    else begin
+      release t name;
+      match place t ~name ~vcpus ~prefer:to_ ~image () with
+      | Ok p -> Ok p
+      | Error e ->
+        (* Roll back: restore the previous placement. *)
+        List.iter
+          (fun server ->
+            if server.id = placement.server then begin
+              match placement.substrate with
+              | Bare_metal ->
+                server.used_boards <- server.used_boards + 1;
+                server.used_threads <- server.used_threads + placement.threads
+              | Virtual -> server.used_threads <- server.used_threads + placement.threads
+            end)
+          t.servers;
+        Hashtbl.replace t.instances name { placement; vcpus; image };
+        Error e
+    end
+
+let capacity_of = function
+  | Bm_server { boards; board_threads } -> boards * board_threads
+  | Vm_server { sellable_threads } -> sellable_threads
+
+let sellable_threads t = List.fold_left (fun acc s -> acc + capacity_of s.kind) 0 t.servers
+let used_threads t = List.fold_left (fun acc s -> acc + s.used_threads) 0 t.servers
+
+let placements t =
+  Hashtbl.fold (fun name r acc -> (name, r.placement) :: acc) t.instances []
+  |> List.sort compare

@@ -1,0 +1,57 @@
+(** Fleet control plane: placement, lifecycle, cold migration.
+
+    BM-Hive's interoperability goal (§3.1) means the same control plane
+    schedules vm-guests onto virtualization servers and bm-guests onto
+    compute boards, from the same image; {e cold migration} moves an
+    instance between the two substrates. Placement here is first-fit, the
+    baseline strategy of production schedulers. *)
+
+type substrate = Bare_metal | Virtual
+
+type server_kind =
+  | Bm_server of { boards : int; board_threads : int }
+      (** a BM-Hive base with up to 16 compute boards (§3.3) *)
+  | Vm_server of { sellable_threads : int }
+      (** a virtualization server, e.g. 88 sellable HT (§3.5) *)
+
+type placement = { server : int; substrate : substrate; threads : int }
+
+type strategy =
+  | First_fit  (** scan servers in declaration order — the baseline *)
+  | Best_fit  (** pack the fullest feasible server (minimises stranding) *)
+  | Spread  (** balance onto the emptiest server (minimises blast radius) *)
+
+type t
+
+val create : unit -> t
+
+val add_server : t -> server_kind -> int
+(** Returns the server id. *)
+
+val place :
+  t ->
+  name:string ->
+  vcpus:int ->
+  ?prefer:substrate ->
+  ?strategy:strategy ->
+  image:Image.t ->
+  unit ->
+  (placement, string) result
+(** Schedule an instance. With [prefer], only that substrate is tried.
+    A bm-guest occupies a whole board (the board's thread count must be
+    ≥ [vcpus]); a vm-guest occupies exactly [vcpus] threads. [strategy]
+    defaults to [First_fit]. *)
+
+val lookup : t -> string -> placement option
+val release : t -> string -> unit
+
+val cold_migrate : t -> name:string -> to_:substrate -> (placement, string) result
+(** Stop the instance and re-place it on the other substrate, reusing its
+    image (§3.1: "a prerequisite of cold migration is that bm-guests must
+    be able to connect to the cloud storage and network"). *)
+
+val sellable_threads : t -> int
+(** Total thread capacity across the fleet. *)
+
+val used_threads : t -> int
+val placements : t -> (string * placement) list

@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  bootloader_bytes : int;
+  kernel_bytes : int;
+  initrd_bytes : int;
+  kernel_version : string;
+}
+
+let make ~name ?(bootloader_bytes = 1 lsl 20) ?(kernel_bytes = 6 lsl 20) ?(initrd_bytes = 20 lsl 20)
+    ~kernel_version () =
+  { name; bootloader_bytes; kernel_bytes; initrd_bytes; kernel_version }
+
+let centos7 = make ~name:"centos-7" ~kernel_version:"3.10.0-514.26.2.el7" ()
+
+let total_boot_bytes t = t.bootloader_bytes + t.kernel_bytes + t.initrd_bytes
+
+module Store = struct
+  type image = t
+  type nonrec t = (string, t) Hashtbl.t
+
+  let create () = Hashtbl.create 8
+  let add t image = Hashtbl.replace t image.name image
+  let find t name = Hashtbl.find_opt t name
+  let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t []
+end

@@ -1,0 +1,27 @@
+open Bm_engine
+
+type net = { pps : Token_bucket.t; net_bw : Token_bucket.t }
+type blk = { iops : Token_bucket.t; blk_bw : Token_bucket.t }
+
+(* Bursts sized at ~2 ms of the sustained rate: big enough to absorb PMD
+   batches, small enough that the limit binds within any measurement. *)
+let burst_of rate = Float.max 1.0 (rate *. 0.002)
+
+let bucket rate = Token_bucket.create ~rate ~burst:(burst_of rate)
+
+let custom_net ~pps ~gbit_s = { pps = bucket pps; net_bw = bucket (gbit_s *. 1e9 /. 8.0) }
+let custom_blk ~iops ~mb_s = { iops = bucket iops; blk_bw = bucket (mb_s *. 1e6) }
+
+let cloud_net () = custom_net ~pps:4e6 ~gbit_s:10.0
+let cloud_blk () = custom_blk ~iops:25e3 ~mb_s:300.0
+
+let unlimited_net () = { pps = Token_bucket.unlimited (); net_bw = Token_bucket.unlimited () }
+let unlimited_blk () = { iops = Token_bucket.unlimited (); blk_bw = Token_bucket.unlimited () }
+
+let net_admit t ~packets ~bytes_ =
+  ignore (Token_bucket.take_n t.pps (float_of_int packets));
+  ignore (Token_bucket.take_n t.net_bw (float_of_int bytes_))
+
+let blk_admit t ~bytes_ =
+  ignore (Token_bucket.take_n t.iops 1.0);
+  ignore (Token_bucket.take_n t.blk_bw (float_of_int bytes_))

@@ -1,0 +1,29 @@
+(** Per-instance I/O rate limits (§4.1).
+
+    "The Xeon E5-2682 instance is limited to 4M packets per second (PPS)
+    and 10Gbit/s in bandwidth for network access and 25K I/O per second
+    (IOPS) for storage access" — plus 300 MB/s of storage bandwidth
+    (§4.3). Limits are token buckets with a small burst allowance, as
+    production limiters behave. *)
+
+type net = { pps : Bm_engine.Token_bucket.t; net_bw : Bm_engine.Token_bucket.t }
+
+type blk = { iops : Bm_engine.Token_bucket.t; blk_bw : Bm_engine.Token_bucket.t }
+
+val cloud_net : unit -> net
+(** 4M PPS, 10 Gbit/s. *)
+
+val cloud_blk : unit -> blk
+(** 25K IOPS, 300 MB/s. *)
+
+val unlimited_net : unit -> net
+val unlimited_blk : unit -> blk
+
+val custom_net : pps:float -> gbit_s:float -> net
+val custom_blk : iops:float -> mb_s:float -> blk
+
+val net_admit : net -> packets:int -> bytes_:int -> unit
+(** Block the calling process until the burst conforms to both limits. *)
+
+val blk_admit : blk -> bytes_:int -> unit
+(** Block until one request of [bytes_] conforms. *)

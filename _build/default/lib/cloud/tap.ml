@@ -1,0 +1,22 @@
+open Bm_engine
+open Bm_virtio
+
+type t = {
+  sim : Sim.t;
+  per_packet_ns : float;
+  queue : Sim.Resource.resource;
+  deliver : Packet.t -> unit;
+  mutable sent : int;
+}
+
+let create sim ?(per_packet_ns = 3000.0) ~deliver () =
+  { sim; per_packet_ns; queue = Sim.Resource.create ~capacity:1; deliver; sent = 0 }
+
+let send t pkt =
+  Sim.Resource.with_resource t.queue (fun () ->
+      Sim.delay (t.per_packet_ns *. float_of_int pkt.Packet.count));
+  t.sent <- t.sent + pkt.Packet.count;
+  t.deliver pkt
+
+let sent t = t.sent
+let max_pps t = 1e9 /. t.per_packet_ns

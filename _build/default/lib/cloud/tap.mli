@@ -1,0 +1,21 @@
+(** Kernel tap slow path (§3.4.2).
+
+    "We also implemented a few slow I/O paths to bypass cloud
+    infrastructure for testing purposes, e.g., to send packets through
+    the Linux Tap devices. These paths are not deployed in the real cloud
+    due to their low performance." Each packet pays a syscall +
+    kernel-copy cost and the path is single-threaded, capping throughput
+    around a few hundred KPPS. *)
+
+type t
+
+val create : Bm_engine.Sim.t -> ?per_packet_ns:float -> deliver:(Bm_virtio.Packet.t -> unit) -> unit -> t
+(** [per_packet_ns] defaults to 3000 (two copies + syscall). *)
+
+val send : t -> Bm_virtio.Packet.t -> unit
+(** Blocking per-packet processing, serialised through the tap queue. *)
+
+val sent : t -> int
+
+val max_pps : t -> float
+(** Theoretical ceiling: 1e9 / per_packet_ns. *)

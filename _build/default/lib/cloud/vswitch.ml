@@ -1,0 +1,93 @@
+open Bm_engine
+open Bm_hw
+open Bm_virtio
+
+type endpoint = { deliver : Packet.t -> unit }
+
+type t = {
+  sim : Sim.t;
+  fabric : fabric;
+  cores : Cores.t;
+  per_packet_ns : float;
+  hop_ns : float;
+  local : (int, endpoint) Hashtbl.t;
+  mutable forwarded : int;
+  mutable dropped : int;
+}
+
+and fabric = {
+  fsim : Sim.t;
+  nic_gbit_s : float;
+  rtt_ns : float;
+  routes : (int, t) Hashtbl.t; (* endpoint -> owning switch *)
+  mutable next_endpoint : int;
+}
+
+let create_fabric sim ?(gbit_s = 100.0) ?(rtt_ns = 10_000.0) () =
+  { fsim = sim; nic_gbit_s = gbit_s; rtt_ns; routes = Hashtbl.create 64; next_endpoint = 1 }
+
+let create sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_ns = 5_000.0) () =
+  {
+    sim;
+    fabric;
+    cores;
+    per_packet_ns;
+    hop_ns;
+    local = Hashtbl.create 16;
+    forwarded = 0;
+    dropped = 0;
+  }
+
+let register t ~deliver =
+  let addr = t.fabric.next_endpoint in
+  t.fabric.next_endpoint <- addr + 1;
+  Hashtbl.replace t.local addr { deliver };
+  Hashtbl.replace t.fabric.routes addr t;
+  addr
+
+let unregister t addr =
+  Hashtbl.remove t.local addr;
+  Hashtbl.remove t.fabric.routes addr
+
+let switch_cpu t (pkt : Packet.t) =
+  Cores.execute_ns t.cores (t.per_packet_ns *. float_of_int pkt.Packet.count)
+
+(* Local delivery is asynchronous: the burst sits in switch queues for
+   [hop_ns] and the handler runs decoupled from the sender's process. *)
+let deliver_local t pkt =
+  match Hashtbl.find_opt t.local pkt.Packet.dst with
+  | Some ep ->
+    t.forwarded <- t.forwarded + pkt.Packet.count;
+    Sim.schedule t.sim ~delay:t.hop_ns (fun () -> ep.deliver pkt)
+  | None -> t.dropped <- t.dropped + pkt.Packet.count
+
+let send t pkt =
+  switch_cpu t pkt;
+  if Hashtbl.mem t.local pkt.Packet.dst then deliver_local t pkt
+  else
+    match Hashtbl.find_opt t.fabric.routes pkt.Packet.dst with
+    | None -> t.dropped <- t.dropped + pkt.Packet.count
+    | Some peer ->
+      (* NIC serialisation + propagation, then the peer switch's own
+         forwarding cost in a process of its own. *)
+      let wire_ns = float_of_int pkt.Packet.size *. 8.0 /. t.fabric.nic_gbit_s in
+      Sim.delay wire_ns;
+      Sim.schedule t.sim ~delay:t.fabric.rtt_ns (fun () ->
+          Sim.spawn peer.sim (fun () ->
+              switch_cpu peer pkt;
+              deliver_local peer pkt))
+
+(* Hardware-switched injection (an offload engine forwarding on behalf
+   of a guest): same delivery semantics, no switch CPU charged. *)
+let forward_hw t pkt =
+  if Hashtbl.mem t.local pkt.Packet.dst then deliver_local t pkt
+  else
+    match Hashtbl.find_opt t.fabric.routes pkt.Packet.dst with
+    | None -> t.dropped <- t.dropped + pkt.Packet.count
+    | Some peer ->
+      let wire_ns = float_of_int pkt.Packet.size *. 8.0 /. t.fabric.nic_gbit_s in
+      Sim.schedule t.sim ~delay:(wire_ns +. t.fabric.rtt_ns) (fun () ->
+          Sim.spawn peer.sim (fun () -> deliver_local peer pkt))
+
+let forwarded t = t.forwarded
+let dropped t = t.dropped

@@ -1,0 +1,54 @@
+(** DPDK-style poll-mode virtual switch (§3.4.2).
+
+    One vswitch instance runs per physical server, forwarding packets
+    between local endpoints and, through a {!Fabric}, across the
+    datacenter network. All processing is user-space poll-mode: each
+    forwarded burst costs switch CPU on the server's service cores, and
+    there are no interrupts on the switch path.
+
+    Endpoints are integers (they appear as [Packet.src]/[Packet.dst]).
+    Delivery invokes the endpoint's handler in a fresh process. *)
+
+type t
+
+type fabric
+
+val create_fabric : Bm_engine.Sim.t -> ?gbit_s:float -> ?rtt_ns:float -> unit -> fabric
+(** The physical datacenter network: servers attach via [gbit_s] NICs
+    (default 100, §3.4.3) with [rtt_ns] one-way latency (default 10 µs). *)
+
+val create :
+  Bm_engine.Sim.t ->
+  fabric:fabric ->
+  cores:Bm_hw.Cores.t ->
+  ?per_packet_ns:float ->
+  ?hop_ns:float ->
+  unit ->
+  t
+(** [create sim ~fabric ~cores ()] — [cores] are the server's service
+    cores (hypervisor/base cores); [per_packet_ns] is the vswitch cost of
+    one packet (default 300 ns, a DPDK-class forwarding cost); [hop_ns]
+    (default 5 µs) is the queueing/traversal latency of one switch hop,
+    applied asynchronously so it adds latency, not sender backpressure. *)
+
+val register : t -> deliver:(Bm_virtio.Packet.t -> unit) -> int
+(** Attach an endpoint; returns its address. [deliver] receives each
+    arriving burst (called in scheduler context — it should hand off to a
+    process quickly). *)
+
+val unregister : t -> int -> unit
+
+val send : t -> Bm_virtio.Packet.t -> unit
+(** Forward a burst to [Packet.dst]. Must be called from a process:
+    charges switch CPU, crosses the fabric when the destination lives on
+    another server, and drops the burst if the destination is unknown. *)
+
+val forward_hw : t -> Bm_virtio.Packet.t -> unit
+(** Inject a burst already switched in hardware (an offload engine acting
+    for a guest): delivers like {!send} but charges no switch CPU and
+    never blocks. Callable from process or scheduler context. *)
+
+val forwarded : t -> int
+(** Total wire packets forwarded (burst-weighted). *)
+
+val dropped : t -> int

@@ -1,0 +1,1 @@
+lib/core/comparison.ml: List Printf

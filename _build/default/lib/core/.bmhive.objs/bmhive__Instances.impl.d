@@ -1,0 +1,1 @@
+lib/core/instances.ml: Bm_cloud Bm_hw Cpu_spec Format List

@@ -1,0 +1,1 @@
+lib/core/instances.mli: Bm_cloud Bm_hw Format

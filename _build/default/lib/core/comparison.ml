@@ -1,0 +1,85 @@
+type service = Vm_based | Single_tenant_bm | Bm_hive
+
+type properties = {
+  service : service;
+  shares_cpu_caches : bool;
+  software_isolation_only : bool;
+  tenant_controls_platform : bool;
+  cpu_mem_virtualized : bool;
+  io_paravirtualized : bool;
+  guests_per_server : int;
+  firmware_signed : bool;
+}
+
+let properties = function
+  | Vm_based ->
+    {
+      service = Vm_based;
+      shares_cpu_caches = true;
+      software_isolation_only = true;
+      tenant_controls_platform = false;
+      cpu_mem_virtualized = true;
+      io_paravirtualized = true;
+      guests_per_server = 88 / 2 (* small VMs *);
+      firmware_signed = true;
+    }
+  | Single_tenant_bm ->
+    {
+      service = Single_tenant_bm;
+      shares_cpu_caches = false;
+      software_isolation_only = false;
+      tenant_controls_platform = true;
+      cpu_mem_virtualized = false;
+      io_paravirtualized = false;
+      guests_per_server = 1;
+      firmware_signed = false;
+    }
+  | Bm_hive ->
+    {
+      service = Bm_hive;
+      shares_cpu_caches = false;
+      software_isolation_only = false;
+      tenant_controls_platform = false;
+      cpu_mem_virtualized = false;
+      io_paravirtualized = true;
+      guests_per_server = 16;
+      firmware_signed = true;
+    }
+
+let side_channel_exposed p = p.shares_cpu_caches
+
+let provider_secure p = (not p.tenant_controls_platform) && p.firmware_signed
+
+let service_name = function
+  | Vm_based -> "VM-based cloud"
+  | Single_tenant_bm -> "Single-tenant bare-metal"
+  | Bm_hive -> "BM-Hive"
+
+let security_cell p =
+  if side_channel_exposed p then "side-channel/DoS exposure from resource sharing"
+  else if not (provider_secure p) then "tenant has unfettered platform access"
+  else "no shared uarch state; signed firmware"
+
+let isolation_cell p =
+  if p.software_isolation_only then "software-enforced, weakened by sharing"
+  else if p.tenant_controls_platform then "strong but moot (tenant owns the box)"
+  else "strong hardware isolation per compute board"
+
+let performance_cell p =
+  match (p.cpu_mem_virtualized, p.io_paravirtualized) with
+  | true, _ -> "CPU/memory/I/O virtualization overhead"
+  | false, true -> "native CPU+memory; paravirt I/O with minor overhead"
+  | false, false -> "native"
+
+let density_cell p =
+  match p.guests_per_server with
+  | 1 -> "one user per server (high cost)"
+  | n when n >= 40 -> Printf.sprintf "very high (~%d via over-provisioning)" n
+  | n -> Printf.sprintf "high (up to %d bm-guests per server)" n
+
+let rows () =
+  List.map
+    (fun s ->
+      let p = properties s in
+      [ service_name s; security_cell p; isolation_cell p; performance_cell p; density_cell p ])
+    [ Vm_based; Single_tenant_bm; Bm_hive ]

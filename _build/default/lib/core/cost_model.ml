@@ -1,0 +1,50 @@
+open Bm_hw
+
+type density = {
+  vm_total_ht : int;
+  vm_reserved_ht : int;
+  vm_sellable_ht : int;
+  bm_guests : int;
+  bm_ht_per_guest : int;
+  bm_sellable_ht : int;
+}
+
+let density () =
+  let vm_total_ht = 2 * Cpu_spec.xeon_platinum_8163.Cpu_spec.threads in
+  let vm_reserved_ht = 8 in
+  let bm_guests = 8 and bm_ht_per_guest = 32 in
+  {
+    vm_total_ht;
+    vm_reserved_ht;
+    vm_sellable_ht = vm_total_ht - vm_reserved_ht;
+    bm_guests;
+    bm_ht_per_guest;
+    bm_sellable_ht = bm_guests * bm_ht_per_guest;
+  }
+
+let vm_watts_per_vcpu () =
+  let d = density () in
+  Power.watts_per_vcpu
+    ~components:[ Power.Cpu (Cpu_spec.xeon_platinum_8163, 2) ]
+    ~sellable_vcpus:d.vm_sellable_ht
+
+(* One 96HT dual-socket compute board: its CPUs, its IO-Bond FPGA, and
+   the base-server CPU power attributable to serving this board's I/O
+   (the base idles otherwise; TDP estimation counts the draw the guest
+   causes, ~12% duty of the 16-core base part). *)
+let bm_single_board_watts_per_vcpu () =
+  let base_share_w = Cpu_spec.base_server_e5.Cpu_spec.tdp_w *. 0.12 in
+  Power.watts_per_vcpu
+    ~components:
+      [
+        Power.Cpu (Cpu_spec.xeon_platinum_8163, 2);
+        Power.Fpga 1;
+        Power.Fixed ("base CPU share", base_share_w);
+      ]
+    ~sellable_vcpus:96
+
+let price_ratio_bm_over_vm = 0.90
+
+let sellable_ht_per_rack_ratio () =
+  let d = density () in
+  float_of_int d.bm_sellable_ht /. float_of_int d.vm_sellable_ht

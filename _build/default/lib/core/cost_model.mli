@@ -1,0 +1,36 @@
+(** Cost-efficiency model (§3.5).
+
+    Density: "A typical vm-based server nowadays chooses two 24 cores
+    (48HT) E5 CPUs with 8HT reserved for hypervisor and its host kernel,
+    thus remains only 88HT for users. While with the same rack space,
+    BM-Hive can service up to 8 bm-guests with each 32HT, total 256HT for
+    sell."
+
+    Power: "BM-Hive with single board has 3.17 Watts/per-vCPU, while
+    vm-based server is 3.06 Watts/per-vCPU."
+
+    Price: "Our sell price shows that bm-guest is 10%% lower than
+    vm-guest with same configuration." *)
+
+type density = {
+  vm_total_ht : int;
+  vm_reserved_ht : int;
+  vm_sellable_ht : int;
+  bm_guests : int;
+  bm_ht_per_guest : int;
+  bm_sellable_ht : int;
+}
+
+val density : unit -> density
+(** The §3.5 rack-space comparison: 88 vs 256 sellable HT. *)
+
+val vm_watts_per_vcpu : unit -> float
+val bm_single_board_watts_per_vcpu : unit -> float
+(** The closest-comparable configuration: one 96HT dual-socket board plus
+    its FPGA and the base CPU. *)
+
+val price_ratio_bm_over_vm : float
+(** 0.90: bm-guests sell 10%% below same-shape vm-guests. *)
+
+val sellable_ht_per_rack_ratio : unit -> float
+(** BM-Hive sellable threads over vm-server sellable threads. *)

@@ -1,0 +1,920 @@
+open Bm_engine
+open Bm_guest
+open Bm_hyp
+open Bm_workload
+
+type outcome = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+type spec = { id : string; title : string; paper_ref : string; run : quick:bool -> seed:int -> outcome }
+
+let within ~tolerance ~target value =
+  Float.abs (value -. target) /. Float.abs target <= tolerance
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 *)
+
+let run_table1 ~quick:_ ~seed:_ =
+  {
+    id = "table1";
+    title = "Table 1: comparison of three cloud services";
+    header = [ "service"; "security"; "isolation"; "performance"; "density" ];
+    rows = Comparison.rows ();
+    notes = [ "Cells derived from model properties (see Bmhive.Comparison)." ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 *)
+
+let run_table2 ~quick ~seed =
+  let vms = if quick then 30_000 else 300_000 in
+  let rng = Rng.create ~seed in
+  let s = Fleet.survey_exits rng ~vms in
+  let row threshold paper measured =
+    Report.check
+      ~paper:(Report.pct paper)
+      ~measured:(Report.pct measured)
+      ~ok:(within ~tolerance:0.5 ~target:paper measured)
+      [ threshold ]
+  in
+  {
+    id = "table2";
+    title = "Table 2: VM exits per second per vCPU across the fleet";
+    header = [ "# of VM exits"; "paper"; "measured"; "band" ];
+    rows =
+      [
+        row "> 10K/s" 0.0382 s.Fleet.over_10k;
+        row "> 50K/s" 0.0037 s.Fleet.over_50k;
+        row "> 100K/s" 0.0013 s.Fleet.over_100k;
+      ];
+    notes = [ Printf.sprintf "Monte-Carlo over %d VMs with the Fleet workload mixture." vms ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1 *)
+
+let run_fig1 ~quick ~seed =
+  let vms = if quick then 2_000 else 20_000 in
+  let hours = if quick then 8 else 24 in
+  let rng = Rng.create ~seed in
+  let windows = Fleet.survey_preemption rng ~vms ~hours in
+  let rows =
+    List.map
+      (fun w ->
+        [
+          string_of_int w.Fleet.hour;
+          Report.pct (Fleet.diurnal_load ~hour:w.Fleet.hour);
+          Report.pct w.Fleet.shared_p99;
+          Report.pct w.Fleet.shared_p999;
+          Report.pct w.Fleet.exclusive_p99;
+          Report.pct w.Fleet.exclusive_p999;
+        ])
+      windows
+  in
+  let max_of f = List.fold_left (fun acc w -> Float.max acc (f w)) 0.0 windows in
+  let min_of f = List.fold_left (fun acc w -> Float.min acc (f w)) 1.0 windows in
+  {
+    id = "fig1";
+    title = "Fig. 1: VM preemption percentiles over a day (20K VMs)";
+    header = [ "hour"; "host load"; "shared p99"; "shared p99.9"; "excl p99"; "excl p99.9" ];
+    rows;
+    notes =
+      [
+        Printf.sprintf "shared p99 range %s..%s (paper ~2%%..4%%)"
+          (Report.pct (min_of (fun w -> w.Fleet.shared_p99)))
+          (Report.pct (max_of (fun w -> w.Fleet.shared_p99)));
+        Printf.sprintf "shared p99.9 range %s..%s (paper ~2%%..10%%)"
+          (Report.pct (min_of (fun w -> w.Fleet.shared_p999)))
+          (Report.pct (max_of (fun w -> w.Fleet.shared_p999)));
+        Printf.sprintf "exclusive ~%s / %s (paper ~0.2%% / 0.5%%)"
+          (Report.pct (max_of (fun w -> w.Fleet.exclusive_p99)))
+          (Report.pct (max_of (fun w -> w.Fleet.exclusive_p999)));
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 *)
+
+let run_table3 ~quick:_ ~seed:_ =
+  let rows =
+    List.map
+      (fun i ->
+        [
+          i.Instances.name;
+          i.Instances.cpu.Bm_hw.Cpu_spec.model;
+          string_of_int i.Instances.vcpus;
+          string_of_int i.Instances.mem_gb ^ "GB";
+          Report.si i.Instances.net_pps ^ "pps / " ^ Report.f1 i.Instances.net_gbit_s ^ "Gbit";
+          Report.si i.Instances.storage_iops ^ " IOPS";
+          string_of_int i.Instances.max_boards_per_server;
+        ])
+      Instances.catalogue
+  in
+  {
+    id = "table3";
+    title = "Table 3: bare-metal instances available in the cloud";
+    header = [ "instance"; "CPU"; "vCPU"; "memory"; "network limit"; "storage limit"; "boards/server" ];
+    rows;
+    notes = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: SPEC CINT2006 *)
+
+let run_fig7 ~quick:_ ~seed =
+  let spec_on make =
+    let tb = Testbed.make ~seed () in
+    let inst = make tb in
+    Spec_cint.run tb.Testbed.sim inst
+  in
+  let physical = spec_on (fun tb -> Testbed.physical tb) in
+  let bm = spec_on (fun tb -> snd (Testbed.bm_guest tb)) in
+  let vm = spec_on (fun tb -> snd (Testbed.vm_guest tb)) in
+  let bm_rel = Spec_cint.relative ~baseline:physical bm in
+  let vm_rel = Spec_cint.relative ~baseline:physical vm in
+  let rows =
+    List.map
+      (fun (bench, bm_score) ->
+        let vm_score = List.assoc bench vm_rel in
+        [ bench; "1.000"; Printf.sprintf "%.3f" bm_score; Printf.sprintf "%.3f" vm_score ])
+      bm_rel
+  in
+  let geo l = List.assoc "geomean" l in
+  {
+    id = "fig7";
+    title = "Fig. 7: SPEC CINT2006 relative performance (physical = 1)";
+    header = [ "benchmark"; "physical"; "bm-guest"; "vm-guest" ];
+    rows;
+    notes =
+      [
+        Printf.sprintf "geomean: bm %.3f (paper ~1.04), vm %.3f (paper ~0.96)" (geo bm_rel)
+          (geo vm_rel);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: STREAM *)
+
+let run_fig8 ~quick ~seed =
+  let elements = if quick then 20_000_000 else 200_000_000 in
+  let runs = if quick then 3 else 10 in
+  let stream_on make =
+    let tb = Testbed.make ~seed () in
+    let inst = make tb in
+    Stream.run tb.Testbed.sim inst ~elements ~runs ()
+  in
+  (* 16 STREAM threads stay on one NUMA node: single-socket baseline. *)
+  let physical = stream_on (fun tb -> Testbed.physical ~sockets:1 tb) in
+  let bm = stream_on (fun tb -> snd (Testbed.bm_guest tb)) in
+  let vm = stream_on (fun tb -> snd (Testbed.vm_guest tb)) in
+  let find kernel results = List.find (fun r -> r.Stream.kernel = kernel) results in
+  let rows =
+    List.map
+      (fun kernel ->
+        let p = find kernel physical and b = find kernel bm and v = find kernel vm in
+        [
+          Stream.kernel_name kernel;
+          Report.f1 p.Stream.best_gb_s;
+          Report.f1 b.Stream.best_gb_s;
+          Report.f1 v.Stream.best_gb_s;
+          Report.pct (v.Stream.best_gb_s /. b.Stream.best_gb_s);
+        ])
+      [ Stream.Copy; Stream.Scale; Stream.Add; Stream.Triad ]
+  in
+  {
+    id = "fig8";
+    title = "Fig. 8: STREAM 16-thread bandwidth (GB/s, best of runs)";
+    header = [ "kernel"; "physical"; "bm-guest"; "vm-guest"; "vm/bm" ];
+    rows;
+    notes = [ "Paper: bm ~= physical; vm reaches ~98% of bm under load." ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: UDP PPS *)
+
+let run_fig9 ~quick ~seed =
+  let duration = if quick then Simtime.ms 40.0 else Simtime.ms 400.0 in
+  let pps_of pair =
+    let tb = Testbed.make ~seed () in
+    let src, dst = pair tb in
+    Netperf.udp_pps tb.Testbed.sim ~src ~dst ~senders:2 ~batch:32 ~duration ()
+  in
+  let bm = pps_of (fun tb -> let _, a, b = Testbed.bm_pair tb in (a, b)) in
+  let vm = pps_of (fun tb -> let _, a, b = Testbed.vm_pair tb in (a, b)) in
+  let row name (r : Netperf.pps_result) =
+    [
+      name;
+      Report.si r.Netperf.received_pps;
+      Report.si r.Netperf.offered_pps;
+      Report.si r.Netperf.jitter_pps;
+    ]
+  in
+  {
+    id = "fig9";
+    title = "Fig. 9: UDP packet receive rate between co-resident guests";
+    header = [ "guest"; "received PPS"; "offered PPS"; "jitter (sd)" ];
+    rows = [ row "bm-guest" bm; row "vm-guest" vm ];
+    notes =
+      [
+        "Paper: both exceed 3.2M PPS under the 4M limit; vm slightly ahead with less jitter.";
+        Printf.sprintf "measured: bm %s, vm %s" (Report.si bm.Netperf.received_pps)
+          (Report.si vm.Netperf.received_pps);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: latency *)
+
+let run_fig10 ~quick ~seed =
+  let count = if quick then 400 else 2000 in
+  let lat pair path =
+    let tb = Testbed.make ~seed () in
+    let a, b = pair tb in
+    Sockperf.ping_pong tb.Testbed.sim ~a ~b ~path ~count ()
+  in
+  let bm_pair tb = let _, a, b = Testbed.bm_pair tb in (a, b) in
+  let vm_pair tb = let _, a, b = Testbed.vm_pair tb in (a, b) in
+  let row name path =
+    let bm = lat bm_pair path and vm = lat vm_pair path in
+    [
+      name;
+      Report.f1 bm.Sockperf.avg_us;
+      Report.f1 vm.Sockperf.avg_us;
+      Report.f1 bm.Sockperf.p99_us;
+      Report.f1 vm.Sockperf.p99_us;
+    ]
+  in
+  {
+    id = "fig10";
+    title = "Fig. 10: 64B UDP / ping latency (us, one-way)";
+    header = [ "path"; "bm avg"; "vm avg"; "bm p99"; "vm p99" ];
+    rows =
+      [
+        row "sockperf (kernel)" Sockperf.Kernel;
+        row "DPDK (bypass)" Sockperf.Dpdk;
+        row "ICMP ping" Sockperf.Icmp;
+      ];
+    notes =
+      [
+        "Paper: kernel-stack latency almost identical; with DPDK the vm-guest is slightly";
+        "better because the BM-Hive path crosses three PCIe buses.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11: storage latency *)
+
+let run_fig11 ~quick ~seed =
+  let duration = if quick then Simtime.ms 300.0 else Simtime.sec 4.0 in
+  let fio_on make pattern =
+    let tb = Testbed.make ~seed () in
+    let inst = make tb in
+    Fio.run tb.Testbed.sim (Rng.create ~seed:(seed + 7)) inst ~pattern ~duration ()
+  in
+  let bm p = fio_on (fun tb -> snd (Testbed.bm_guest tb)) p in
+  let vm p = fio_on (fun tb -> snd (Testbed.vm_guest tb)) p in
+  let row name pattern =
+    let b = bm pattern and v = vm pattern in
+    [
+      name;
+      Report.f1 b.Fio.avg_us;
+      Report.f1 v.Fio.avg_us;
+      Report.f1 (v.Fio.avg_us /. b.Fio.avg_us);
+      Report.f1 b.Fio.p999_us;
+      Report.f1 v.Fio.p999_us;
+      Report.f1 (v.Fio.p999_us /. b.Fio.p999_us);
+      Report.si b.Fio.iops;
+      Report.si v.Fio.iops;
+    ]
+  in
+  {
+    id = "fig11";
+    title = "Fig. 11: fio 4KB random storage latency (us) at the 25K IOPS limit";
+    header =
+      [ "pattern"; "bm avg"; "vm avg"; "vm/bm"; "bm p99.9"; "vm p99.9"; "vm/bm"; "bm IOPS"; "vm IOPS" ];
+    rows = [ row "randread" Fio.Randread; row "randwrite" Fio.Randwrite ];
+    notes =
+      [
+        "Paper: both saturate 25K IOPS; bm ~25% faster on average and ~3x better p99.9 (randread).";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12: NGINX *)
+
+let nginx_rps_at tb ~server ~concurrency ~requests =
+  let client = Testbed.client_box tb in
+  Nginx.serve server ();
+  Nginx.ab tb.Testbed.sim ~client ~server ~concurrency ~requests
+
+let run_fig12 ~quick ~seed =
+  let concurrencies = if quick then [ 100; 400 ] else [ 50; 100; 200; 400; 800 ] in
+  let per_level = if quick then 60 else 150 in
+  let run_level make concurrency =
+    let tb = Testbed.make ~seed () in
+    let server = make tb in
+    nginx_rps_at tb ~server ~concurrency ~requests:(concurrency * per_level)
+  in
+  let rows =
+    List.map
+      (fun c ->
+        let bm = run_level (fun tb -> snd (Testbed.bm_guest tb)) c in
+        let vm = run_level (fun tb -> snd (Testbed.vm_guest tb)) c in
+        [
+          string_of_int c;
+          Report.si bm.Nginx.rps;
+          Report.si vm.Nginx.rps;
+          Report.pct ((bm.Nginx.rps /. vm.Nginx.rps) -. 1.0);
+          Report.f2 bm.Nginx.avg_ms;
+          Report.f2 vm.Nginx.avg_ms;
+        ])
+      concurrencies
+  in
+  {
+    id = "fig12";
+    title = "Fig. 12: NGINX requests/s vs client concurrency (KeepAlive off)";
+    header = [ "clients"; "bm RPS"; "vm RPS"; "bm adv"; "bm ms/req"; "vm ms/req" ];
+    rows;
+    notes =
+      [ "Paper: bm serves ~50-60% more requests/s; ~30% shorter response time per request." ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 13/14: MariaDB *)
+
+let sysbench_on ~seed ~pattern ~duration make =
+  let tb = Testbed.make ~seed () in
+  let server = make tb in
+  let client = Testbed.client_box tb in
+  Mariadb.serve tb.Testbed.sim (Rng.create ~seed:(seed + 13)) server ();
+  Mariadb.sysbench tb.Testbed.sim ~client ~server ~pattern ~duration ()
+
+let run_mariadb ~id ~title ~patterns ~paper_notes ~quick ~seed =
+  let duration = if quick then Simtime.ms 200.0 else Simtime.sec 2.0 in
+  let rows =
+    List.map
+      (fun pattern ->
+        let bm = sysbench_on ~seed ~pattern ~duration (fun tb -> snd (Testbed.bm_guest tb)) in
+        let vm = sysbench_on ~seed ~pattern ~duration (fun tb -> snd (Testbed.vm_guest tb)) in
+        [
+          Mariadb.pattern_name pattern;
+          Report.si bm.Mariadb.qps;
+          Report.si vm.Mariadb.qps;
+          Report.pct ((bm.Mariadb.qps /. vm.Mariadb.qps) -. 1.0);
+          Report.f2 bm.Mariadb.avg_ms;
+          Report.f2 vm.Mariadb.avg_ms;
+        ])
+      patterns
+  in
+  {
+    id;
+    title;
+    header = [ "pattern"; "bm QPS"; "vm QPS"; "bm adv"; "bm ms"; "vm ms" ];
+    rows;
+    notes = paper_notes;
+  }
+
+let run_fig13 = run_mariadb ~id:"fig13" ~title:"Fig. 13: MariaDB read-only (sysbench, 128 threads)"
+    ~patterns:[ Mariadb.Read_only ]
+    ~paper_notes:[ "Paper: bm 195K QPS vs vm 170K QPS (+14.7%)." ]
+
+let run_fig14 =
+  run_mariadb ~id:"fig14" ~title:"Fig. 14: MariaDB write-only and read/write (sysbench)"
+    ~patterns:[ Mariadb.Write_only; Mariadb.Read_write ]
+    ~paper_notes:[ "Paper: bm +42% on write-only, +55% on read/write mixed." ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 15/16: Redis *)
+
+let redis_on ~seed make ~clients ~value_bytes ~requests =
+  let tb = Testbed.make ~seed () in
+  let server = make tb in
+  let client = Testbed.client_box tb in
+  Redis_bench.serve tb.Testbed.sim server ();
+  Redis_bench.benchmark tb.Testbed.sim ~client ~server ~clients ~value_bytes ~requests ()
+
+let run_fig15 ~quick ~seed =
+  let clients_list = if quick then [ 1000; 4000 ] else [ 1000; 2000; 4000; 7000; 10000 ] in
+  let requests = if quick then 8_000 else 40_000 in
+  let rows =
+    List.map
+      (fun clients ->
+        let bm =
+          redis_on ~seed (fun tb -> snd (Testbed.bm_guest tb)) ~clients ~value_bytes:64 ~requests
+        in
+        let vm =
+          redis_on ~seed (fun tb -> snd (Testbed.vm_guest tb)) ~clients ~value_bytes:64 ~requests
+        in
+        [
+          string_of_int clients;
+          Report.si bm.Redis_bench.rps;
+          Report.si vm.Redis_bench.rps;
+          Report.pct ((bm.Redis_bench.rps /. vm.Redis_bench.rps) -. 1.0);
+        ])
+      clients_list
+  in
+  {
+    id = "fig15";
+    title = "Fig. 15: Redis requests/s vs number of clients (GET, 64B)";
+    header = [ "clients"; "bm RPS"; "vm RPS"; "bm adv" ];
+    rows;
+    notes = [ "Paper: bm 20-40% more requests/s across 1K..10K clients." ];
+  }
+
+let run_fig16 ~quick ~seed =
+  let sizes = if quick then [ 4; 1024 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
+  let requests = if quick then 8_000 else 40_000 in
+  let results =
+    List.map
+      (fun value_bytes ->
+        let bm =
+          redis_on ~seed (fun tb -> snd (Testbed.bm_guest tb)) ~clients:1000 ~value_bytes ~requests
+        in
+        let vm =
+          redis_on ~seed (fun tb -> snd (Testbed.vm_guest tb)) ~clients:1000 ~value_bytes ~requests
+        in
+        (value_bytes, bm, vm))
+      sizes
+  in
+  let rows =
+    List.map
+      (fun (value_bytes, bm, vm) ->
+        [
+          string_of_int value_bytes ^ "B";
+          Report.si bm.Redis_bench.rps;
+          Report.si vm.Redis_bench.rps;
+          Report.pct ((bm.Redis_bench.rps /. vm.Redis_bench.rps) -. 1.0);
+        ])
+      results
+  in
+  (* Curve smoothness: mean absolute second difference over the mean —
+     zero for any straight trend, large for a wobbly curve. *)
+  let roughness take =
+    let xs = List.map (fun (_, bm, vm) -> take bm vm) results in
+    let rec second_diffs = function
+      | a :: (b :: c :: _ as rest) -> Float.abs (a -. (2.0 *. b) +. c) :: second_diffs rest
+      | _ -> []
+    in
+    let diffs = second_diffs xs in
+    let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+    List.fold_left ( +. ) 0.0 diffs /. float_of_int (max 1 (List.length diffs)) /. mean
+  in
+  let bm_cv = roughness (fun bm _ -> bm.Redis_bench.rps) in
+  let vm_cv = roughness (fun _ vm -> vm.Redis_bench.rps) in
+  {
+    id = "fig16";
+    title = "Fig. 16: Redis requests/s vs value size (GET, 1000 clients)";
+    header = [ "value"; "bm RPS"; "vm RPS"; "bm adv" ];
+    rows;
+    notes =
+      [
+        Printf.sprintf
+          "curve roughness across sizes: bm %s, vm %s (paper: bm higher and more stable)"
+          (Report.pct bm_cv) (Report.pct vm_cv);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §2.3: nested virtualization *)
+
+let run_sec2_3 ~quick ~seed =
+  let exec_time nested =
+    let tb = Testbed.make ~seed () in
+    let host = Testbed.vm_host tb in
+    let config = { (Kvm.default_config ~name:"vm") with Kvm.nested; host_load = 0.0 } in
+    let vm = Kvm.create_vm host config in
+    let elapsed = ref nan in
+    Sim.spawn tb.Testbed.sim (fun () ->
+        let t0 = Sim.clock () in
+        vm.Instance.exec_ns 10e6;
+        elapsed := Sim.clock () -. t0);
+    Testbed.run tb;
+    !elapsed
+  in
+  let io_lat nested =
+    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd () in
+    let host = Testbed.vm_host tb in
+    let config =
+      {
+        (Kvm.default_config ~name:"vm") with
+        Kvm.nested;
+        host_load = 0.0;
+        blk_limits = Bm_cloud.Limits.unlimited_blk ();
+      }
+    in
+    let vm = Kvm.create_vm host config in
+    let duration = if quick then Simtime.ms 100.0 else Simtime.ms 500.0 in
+    let r = Fio.run tb.Testbed.sim (Rng.create ~seed) vm ~jobs:16 ~iodepth:8 ~duration () in
+    r.Fio.iops
+  in
+  let t_plain = exec_time false and t_nested = exec_time true in
+  let iops_plain = io_lat false and iops_nested = io_lat true in
+  let cpu_eff = t_plain /. t_nested in
+  {
+    id = "sec2_3";
+    title = "S2.3: nested virtualization efficiency vs plain vm-guest";
+    header = [ "metric"; "plain vm"; "nested vm"; "nested/plain"; "paper" ];
+    rows =
+      [
+        [ "CPU work (same job)"; "1.00"; Report.f2 (t_nested /. t_plain); Report.pct cpu_eff; "~80%" ];
+        [
+          "fio IOPS (CPU-path bound)";
+          Report.si iops_plain;
+          Report.si iops_nested;
+          Report.pct (iops_nested /. iops_plain);
+          "~25% for I/O-intensive";
+        ];
+      ];
+    notes =
+      [
+        Printf.sprintf "Mechanistic check: %.0f exits/s/vCPU -> %.0f%% efficiency"
+          8_000.0
+          (100.0 *. Nested.derived_cpu_efficiency ~exit_rate_per_s:8_000.0);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §3.5: cost efficiency *)
+
+let run_sec3_5 ~quick:_ ~seed:_ =
+  let d = Cost_model.density () in
+  let vm_w = Cost_model.vm_watts_per_vcpu () in
+  let bm_w = Cost_model.bm_single_board_watts_per_vcpu () in
+  {
+    id = "sec3_5";
+    title = "S3.5: cost efficiency (density, power, price)";
+    header = [ "metric"; "vm-based server"; "BM-Hive"; "paper" ];
+    rows =
+      [
+        [
+          "sellable HT per rack slot";
+          string_of_int d.Cost_model.vm_sellable_ht;
+          string_of_int d.Cost_model.bm_sellable_ht;
+          "88 vs 256";
+        ];
+        [ "TDP W/vCPU (96HT shape)"; Report.f2 vm_w; Report.f2 bm_w; "3.06 vs 3.17" ];
+        [ "relative sell price"; "1.00"; Report.f2 Cost_model.price_ratio_bm_over_vm; "bm 10% lower" ];
+      ];
+    notes =
+      [
+        Printf.sprintf "density ratio %.2fx" (Cost_model.sellable_ht_per_rack_ratio ());
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §4.3 network: TCP throughput + unrestricted PPS *)
+
+let run_sec4_3net ~quick ~seed =
+  let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
+  (* Cross-server throughput at the 10 Gbit/s cap. *)
+  let tcp make =
+    let tb = Testbed.make ~seed () in
+    let a, b = make tb in
+    Netperf.tcp_stream tb.Testbed.sim ~src:a ~dst:b ~duration ()
+  in
+  let bm_cross tb =
+    let s1 = Testbed.bm_server tb in
+    let s2 = Testbed.bm_server tb in
+    let g server name =
+      match Bm_hyp.Bm_hypervisor.provision server ~name () with
+      | Ok i -> i
+      | Error e -> failwith e
+    in
+    (g s1 "a", g s2 "b")
+  in
+  let vm_cross tb =
+    let h1 = Testbed.vm_host tb in
+    let h2 = Testbed.vm_host tb in
+    (Kvm.create_vm h1 (Kvm.default_config ~name:"a"), Kvm.create_vm h2 (Kvm.default_config ~name:"b"))
+  in
+  let bm_tp = tcp bm_cross in
+  let vm_tp = tcp vm_cross in
+  (* Unrestricted PPS on the bm pair. *)
+  let tb = Testbed.make ~seed () in
+  let unlimited = Bm_cloud.Limits.unlimited_net () in
+  let _, a, b = Testbed.bm_pair ~net_limits:unlimited tb in
+  let free =
+    Netperf.udp_pps tb.Testbed.sim ~src:a ~dst:b ~senders:12 ~batch:64
+      ~duration:(if quick then Simtime.ms 20.0 else Simtime.ms 200.0)
+      ()
+  in
+  {
+    id = "sec4_3net";
+    title = "S4.3: TCP throughput at the limit; unrestricted PPS";
+    header = [ "metric"; "bm-guest"; "vm-guest"; "paper" ];
+    rows =
+      [
+        [
+          "TCP payload throughput (Gbit/s)";
+          Report.f2 bm_tp.Netperf.payload_gbit_s;
+          Report.f2 vm_tp.Netperf.payload_gbit_s;
+          "9.6 vs 9.59";
+        ];
+        [ "unrestricted UDP PPS"; Report.si free.Netperf.received_pps; "-"; "16M (limit lifted)" ];
+      ];
+    notes =
+      [
+        Printf.sprintf "wire rates: bm %.2f / vm %.2f Gbit/s (the token bucket meters the wire)"
+          bm_tp.Netperf.gbit_s vm_tp.Netperf.gbit_s;
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §4.3 storage: unrestricted local SSD *)
+
+let run_sec4_3blk ~quick ~seed =
+  let duration = if quick then Simtime.ms 100.0 else Simtime.ms 800.0 in
+  let unlimited () = Bm_cloud.Limits.unlimited_blk () in
+  let small make =
+    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd () in
+    let inst = make tb in
+    Fio.run tb.Testbed.sim (Rng.create ~seed) inst ~jobs:8 ~iodepth:2 ~block_bytes:4096
+      ~pattern:Fio.Randread ~duration ()
+  in
+  let big make =
+    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd () in
+    let inst = make tb in
+    Fio.run tb.Testbed.sim (Rng.create ~seed) inst ~jobs:8 ~iodepth:4 ~block_bytes:(256 * 1024)
+      ~pattern:Fio.Randread ~duration ()
+  in
+  let bm_mk tb = snd (Testbed.bm_guest ~blk_limits:(unlimited ()) tb) in
+  let vm_mk tb = snd (Testbed.vm_guest ~blk_limits:(unlimited ()) tb) in
+  let bm_small = small bm_mk and vm_small = small vm_mk in
+  let bm_big = big bm_mk and vm_big = big vm_mk in
+  let bw r block = r.Fio.iops *. float_of_int block /. 1e9 in
+  {
+    id = "sec4_3blk";
+    title = "S4.3: unrestricted local-SSD performance";
+    header = [ "metric"; "bm-guest"; "vm-guest"; "bm adv"; "paper" ];
+    rows =
+      [
+        [
+          "4KB randread IOPS";
+          Report.si bm_small.Fio.iops;
+          Report.si vm_small.Fio.iops;
+          Report.pct ((bm_small.Fio.iops /. vm_small.Fio.iops) -. 1.0);
+          "+50%";
+        ];
+        [
+          "256KB read bandwidth (GB/s)";
+          Report.f2 (bw bm_big (256 * 1024));
+          Report.f2 (bw vm_big (256 * 1024));
+          Report.pct ((bw bm_big (256 * 1024) /. bw vm_big (256 * 1024)) -. 1.0);
+          "+100%";
+        ];
+        [ "4KB average latency (us)"; Report.f1 bm_small.Fio.avg_us; Report.f1 vm_small.Fio.avg_us; "-"; "bm ~60us" ];
+      ];
+    notes = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* §6: ASIC IO-Bond ablation *)
+
+let run_sec6 ~quick ~seed =
+  let probe profile =
+    let tb = Testbed.make ~seed () in
+    let _, inst = Testbed.bm_guest ~profile tb in
+    let time = ref nan and accesses = ref 0 in
+    Sim.spawn tb.Testbed.sim (fun () ->
+        let t0 = Sim.clock () in
+        (match inst.Instance.probe () with
+        | Ok n -> accesses := n
+        | Error e -> failwith e);
+        time := Sim.clock () -. t0);
+    Testbed.run tb;
+    (!time, !accesses)
+  in
+  let lat profile =
+    let tb = Testbed.make ~seed () in
+    let _, a, b = Testbed.bm_pair ~profile tb in
+    let count = if quick then 300 else 1500 in
+    (Sockperf.ping_pong tb.Testbed.sim ~a ~b ~path:Sockperf.Kernel ~count ()).Sockperf.avg_us
+  in
+  let fpga_probe, accesses = probe Bm_iobond.Profile.Fpga in
+  let asic_probe, _ = probe Bm_iobond.Profile.Asic in
+  let fpga_lat = lat Bm_iobond.Profile.Fpga in
+  let asic_lat = lat Bm_iobond.Profile.Asic in
+  {
+    id = "sec6";
+    title = "S6: IO-Bond FPGA vs projected ASIC";
+    header = [ "metric"; "FPGA"; "ASIC"; "paper" ];
+    rows =
+      [
+        [ "PCI register hop (us)"; "0.8"; "0.2"; "0.8 -> 0.2 (75% cut)" ];
+        [
+          Printf.sprintf "virtio probe, %d accesses (us)" accesses;
+          Report.f1 (fpga_probe /. 1e3);
+          Report.f1 (asic_probe /. 1e3);
+          "4x faster config path";
+        ];
+        [ "UDP one-way latency (us)"; Report.f1 fpga_lat; Report.f1 asic_lat; "shorter data path" ];
+      ];
+    notes = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out. *)
+
+(* How much does IO-Bond's register latency matter? Sweep the per-hop
+   cost (the FPGA -> ASIC axis, extended) against the two things it
+   touches: the emulated config path and end-to-end message latency. *)
+let run_ablation_reg ~quick ~seed =
+  let count = if quick then 200 else 1000 in
+  let probe_and_lat profile =
+    let tb = Testbed.make ~seed () in
+    let _, inst = Testbed.bm_guest ~profile tb in
+    let probe_us = ref nan in
+    Sim.spawn tb.Testbed.sim (fun () ->
+        let t0 = Sim.clock () in
+        (match inst.Instance.probe () with Ok _ -> () | Error e -> failwith e);
+        probe_us := (Sim.clock () -. t0) /. 1e3);
+    Testbed.run tb;
+    let tb2 = Testbed.make ~seed () in
+    let _, a, b = Testbed.bm_pair ~profile tb2 in
+    let lat = Sockperf.ping_pong tb2.Testbed.sim ~a ~b ~path:Sockperf.Kernel ~count () in
+    (!probe_us, lat.Sockperf.avg_us)
+  in
+  let fpga_probe, fpga_lat = probe_and_lat Bm_iobond.Profile.Fpga in
+  let asic_probe, asic_lat = probe_and_lat Bm_iobond.Profile.Asic in
+  {
+    id = "ablation_reg";
+    title = "Ablation: IO-Bond register-hop latency (config path vs data path)";
+    header = [ "profile"; "hop (us)"; "virtio probe (us)"; "UDP one-way (us)" ];
+    rows =
+      [
+        [ "FPGA"; "0.8"; Report.f1 fpga_probe; Report.f1 fpga_lat ];
+        [ "ASIC"; "0.2"; Report.f1 asic_probe; Report.f1 asic_lat ];
+      ];
+    notes =
+      [
+        "The config path scales with the hop 1:1; the data path only carries the";
+        "doorbell and tail-register hops, so cutting the hop 4x buys far less there —";
+        "why the paper runs production on the cheap FPGA.";
+      ];
+  }
+
+(* How big must the DMA engine be? The paper picked 50 Gbit/s; sweep it
+   against unrestricted guest throughput. *)
+let run_ablation_dma ~quick ~seed =
+  let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
+  let tput dma_gbit_s =
+    let tb = Testbed.make ~seed () in
+    let server =
+      Bm_hyp.Bm_hypervisor.create_server tb.Testbed.sim tb.Testbed.rng ~fabric:tb.Testbed.fabric
+        ~storage:tb.Testbed.storage ~dma_gbit_s ()
+    in
+    let unlimited = Bm_cloud.Limits.unlimited_net () in
+    let g name =
+      match Bm_hyp.Bm_hypervisor.provision server ~name ~net_limits:unlimited () with
+      | Ok i -> i
+      | Error e -> failwith e
+    in
+    let a = g "a" and b = g "b" in
+    let r =
+      Netperf.tcp_stream tb.Testbed.sim ~src:a ~dst:b ~connections:32
+        ~message_bytes:8192 ~duration ()
+    in
+    r.Netperf.gbit_s
+  in
+  let rows =
+    List.map
+      (fun g -> [ Printf.sprintf "%.0f Gbit/s" g; Report.f2 (tput g) ])
+      [ 12.5; 25.0; 50.0; 100.0 ]
+  in
+  {
+    id = "ablation_dma";
+    title = "Ablation: IO-Bond DMA engine sizing vs unrestricted guest throughput";
+    header = [ "engine"; "achieved wire Gbit/s" ];
+    rows;
+    notes =
+      [
+        "Throughput tracks the engine until the x4 device links (32 Gbit/s each, x8";
+        "uplink) take over — 50 Gbit/s is the knee, matching the paper's choice.";
+      ];
+  }
+
+(* How much do batched doorbells/PMD bursts buy? Sweep the burst size the
+   guest stack hands to virtio. *)
+let run_ablation_batch ~quick ~seed =
+  let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
+  let pps batch =
+    let tb = Testbed.make ~seed () in
+    let _, a, b = Testbed.bm_pair ~net_limits:(Bm_cloud.Limits.unlimited_net ()) tb in
+    let r = Netperf.udp_pps tb.Testbed.sim ~src:a ~dst:b ~senders:8 ~batch ~duration () in
+    r.Netperf.received_pps
+  in
+  let rows =
+    List.map (fun b -> [ string_of_int b; Report.si (pps b) ]) [ 1; 4; 16; 64 ]
+  in
+  {
+    id = "ablation_batch";
+    title = "Ablation: PMD/driver burst size vs unrestricted PPS";
+    header = [ "burst"; "received PPS" ];
+    rows;
+    notes =
+      [
+        "Small bursts pay the per-chain DMA setup and doorbell amortisation; the";
+        "multi-MPPS results of S4.3 need the batching every real PMD path uses.";
+      ];
+  }
+
+(* S6's offload plan: with IO-Bond classifying flows, known traffic
+   bypasses the bm-hypervisor's PMD entirely. Measure PPS and base-core
+   utilization with and without it. *)
+let run_ablation_offload ~quick ~seed =
+  let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
+  let run offload =
+    let tb = Testbed.make ~seed () in
+    let server =
+      Bm_hyp.Bm_hypervisor.create_server tb.Testbed.sim tb.Testbed.rng ~fabric:tb.Testbed.fabric
+        ~storage:tb.Testbed.storage ()
+    in
+    let unlimited = Bm_cloud.Limits.unlimited_net () in
+    let g name =
+      match Bm_hyp.Bm_hypervisor.provision server ~name ~net_limits:unlimited ~offload () with
+      | Ok i -> i
+      | Error e -> failwith e
+    in
+    let a = g "a" and b = g "b" in
+    let r = Netperf.udp_pps tb.Testbed.sim ~src:a ~dst:b ~senders:10 ~batch:64 ~duration () in
+    let base_util =
+      Bm_hw.Cores.utilization (Bm_hyp.Bm_hypervisor.base_cores server)
+        ~now:(Sim.now tb.Testbed.sim)
+    in
+    let hit_rate =
+      match Bm_hyp.Bm_hypervisor.offload_table server ~name:"a" with
+      | Some ot ->
+        let total = Bm_iobond.Offload.hits ot + Bm_iobond.Offload.misses ot in
+        if total = 0 then 0.0
+        else float_of_int (Bm_iobond.Offload.hits ot) /. float_of_int total
+      | None -> 0.0
+    in
+    (r.Netperf.received_pps, base_util, hit_rate)
+  in
+  let pps_off, util_off, _ = run false in
+  let pps_on, util_on, hit_rate = run true in
+  {
+    id = "ablation_offload";
+    title = "Ablation: IO-Bond flow offload (S6 plan) vs PMD-only backend";
+    header = [ "backend"; "received PPS"; "base-core util"; "flow hit rate" ];
+    rows =
+      [
+        [ "PMD only (deployed)"; Report.si pps_off; Report.pct util_off; "-" ];
+        [ "IO-Bond offload (S6)"; Report.si pps_on; Report.pct util_on; Report.pct hit_rate ];
+      ];
+    notes =
+      [
+        "Offloaded flows skip the bm-hypervisor's per-packet CPU: the base server";
+        "could use a lower-cost CPU, which is exactly the stated motivation in S6.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    { id = "table1"; title = "Service comparison"; paper_ref = "Table 1"; run = run_table1 };
+    { id = "table2"; title = "Fleet VM-exit survey"; paper_ref = "Table 2"; run = run_table2 };
+    { id = "fig1"; title = "VM preemption percentiles"; paper_ref = "Fig. 1"; run = run_fig1 };
+    { id = "table3"; title = "Instance catalogue"; paper_ref = "Table 3"; run = run_table3 };
+    { id = "fig7"; title = "SPEC CINT2006"; paper_ref = "Fig. 7"; run = run_fig7 };
+    { id = "fig8"; title = "STREAM bandwidth"; paper_ref = "Fig. 8"; run = run_fig8 };
+    { id = "fig9"; title = "UDP PPS"; paper_ref = "Fig. 9"; run = run_fig9 };
+    { id = "fig10"; title = "UDP/ping latency"; paper_ref = "Fig. 10"; run = run_fig10 };
+    { id = "fig11"; title = "Storage latency"; paper_ref = "Fig. 11"; run = run_fig11 };
+    { id = "fig12"; title = "NGINX"; paper_ref = "Fig. 12"; run = run_fig12 };
+    { id = "fig13"; title = "MariaDB read-only"; paper_ref = "Fig. 13"; run = run_fig13 };
+    { id = "fig14"; title = "MariaDB writes"; paper_ref = "Fig. 14"; run = run_fig14 };
+    { id = "fig15"; title = "Redis vs clients"; paper_ref = "Fig. 15"; run = run_fig15 };
+    { id = "fig16"; title = "Redis vs value size"; paper_ref = "Fig. 16"; run = run_fig16 };
+    { id = "sec2_3"; title = "Nested virtualization"; paper_ref = "S2.3"; run = run_sec2_3 };
+    { id = "sec3_5"; title = "Cost efficiency"; paper_ref = "S3.5"; run = run_sec3_5 };
+    { id = "sec4_3net"; title = "TCP + unrestricted PPS"; paper_ref = "S4.3"; run = run_sec4_3net };
+    { id = "sec4_3blk"; title = "Unrestricted local SSD"; paper_ref = "S4.3"; run = run_sec4_3blk };
+    { id = "sec6"; title = "ASIC ablation"; paper_ref = "S6"; run = run_sec6 };
+    { id = "ablation_reg"; title = "Register-hop ablation"; paper_ref = "design"; run = run_ablation_reg };
+    { id = "ablation_dma"; title = "DMA sizing ablation"; paper_ref = "design"; run = run_ablation_dma };
+    { id = "ablation_batch"; title = "Burst-size ablation"; paper_ref = "design"; run = run_ablation_batch };
+    { id = "ablation_offload"; title = "Flow-offload ablation"; paper_ref = "S6"; run = run_ablation_offload };
+  ]
+
+let find id = List.find_opt (fun s -> s.id = id) all
+let ids () = List.map (fun s -> s.id) all
+
+let run_one ?(quick = false) ?(seed = 2020) id =
+  match find id with
+  | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
+  | Some spec -> Ok (spec.run ~quick ~seed)
+
+let run_all ?(quick = false) ?(seed = 2020) () =
+  List.map (fun spec -> spec.run ~quick ~seed) all
+
+let print_outcome (o : outcome) =
+  print_endline "";
+  Report.print ~title:o.title ~header:o.header o.rows;
+  List.iter (fun n -> print_endline ("  note: " ^ n)) o.notes

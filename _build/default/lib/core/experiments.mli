@@ -1,0 +1,33 @@
+(** Registry of reproducible experiments — one per table/figure of the
+    paper plus the numbered in-text results.
+
+    Each experiment builds its own simulated testbed (fresh simulator,
+    deterministic seed), runs the corresponding workload, and returns a
+    printable table with paper-vs-measured columns where the paper
+    reports concrete numbers. [quick] shrinks durations/population sizes
+    so the whole suite stays fast in tests; headline numbers in
+    EXPERIMENTS.md come from full runs. *)
+
+type outcome = {
+  id : string;
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+type spec = {
+  id : string;
+  title : string;
+  paper_ref : string;  (** table/figure/section in the paper *)
+  run : quick:bool -> seed:int -> outcome;
+}
+
+val all : spec list
+val find : string -> spec option
+val ids : unit -> string list
+
+val run_one : ?quick:bool -> ?seed:int -> string -> (outcome, string) result
+val run_all : ?quick:bool -> ?seed:int -> unit -> outcome list
+
+val print_outcome : outcome -> unit

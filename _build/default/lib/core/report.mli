@@ -1,0 +1,19 @@
+(** Plain-text tables for experiment output. *)
+
+val table : ?title:string -> header:string list -> string list list -> string
+(** Render an aligned ASCII table. *)
+
+val print : ?title:string -> header:string list -> string list list -> unit
+
+val f1 : float -> string
+(** One decimal. *)
+
+val f2 : float -> string
+val si : float -> string
+(** Engineering notation: 3.2M, 25.0K, 14.7. *)
+
+val pct : float -> string
+(** [pct 0.0417] = "4.2%". *)
+
+val check : paper:string -> measured:string -> ok:bool -> string list -> string list
+(** Append paper-vs-measured columns and a ✓/✗ marker to a row. *)

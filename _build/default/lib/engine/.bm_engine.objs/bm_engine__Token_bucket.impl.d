@@ -1,0 +1,1 @@
+lib/engine/token_bucket.ml: Float Sim

@@ -1,0 +1,73 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable heap : 'a entry array; mutable size : int }
+
+let create () = { heap = [||]; size = 0 }
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  if left < q.size then begin
+    let right = left + 1 in
+    let smallest = if right < q.size && lt q.heap.(right) q.heap.(left) then right else left in
+    if lt q.heap.(smallest) q.heap.(i) then begin
+      swap q i smallest;
+      sift_down q smallest
+    end
+  end
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.size = capacity then begin
+    let capacity' = max 16 (2 * capacity) in
+    let heap' = Array.make capacity' entry in
+    Array.blit q.heap 0 heap' 0 q.size;
+    q.heap <- heap'
+  end
+
+let add q ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let e = q.heap.(0) in
+    Some (e.time, e.seq, e.value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let e = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (e.time, e.seq, e.value)
+  end
+
+let clear q =
+  q.heap <- [||];
+  q.size <- 0

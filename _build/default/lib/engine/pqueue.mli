@@ -1,0 +1,24 @@
+(** Minimum priority queue on [(time, sequence)] keys.
+
+    A classic array-backed binary heap. Ties on [time] are broken by an
+    insertion sequence number supplied by the caller, which makes event
+    ordering — and therefore whole simulations — deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+(** [add q ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+
+val peek : 'a t -> (float * int * 'a) option
+(** [peek q] is the minimum element without removing it. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** [pop q] removes and returns the minimum element. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,190 @@
+exception Not_in_simulation
+exception Stopped
+
+type t = {
+  mutable time : float;
+  mutable seq : int;
+  agenda : (unit -> unit) Pqueue.t;
+  mutable stopped : bool;
+}
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Clock : float Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Fork : (unit -> unit) -> unit Effect.t
+
+let create () = { time = 0.0; seq = 0; agenda = Pqueue.create (); stopped = false }
+
+let now t = t.time
+
+let schedule t ~delay f =
+  assert (delay >= 0.0);
+  t.seq <- t.seq + 1;
+  Pqueue.add t.agenda ~time:(t.time +. delay) ~seq:t.seq f
+
+(* Run [body] as a fiber, interpreting the blocking effects against [t]. *)
+let rec exec : t -> (unit -> unit) -> unit =
+ fun t body ->
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> if e == Stopped then () else raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if d < 0.0 then discontinue k (Invalid_argument "Sim.delay: negative")
+                else schedule t ~delay:d (fun () -> continue k ()))
+          | Clock -> Some (fun (k : (a, unit) continuation) -> continue k t.time)
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let resumed = ref false in
+                let resume v =
+                  if !resumed then invalid_arg "Sim.suspend: resumed twice";
+                  resumed := true;
+                  schedule t ~delay:0.0 (fun () -> continue k v)
+                in
+                register resume)
+          | Fork body' ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                schedule t ~delay:0.0 (fun () -> exec t body');
+                continue k ())
+          | _ -> None);
+    }
+
+let spawn t body = schedule t ~delay:0.0 (fun () -> exec t body)
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon = match until with Some u -> u | None -> infinity in
+  let rec loop () =
+    if not t.stopped then begin
+      match Pqueue.peek t.agenda with
+      | None -> ()
+      | Some (time, _, _) when time > horizon -> t.time <- horizon
+      | Some _ ->
+        (match Pqueue.pop t.agenda with
+        | None -> ()
+        | Some (time, _, f) ->
+          t.time <- time;
+          f ());
+        loop ()
+    end
+  in
+  loop ();
+  match until with
+  | Some u when t.time < u && not t.stopped -> t.time <- u
+  | _ -> ()
+
+let stop t =
+  t.stopped <- true;
+  Pqueue.clear t.agenda
+
+let delay d =
+  try Effect.perform (Delay d) with Effect.Unhandled _ -> raise Not_in_simulation
+
+let clock () = try Effect.perform Clock with Effect.Unhandled _ -> raise Not_in_simulation
+
+let suspend register =
+  try Effect.perform (Suspend register) with Effect.Unhandled _ -> raise Not_in_simulation
+
+let fork body =
+  try Effect.perform (Fork body) with Effect.Unhandled _ -> raise Not_in_simulation
+
+module Ivar = struct
+  type 'a state = Empty of ('a -> unit) list | Full of 'a
+  type 'a ivar = { mutable state : 'a state }
+
+  let create () = { state = Empty [] }
+
+  let fill iv v =
+    match iv.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+      iv.state <- Full v;
+      List.iter (fun resume -> resume v) (List.rev waiters)
+
+  let read iv =
+    match iv.state with
+    | Full v -> v
+    | Empty _ ->
+      suspend (fun resume ->
+          match iv.state with
+          | Full v -> resume v
+          | Empty waiters -> iv.state <- Empty (resume :: waiters))
+
+  let is_filled iv = match iv.state with Full _ -> true | Empty _ -> false
+  let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+end
+
+module Channel = struct
+  type 'a channel = { items : 'a Queue.t; waiters : ('a -> unit) Queue.t }
+
+  let create () = { items = Queue.create (); waiters = Queue.create () }
+
+  let send ch v =
+    match Queue.take_opt ch.waiters with
+    | Some resume -> resume v
+    | None -> Queue.add v ch.items
+
+  let recv ch =
+    match Queue.take_opt ch.items with
+    | Some v -> v
+    | None -> suspend (fun resume -> Queue.add resume ch.waiters)
+
+  let try_recv ch = Queue.take_opt ch.items
+  let length ch = Queue.length ch.items
+end
+
+module Resource = struct
+  type waiter = { amount : int; resume : unit -> unit }
+
+  type resource = { capacity : int; mutable used : int; queue : waiter Queue.t }
+
+  let create ~capacity =
+    assert (capacity > 0);
+    { capacity; used = 0; queue = Queue.create () }
+
+  let capacity r = r.capacity
+  let in_use r = r.used
+  let waiting r = Queue.length r.queue
+
+  (* Grant waiters strictly in FIFO order: stop at the first waiter that
+     does not fit, even if a later, smaller one would (no barging). *)
+  let rec grant r =
+    match Queue.peek_opt r.queue with
+    | Some w when r.used + w.amount <= r.capacity ->
+      ignore (Queue.pop r.queue);
+      r.used <- r.used + w.amount;
+      w.resume ();
+      grant r
+    | Some _ | None -> ()
+
+  let acquire ?(n = 1) r =
+    assert (n > 0 && n <= r.capacity);
+    if Queue.is_empty r.queue && r.used + n <= r.capacity then r.used <- r.used + n
+    else
+      suspend (fun resume -> Queue.add { amount = n; resume = (fun () -> resume ()) } r.queue)
+
+  let release ?(n = 1) r =
+    assert (n > 0);
+    r.used <- r.used - n;
+    assert (r.used >= 0);
+    grant r
+
+  let with_resource ?(n = 1) r f =
+    acquire ~n r;
+    match f () with
+    | v ->
+      release ~n r;
+      v
+    | exception e ->
+      release ~n r;
+      raise e
+end

@@ -1,0 +1,112 @@
+(** Deterministic discrete-event simulator with lightweight processes.
+
+    Processes are OCaml 5 fibers: plain [unit -> unit] functions that may
+    perform the blocking operations below ({!delay}, {!suspend}, …). The
+    scheduler runs one event at a time off a binary-heap agenda; ties are
+    broken by insertion order, so a simulation is a pure function of its
+    inputs and RNG seeds.
+
+    The blocking operations must only be called from within a process
+    running under {!run} (they raise [Not_in_simulation] otherwise). *)
+
+type t
+(** A simulation instance: clock + agenda. *)
+
+exception Not_in_simulation
+(** Raised when a blocking operation is performed outside {!run}. *)
+
+exception Stopped
+(** Raised inside processes when the simulation is force-stopped. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in nanoseconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs callback [f] (not a full process) at
+    [now t +. delay]. [delay] must be non-negative. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** [spawn t body] creates a new process that starts at the current time
+    (or at simulation start). Can be called from inside or outside a
+    running simulation. *)
+
+val run : ?until:float -> t -> unit
+(** [run t] executes events until the agenda drains or simulated time
+    exceeds [until] (absolute, in ns). After returning with [until], the
+    clock is set to [until]. Exceptions raised by processes propagate. *)
+
+val stop : t -> unit
+(** Discard all pending events; {!run} returns promptly. *)
+
+(** {2 Blocking operations — only valid inside a process} *)
+
+val delay : float -> unit
+(** Suspend the calling process for a non-negative duration. *)
+
+val clock : unit -> float
+(** Current time, from inside a process. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend f] parks the calling process and hands [f] a resume function.
+    Calling the resume function (at most once; later calls raise
+    [Invalid_argument]) schedules the process to continue with the given
+    value at the resumer's current time. This is the primitive from which
+    {!Ivar}, {!Channel} and {!Resource} are built. *)
+
+val fork : (unit -> unit) -> unit
+(** Spawn a sibling process from inside a process. *)
+
+(** {2 Write-once cells} *)
+
+module Ivar : sig
+  type 'a ivar
+
+  val create : unit -> 'a ivar
+  val fill : 'a ivar -> 'a -> unit
+  (** Fills the cell and wakes all readers. Raises [Invalid_argument] if
+      already filled. *)
+
+  val read : 'a ivar -> 'a
+  (** Returns immediately if filled, otherwise blocks until {!fill}. *)
+
+  val is_filled : 'a ivar -> bool
+  val peek : 'a ivar -> 'a option
+end
+
+(** {2 Unbounded FIFO channels} *)
+
+module Channel : sig
+  type 'a channel
+
+  val create : unit -> 'a channel
+  val send : 'a channel -> 'a -> unit
+  (** Never blocks. Wakes the oldest waiting receiver, if any. *)
+
+  val recv : 'a channel -> 'a
+  (** Blocks until an element is available; FIFO among waiters. *)
+
+  val try_recv : 'a channel -> 'a option
+  val length : 'a channel -> int
+end
+
+(** {2 Counting semaphores with FIFO admission} *)
+
+module Resource : sig
+  type resource
+
+  val create : capacity:int -> resource
+  val capacity : resource -> int
+  val in_use : resource -> int
+  val waiting : resource -> int
+
+  val acquire : ?n:int -> resource -> unit
+  (** Blocks until [n] (default 1) units are available. Requests are
+      granted strictly in arrival order (no barging). *)
+
+  val release : ?n:int -> resource -> unit
+
+  val with_resource : ?n:int -> resource -> (unit -> 'a) -> 'a
+  (** Acquire, run, release (also on exception). *)
+end

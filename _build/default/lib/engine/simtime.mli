@@ -1,0 +1,37 @@
+(** Simulated time.
+
+    All simulation timestamps and durations are expressed in nanoseconds,
+    stored as [float]. A double has 52 bits of mantissa, which keeps
+    nanosecond resolution exact for simulations of up to ~52 days — far
+    beyond any experiment in this repository. *)
+
+type t = float
+(** A point in simulated time, or a duration, in nanoseconds. *)
+
+val ns : float -> t
+(** [ns x] is [x] nanoseconds. *)
+
+val us : float -> t
+(** [us x] is [x] microseconds. *)
+
+val ms : float -> t
+(** [ms x] is [x] milliseconds. *)
+
+val sec : float -> t
+(** [sec x] is [x] seconds. *)
+
+val minutes : float -> t
+(** [minutes x] is [x] minutes. *)
+
+val hours : float -> t
+(** [hours x] is [x] hours. *)
+
+val to_ns : t -> float
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print a duration with an adaptive unit (ns/µs/ms/s). *)
+
+val to_string : t -> string

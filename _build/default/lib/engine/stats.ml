@@ -1,0 +1,161 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; total = 0.0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then nan else t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+
+  let merge a b =
+    if a.count = 0 then { b with count = b.count }
+    else if b.count = 0 then { a with count = a.count }
+    else begin
+      let count = a.count + b.count in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.count /. float_of_int count) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.count *. float_of_int b.count /. float_of_int count)
+      in
+      {
+        count;
+        mean;
+        m2;
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+        total = a.total +. b.total;
+      }
+    end
+
+  let pp fmt t =
+    Format.fprintf fmt "n=%d mean=%.3g sd=%.3g min=%.3g max=%.3g" t.count (mean t) (stddev t)
+      t.min t.max
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    ratio : float;
+    log_ratio : float;
+    buckets : int array;
+    mutable count : int;
+    mutable total : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create ?(lo = 1.0) ?(hi = 1e12) ?(precision = 0.01) () =
+    assert (lo > 0.0 && hi > lo && precision > 0.0);
+    let ratio = 1.0 +. precision in
+    let log_ratio = log ratio in
+    let nbuckets = int_of_float (ceil (log (hi /. lo) /. log_ratio)) + 1 in
+    {
+      lo;
+      hi;
+      ratio;
+      log_ratio;
+      buckets = Array.make nbuckets 0;
+      count = 0;
+      total = 0.0;
+      min = infinity;
+      max = neg_infinity;
+    }
+
+  let index t v =
+    if v <= t.lo then 0
+    else begin
+      let i = int_of_float (log (v /. t.lo) /. t.log_ratio) in
+      Stdlib.min i (Array.length t.buckets - 1)
+    end
+
+  let add_n t v n =
+    let i = index t v in
+    t.buckets.(i) <- t.buckets.(i) + n;
+    t.count <- t.count + n;
+    t.total <- t.total +. (v *. float_of_int n);
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+
+  let add t v = add_n t v 1
+  let count t = t.count
+  let mean t = if t.count = 0 then nan else t.total /. float_of_int t.count
+  let min t = t.min
+  let max t = t.max
+
+  (* Representative value of bucket [i]: geometric midpoint of its bounds. *)
+  let bucket_value t i = t.lo *. (t.ratio ** (float_of_int i +. 0.5))
+
+  let percentile t p =
+    assert (p >= 0.0 && p <= 100.0);
+    if t.count = 0 then nan
+    else begin
+      let rank = p /. 100.0 *. float_of_int t.count in
+      let rank = Float.max rank 1.0 in
+      let rec scan i seen =
+        if i >= Array.length t.buckets then Float.min t.max (bucket_value t (i - 1))
+        else begin
+          let seen = seen + t.buckets.(i) in
+          if float_of_int seen >= rank then
+            (* Clamp to the observed extrema so tiny histograms stay sane. *)
+            Float.max t.min (Float.min t.max (bucket_value t i))
+          else scan (i + 1) seen
+        end
+      in
+      scan 0 0
+    end
+
+  let merge a b =
+    assert (a.lo = b.lo && a.ratio = b.ratio && Array.length a.buckets = Array.length b.buckets);
+    let merged = create ~lo:a.lo ~hi:a.hi ~precision:(a.ratio -. 1.0) () in
+    Array.iteri (fun i n -> merged.buckets.(i) <- n + b.buckets.(i)) a.buckets;
+    merged.count <- a.count + b.count;
+    merged.total <- a.total +. b.total;
+    merged.min <- Float.min a.min b.min;
+    merged.max <- Float.max a.max b.max;
+    merged
+
+  let pp fmt t =
+    Format.fprintf fmt "n=%d mean=%.3g p50=%.3g p99=%.3g p99.9=%.3g" t.count (mean t)
+      (percentile t 50.0) (percentile t 99.0) (percentile t 99.9)
+end
+
+module Meter = struct
+  type t = { mutable count : int; mutable first : float; mutable last : float }
+
+  let create () = { count = 0; first = nan; last = nan }
+
+  let mark_n t ~now n =
+    if t.count = 0 then t.first <- now;
+    t.last <- now;
+    t.count <- t.count + n
+
+  let mark t ~now = mark_n t ~now 1
+  let count t = t.count
+
+  let rate t =
+    let span = t.last -. t.first in
+    if t.count < 2 || span <= 0.0 then nan else float_of_int t.count /. (span /. 1e9)
+end

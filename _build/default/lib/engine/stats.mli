@@ -1,0 +1,67 @@
+(** Online statistics used throughout the benchmarks.
+
+    [Summary] is a Welford accumulator (mean/variance/min/max);
+    [Histogram] is an HDR-style log-bucketed histogram giving percentile
+    estimates with bounded relative error; [Meter] counts events per unit
+    of simulated time. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  (** Mean of the observations; [nan] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val merge : t -> t -> t
+  (** [merge a b] is a summary of the union of both observation sets. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : ?lo:float -> ?hi:float -> ?precision:float -> unit -> t
+  (** [create ~lo ~hi ~precision ()] covers values in [\[lo, hi\]] with
+      geometric buckets of relative width [precision] (default 1%%).
+      Values outside the range are clamped into the edge buckets.
+      Defaults: [lo] = 1 (ns), [hi] = 1e12 (1000 s). *)
+
+  val add : t -> float -> unit
+  val add_n : t -> float -> int -> unit
+  (** [add_n t v n] records [n] observations of value [v]. *)
+
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [\[0, 100\]]. Returns the representative
+      value of the bucket containing the requested rank; [nan] when empty. *)
+
+  val merge : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Meter : sig
+  type t
+
+  val create : unit -> t
+  val mark : t -> now:float -> unit
+  val mark_n : t -> now:float -> int -> unit
+  val count : t -> int
+
+  val rate : t -> float
+  (** Events per simulated second over the observation span, i.e.
+      [count / (last - first)]. [nan] with fewer than two marks. *)
+end

@@ -1,0 +1,32 @@
+(** Token-bucket rate limiter.
+
+    Cloud instances rate-limit network PPS, network bandwidth and storage
+    IOPS with token buckets (§4.1 of the paper). Tokens refill continuously
+    at [rate] per second up to [burst]; a request for [n] tokens that
+    cannot be satisfied immediately returns the simulated time at which it
+    can proceed (lazy refill — no periodic events needed). *)
+
+type t
+
+val create : rate:float -> burst:float -> t
+(** [create ~rate ~burst]: [rate] tokens per simulated second, bucket
+    capacity [burst] tokens. The bucket starts full. *)
+
+val unlimited : unit -> t
+(** A limiter that never delays. *)
+
+val is_unlimited : t -> bool
+val rate : t -> float
+
+val reserve : t -> now:float -> float -> float
+(** [reserve t ~now n] consumes [n] tokens and returns the absolute time
+    at which the consumer may proceed (≥ [now]). Consumers are expected to
+    [Sim.delay] until that time; ordering fairness comes from the caller
+    issuing reservations in order. *)
+
+val take : t -> float
+(** [take t] = [reserve] for one token from inside a simulation process,
+    followed by the corresponding delay; returns the wait imposed. *)
+
+val take_n : t -> float -> float
+(** [take_n t n]: as {!take} for [n] tokens. *)

@@ -1,0 +1,93 @@
+type event = {
+  at : float;
+  track : string;
+  name : string;
+  kind : [ `Instant | `Begin | `End | `Counter of float ];
+}
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int; (* total events ever recorded *)
+}
+
+let create ?(capacity = 65536) () =
+  assert (capacity > 0);
+  { capacity; buffer = Array.make capacity None; next = 0 }
+
+let record t event =
+  t.buffer.(t.next mod t.capacity) <- Some event;
+  t.next <- t.next + 1
+
+let instant t ~track name ~now = record t { at = now; track; name; kind = `Instant }
+let begin_span t ~track name ~now = record t { at = now; track; name; kind = `Begin }
+let end_span t ~track name ~now = record t { at = now; track; name; kind = `End }
+let counter t ~track name ~now v = record t { at = now; track; name; kind = `Counter v }
+
+let span t ~track name ~clock f =
+  begin_span t ~track name ~now:(clock ());
+  match f () with
+  | v ->
+    end_span t ~track name ~now:(clock ());
+    v
+  | exception e ->
+    end_span t ~track name ~now:(clock ());
+    raise e
+
+let events t =
+  let n = min t.next t.capacity in
+  let start = t.next - n in
+  List.init n (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let dropped t = max 0 (t.next - t.capacity)
+
+let count t ~track ?name () =
+  List.length
+    (List.filter
+       (fun e -> e.track = track && match name with Some n -> e.name = n | None -> true)
+       (events t))
+
+let span_durations t ~track name =
+  (* Pair Begin/End events of the same (track, name) in order; nesting of
+     the same name on one track pairs innermost-first. *)
+  let stack = ref [] in
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      if e.track = track && e.name = name then
+        match e.kind with
+        | `Begin -> stack := e.at :: !stack
+        | `End -> (
+          match !stack with
+          | t0 :: rest ->
+            stack := rest;
+            out := (e.at -. t0) :: !out
+          | [] -> ())
+        | `Instant | `Counter _ -> ())
+    (events t);
+  List.rev !out
+
+let render t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      let kind =
+        match e.kind with
+        | `Instant -> "·"
+        | `Begin -> "▶"
+        | `End -> "◀"
+        | `Counter v -> Printf.sprintf "=%g" v
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%12.0fns %-20s %s %s\n" e.at e.track e.name kind))
+    (events t);
+  if dropped t > 0 then
+    Buffer.add_string buf (Printf.sprintf "(… %d earlier events dropped)\n" (dropped t));
+  Buffer.contents buf
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.next <- 0

@@ -1,0 +1,1 @@
+lib/guests/board.ml: Bm_hw Bm_iobond Cores Cpu_spec Firmware Iobond Memory

@@ -1,0 +1,1 @@
+lib/guests/board.mli: Bm_engine Bm_hw Bm_iobond Firmware

@@ -1,0 +1,1 @@
+lib/guests/boot.ml: Bm_cloud Bm_engine Instance Sim

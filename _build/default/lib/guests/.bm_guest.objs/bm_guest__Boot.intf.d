@@ -1,0 +1,1 @@
+lib/guests/boot.mli: Bm_cloud Instance

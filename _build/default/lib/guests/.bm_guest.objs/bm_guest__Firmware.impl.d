@@ -1,0 +1,1 @@
+lib/guests/firmware.ml: Char String

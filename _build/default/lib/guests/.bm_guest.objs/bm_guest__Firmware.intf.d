@@ -1,0 +1,1 @@
+lib/guests/firmware.mli:

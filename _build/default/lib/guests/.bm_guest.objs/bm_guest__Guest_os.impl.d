@@ -1,0 +1,1 @@
+lib/guests/guest_os.ml: Bm_virtio List Packet

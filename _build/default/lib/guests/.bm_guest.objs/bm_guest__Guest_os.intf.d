@@ -1,0 +1,1 @@
+lib/guests/guest_os.mli: Bm_virtio

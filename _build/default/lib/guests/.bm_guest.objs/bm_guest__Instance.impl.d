@@ -1,0 +1,1 @@
+lib/guests/instance.ml: Bm_hw Bm_iobond Bm_virtio Guest_os

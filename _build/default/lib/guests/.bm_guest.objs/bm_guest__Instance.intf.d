@@ -1,0 +1,1 @@
+lib/guests/instance.mli: Bm_hw Bm_iobond Bm_virtio Guest_os

@@ -1,0 +1,1 @@
+lib/guests/physical.ml: Blockstore Bm_cloud Bm_engine Bm_hw Bm_virtio Cores Cpu_spec Guest_os Instance Memory Sim Tlb Vswitch

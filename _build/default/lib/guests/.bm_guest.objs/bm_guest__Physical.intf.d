@@ -1,0 +1,1 @@
+lib/guests/physical.mli: Bm_cloud Bm_engine Bm_hw Instance

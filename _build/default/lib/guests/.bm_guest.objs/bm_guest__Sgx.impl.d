@@ -1,0 +1,1 @@
+lib/guests/sgx.ml: Bm_hw Cores Cpu_spec Firmware Instance Printf

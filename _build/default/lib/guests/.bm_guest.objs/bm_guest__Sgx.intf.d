@@ -1,0 +1,1 @@
+lib/guests/sgx.mli: Instance

@@ -1,0 +1,33 @@
+type kind = Bare_metal of Bm_iobond.Profile.t | Virtual | Physical
+
+type blk_op = [ `Read | `Write | `Flush ]
+
+type t = {
+  name : string;
+  kind : kind;
+  spec : Bm_hw.Cpu_spec.t;
+  endpoint : int;
+  cores : Bm_hw.Cores.t;
+  memory : Bm_hw.Memory.t;
+  os : Guest_os.t;
+  exec_ns : float -> unit;
+  exec_mem_ns : working_set:float -> locality:float -> float -> unit;
+  mem_stream : bytes_:float -> unit;
+  send : Bm_virtio.Packet.t -> bool;
+  send_dpdk : Bm_virtio.Packet.t -> bool;
+  set_rx_handler : (Bm_virtio.Packet.t -> unit) -> unit;
+  blk : op:blk_op -> bytes_:int -> float;
+  probe : unit -> (int, string) result;
+  pause : unit -> unit;
+  ipi : unit -> unit;
+  set_poll_mode : bool -> unit;
+  timer_arm : unit -> unit;
+}
+
+let relative_single_thread t = t.spec.Bm_hw.Cpu_spec.single_thread_mark
+
+let kind_name t =
+  match t.kind with
+  | Bare_metal profile -> "bm-guest/" ^ Bm_iobond.Profile.name profile
+  | Virtual -> "vm-guest"
+  | Physical -> "physical"

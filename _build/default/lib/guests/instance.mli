@@ -1,0 +1,58 @@
+(** The uniform handle workloads program against.
+
+    An instance is one rented machine — a bm-guest on a compute board, a
+    vm-guest on a virtualization server, or a raw physical machine used
+    as a baseline (§4.2). Workload models drive only this interface;
+    every difference between the substrates (VM exits, EPT walks, host
+    preemption, IO-Bond hops, rate limits) lives behind these closures,
+    which is exactly the paper's claim that the substrates are
+    interchangeable to the application. *)
+
+type kind = Bare_metal of Bm_iobond.Profile.t | Virtual | Physical
+
+type blk_op = [ `Read | `Write | `Flush ]
+
+type t = {
+  name : string;
+  kind : kind;
+  spec : Bm_hw.Cpu_spec.t;
+  endpoint : int;  (** cloud-network address *)
+  cores : Bm_hw.Cores.t;  (** where guest work executes *)
+  memory : Bm_hw.Memory.t;
+  os : Guest_os.t;
+  exec_ns : float -> unit;
+      (** run CPU-bound work given in natural ns on the reference clock
+          (E5-2682 v4); blocks for the substrate-adjusted time *)
+  exec_mem_ns : working_set:float -> locality:float -> float -> unit;
+      (** memory-intensive work: TLB/EPT effects apply *)
+  mem_stream : bytes_:float -> unit;  (** bulk bandwidth-bound transfer *)
+  send : Bm_virtio.Packet.t -> bool;
+      (** transmit a burst through the full stack; [false] = dropped *)
+  send_dpdk : Bm_virtio.Packet.t -> bool;  (** kernel-bypass transmit *)
+  set_rx_handler : (Bm_virtio.Packet.t -> unit) -> unit;
+      (** [handler] runs in a guest process after all receive-side costs *)
+  blk : op:blk_op -> bytes_:int -> float;
+      (** blocking block I/O; returns the request latency in ns *)
+  probe : unit -> (int, string) result;
+      (** virtio device discovery; returns the register-access count *)
+  pause : unit -> unit;
+      (** substrate interference point — a vm-guest may lose the CPU to
+          host tasks here; free on bare metal *)
+  ipi : unit -> unit;
+      (** one cross-vCPU thread wakeup (e.g. accept handing a connection
+          to a worker): a cheap IPI natively, a pair of VM exits under
+          virtualization (§2.1 lists IPIs among the exit causes) *)
+  set_poll_mode : bool -> unit;
+      (** kernel-bypass receive (the DPDK measurement of Fig. 10): the
+          guest polls its rx ring, so deliveries skip interrupt costs
+          (and, on a vm-guest, the injection exits) *)
+  timer_arm : unit -> unit;
+      (** program a one-shot kernel timer (TCP retransmit/TIME_WAIT on
+          connection setup and teardown): nanoseconds natively, an MSR
+          write — i.e. a VM exit — under virtualization (§2.1) *)
+}
+
+val relative_single_thread : t -> float
+(** Single-thread speed relative to the reference SKU. *)
+
+val kind_name : t -> string

@@ -1,0 +1,19 @@
+(** Physical-machine baseline (§4.2).
+
+    The paper compares bm-guests and vm-guests against a raw two-socket
+    physical server ("the physical machine had two sockets of this CPU
+    and 384GB of RAM"). Execution is native: no exit dilation, native
+    page walks, untaxed memory; network and storage go straight to the
+    cloud substrate with the same kernel stack costs. *)
+
+val create :
+  Bm_engine.Sim.t ->
+  name:string ->
+  ?spec:Bm_hw.Cpu_spec.t ->
+  ?sockets:int ->
+  ?vswitch:Bm_cloud.Vswitch.t ->
+  ?storage:Bm_cloud.Blockstore.t ->
+  unit ->
+  Instance.t
+(** Defaults: Xeon E5-2682 v4 × 2 sockets. Without [vswitch], [send]
+    reports a drop; without [storage], [blk] raises. *)

@@ -1,0 +1,1 @@
+lib/hw/cores.ml: Bm_engine Cpu_spec Sim

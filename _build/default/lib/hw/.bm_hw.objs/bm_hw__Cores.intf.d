@@ -1,0 +1,1 @@
+lib/hw/cores.mli: Bm_engine Cpu_spec

@@ -1,0 +1,1 @@
+lib/hw/dma.ml: Bm_engine Float Pcie Sim

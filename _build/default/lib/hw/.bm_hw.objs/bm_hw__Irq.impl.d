@@ -1,0 +1,1 @@
+lib/hw/irq.ml: Bm_engine Sim

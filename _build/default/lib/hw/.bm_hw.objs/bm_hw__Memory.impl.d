@@ -1,0 +1,1 @@
+lib/hw/memory.ml: Bm_engine Cpu_spec Float List Sim

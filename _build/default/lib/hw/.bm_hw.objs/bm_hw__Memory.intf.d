@@ -1,0 +1,1 @@
+lib/hw/memory.mli: Bm_engine Cpu_spec

@@ -1,0 +1,1 @@
+lib/hw/pcie.ml: Bm_engine Sim

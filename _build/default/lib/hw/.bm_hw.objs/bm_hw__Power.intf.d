@@ -1,0 +1,1 @@
+lib/hw/power.mli: Cpu_spec

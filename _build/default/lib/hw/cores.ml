@@ -1,0 +1,50 @@
+open Bm_engine
+
+type t = {
+  sim : Sim.t;
+  spec : Cpu_spec.t;
+  threads : int;
+  ghz : float;
+  pool : Sim.Resource.resource;
+  mutable dilation : float -> float;
+  mutable busy_ns : float; (* accumulated thread-busy time *)
+  created : float;
+}
+
+let create sim ~spec ?threads ?ghz () =
+  let threads = match threads with Some n -> n | None -> spec.Cpu_spec.threads in
+  let ghz = match ghz with Some g -> g | None -> spec.Cpu_spec.base_ghz in
+  assert (threads > 0 && ghz > 0.0);
+  {
+    sim;
+    spec;
+    threads;
+    ghz;
+    pool = Sim.Resource.create ~capacity:threads;
+    dilation = (fun x -> x);
+    busy_ns = 0.0;
+    created = Sim.now sim;
+  }
+
+let spec t = t.spec
+let ghz t = t.ghz
+let thread_count t = t.threads
+let busy t = Sim.Resource.in_use t.pool
+let set_dilation t f = t.dilation <- f
+
+let occupy t duration =
+  Sim.Resource.with_resource t.pool (fun () ->
+      Sim.delay duration;
+      t.busy_ns <- t.busy_ns +. duration)
+
+let execute_ns t natural =
+  assert (natural >= 0.0);
+  occupy t (t.dilation natural)
+
+let execute_cycles t cycles = execute_ns t (cycles /. t.ghz)
+
+let busy_wait t duration = occupy t duration
+
+let utilization t ~now =
+  let span = (now -. t.created) *. float_of_int t.threads in
+  if span <= 0.0 then 0.0 else t.busy_ns /. span

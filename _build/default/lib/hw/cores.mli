@@ -1,0 +1,40 @@
+(** Execution on a pool of hardware threads.
+
+    A [Cores.t] models the logical CPUs of one socket (or a slice of one)
+    as a FIFO-admission resource: a job acquires a hardware thread, burns
+    cycles at the effective clock, and releases the thread. An optional
+    per-job overhead hook lets virtualization layers inflate execution
+    time (VM exits, EPT walks) without the workload code knowing. *)
+
+type t
+
+val create : Bm_engine.Sim.t -> spec:Cpu_spec.t -> ?threads:int -> ?ghz:float -> unit -> t
+(** [create sim ~spec ()] is a pool with [threads] hardware threads
+    (default [spec.threads]) clocked at [ghz] (default [spec.base_ghz]). *)
+
+val spec : t -> Cpu_spec.t
+val ghz : t -> float
+val thread_count : t -> int
+val busy : t -> int
+(** Number of hardware threads currently executing a job. *)
+
+val set_dilation : t -> (float -> float) -> unit
+(** [set_dilation t f] installs a hook mapping natural execution time (ns)
+    to actual time; used to model virtualization overhead. Default is the
+    identity. *)
+
+val execute_cycles : t -> float -> unit
+(** [execute_cycles t c] runs a job of [c] cycles: blocks until a thread
+    is free, then for the dilated execution time. Must be called from a
+    simulation process. *)
+
+val execute_ns : t -> float -> unit
+(** As {!execute_cycles} but the job length is given in ns of natural
+    execution time at full speed. *)
+
+val busy_wait : t -> float -> unit
+(** Occupy a hardware thread for exactly the given time without dilation
+    (poll loops, spinning). *)
+
+val utilization : t -> now:float -> float
+(** Fraction of thread-time spent executing since creation. *)

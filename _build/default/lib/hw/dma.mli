@@ -1,0 +1,23 @@
+(** IO-Bond's internal DMA engine.
+
+    The engine copies buffers between the compute-board memory and the
+    bm-hypervisor's shadow rings, crossing one PCIe link on each side.
+    Its internal throughput is ~50 Gbit/s (§3.4.3), so the end-to-end
+    copy rate of one flow is min(link-in, engine, link-out); we model the
+    engine as its own serialised stage with cut-through chunking so
+    concurrent flows share it fairly. *)
+
+type t
+
+val create : Bm_engine.Sim.t -> ?gbit_s:float -> ?setup_ns:float -> unit -> t
+(** Default [gbit_s] 50 (paper), [setup_ns] 300 (descriptor fetch and
+    doorbell processing per copy). *)
+
+val gbit_s : t -> float
+
+val copy : t -> src:Pcie.t -> dst:Pcie.t -> bytes_:int -> unit
+(** [copy t ~src ~dst ~bytes_] moves a buffer across [src], through the
+    engine, and across [dst]; blocks until the last byte lands. *)
+
+val copies : t -> int
+val bytes_copied : t -> float

@@ -1,0 +1,20 @@
+open Bm_engine
+
+type t = {
+  sim : Sim.t;
+  delivery_ns : float;
+  handler_ns : float;
+  mutable raised : int;
+}
+
+let create sim ?(delivery_ns = 500.0) ?(handler_ns = 1500.0) () =
+  assert (delivery_ns >= 0.0 && handler_ns >= 0.0);
+  { sim; delivery_ns; handler_ns; raised = 0 }
+
+let delivery_ns t = t.delivery_ns
+let handler_ns t = t.handler_ns
+let raised_count t = t.raised
+
+let raise_irq t ~handler =
+  t.raised <- t.raised + 1;
+  Sim.schedule t.sim ~delay:t.delivery_ns (fun () -> Sim.spawn t.sim handler)

@@ -1,0 +1,23 @@
+(** Interrupt delivery.
+
+    A bm-guest receives genuine MSI interrupts from IO-Bond (Fig. 6 step
+    "get a MSI interrupt once Rx data arrived"); a vm-guest receives
+    *injected* virtual interrupts, which cost a VM exit/entry round trip
+    on top of the wire latency. The handler runs as a fresh simulation
+    process after the delivery delay. *)
+
+type t
+
+val create :
+  Bm_engine.Sim.t -> ?delivery_ns:float -> ?handler_ns:float -> unit -> t
+(** [delivery_ns] (default 500): wire + LAPIC latency of one MSI.
+    [handler_ns] (default 1500): kernel ISR + softirq cost charged to the
+    receiving guest by the caller (exposed for that purpose). *)
+
+val delivery_ns : t -> float
+val handler_ns : t -> float
+val raised_count : t -> int
+
+val raise_irq : t -> handler:(unit -> unit) -> unit
+(** Deliver one interrupt: after [delivery_ns], run [handler] as a new
+    process. Callable from process or scheduler context. *)

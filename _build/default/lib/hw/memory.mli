@@ -1,0 +1,40 @@
+(** Shared memory-bandwidth model (processor sharing).
+
+    All in-flight bulk transfers on a socket share its memory bandwidth
+    fairly, and a single thread cannot exceed [per_stream] bandwidth
+    (a real core's load/store machinery saturates well below the socket
+    peak — this is what makes STREAM need many threads). The model is an
+    exact processor-sharing queue: shares are recomputed whenever a
+    transfer starts or completes.
+
+    Bandwidth figures are in GB/s ([1e9] bytes per second). *)
+
+type t
+
+val create :
+  Bm_engine.Sim.t -> peak_gb_s:float -> ?per_stream_gb_s:float -> ?efficiency:float -> unit -> t
+(** [create sim ~peak_gb_s ()] models a memory system with aggregate
+    bandwidth [efficiency × peak_gb_s] (default efficiency 0.85 — the
+    fraction of theoretical channel bandwidth STREAM-like access patterns
+    achieve) and a per-stream ceiling [per_stream_gb_s] (default 14). *)
+
+val of_spec : Bm_engine.Sim.t -> Cpu_spec.t -> t
+(** Memory system sized from a CPU spec's channels and memory speed. *)
+
+val peak_gb_s : t -> float
+(** Effective aggregate bandwidth (after efficiency). *)
+
+val active_streams : t -> int
+
+val set_tax : t -> float -> unit
+(** [set_tax t f] inflates every transfer's cost by factor [1 + f];
+    models the memory-virtualization overhead a vm-guest pays under load
+    (§4.2: vm-guest reaches ~98%% of bm-guest STREAM bandwidth). *)
+
+val transfer : t -> bytes_:float -> unit
+(** [transfer t ~bytes_] blocks the calling process until the transfer
+    completes under fair sharing. *)
+
+val measured_bw_gb_s : t -> bytes_:float -> elapsed_ns:float -> float
+(** Convenience: bandwidth achieved by a transfer of [bytes_] in
+    [elapsed_ns]. *)

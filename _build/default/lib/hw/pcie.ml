@@ -1,0 +1,47 @@
+open Bm_engine
+
+type t = {
+  sim : Sim.t;
+  gbit_s : float;
+  register_ns : float;
+  mtu_bytes : int;
+  wire : Sim.Resource.resource;
+  mutable bytes_moved : float;
+}
+
+let create sim ~gbit_s ?(register_ns = 800.0) ?(mtu_bytes = 256) () =
+  assert (gbit_s > 0.0 && register_ns >= 0.0 && mtu_bytes > 0);
+  {
+    sim;
+    gbit_s;
+    register_ns;
+    mtu_bytes;
+    wire = Sim.Resource.create ~capacity:1;
+    bytes_moved = 0.0;
+  }
+
+let x4 sim ~register_ns = create sim ~gbit_s:32.0 ~register_ns ()
+let x8 sim ~register_ns = create sim ~gbit_s:64.0 ~register_ns ()
+
+let gbit_s t = t.gbit_s
+let register_ns t = t.register_ns
+
+let register_access t = Sim.delay t.register_ns
+
+let transfer_time_ns t ~bytes_ = float_of_int bytes_ *. 8.0 /. t.gbit_s
+
+let transfer t ~bytes_ =
+  assert (bytes_ >= 0);
+  let rec chunks remaining =
+    if remaining > 0 then begin
+      let n = min remaining t.mtu_bytes in
+      Sim.Resource.with_resource t.wire (fun () -> Sim.delay (transfer_time_ns t ~bytes_:n));
+      t.bytes_moved <- t.bytes_moved +. float_of_int n;
+      chunks (remaining - n)
+    end
+  in
+  chunks bytes_
+
+let account t ~bytes_ = t.bytes_moved <- t.bytes_moved +. float_of_int bytes_
+
+let bytes_moved t = t.bytes_moved

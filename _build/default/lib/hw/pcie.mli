@@ -1,0 +1,45 @@
+(** PCIe links and register access.
+
+    IO-Bond exposes a x4 link per emulated virtio device toward the
+    compute board (32 Gbit/s each) and a x8 link toward the base server
+    (§3.4.3). Register (config/BAR) accesses through the low-cost FPGA
+    take 0.8 µs per hop; an ASIC would take 0.2 µs (§6).
+
+    Bulk transfers serialise through the link: concurrent DMA shares the
+    wire in FIFO order, which is how a real link behaves at the flow
+    level. *)
+
+type t
+
+val create : Bm_engine.Sim.t -> gbit_s:float -> ?register_ns:float -> ?mtu_bytes:int -> unit -> t
+(** [create sim ~gbit_s ()] is a link with [gbit_s] usable bandwidth.
+    [register_ns] (default 800 — the paper's FPGA) is the latency of one
+    non-posted register read/write crossing this link. [mtu_bytes]
+    (default 256, a typical max-payload TLP) bounds the transfer quantum
+    so small transfers are not unfairly delayed behind huge ones. *)
+
+val x4 : Bm_engine.Sim.t -> register_ns:float -> t
+(** 32 Gbit/s, per the paper's virtio device links. *)
+
+val x8 : Bm_engine.Sim.t -> register_ns:float -> t
+(** 64 Gbit/s, the IO-Bond uplink to the bm-hypervisor. *)
+
+val gbit_s : t -> float
+val register_ns : t -> float
+
+val register_access : t -> unit
+(** One blocking register read/write: delays the caller by
+    [register_ns]. *)
+
+val transfer : t -> bytes_:int -> unit
+(** Move [bytes_] across the link, waiting for the wire if busy. *)
+
+val transfer_time_ns : t -> bytes_:int -> float
+(** Unloaded serialisation time for [bytes_]. *)
+
+val account : t -> bytes_:int -> unit
+(** Record payload carried by an external transfer model (e.g. a DMA
+    engine streaming through this link) without re-serialising it. *)
+
+val bytes_moved : t -> float
+(** Total payload bytes carried since creation. *)

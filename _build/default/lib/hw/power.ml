@@ -1,0 +1,15 @@
+type component = Cpu of Cpu_spec.t * int | Fpga of int | Fixed of string * float
+
+(* Intel Arria 10 class device under I/O-forwarding load. *)
+let fpga_tdp_w = 20.0
+
+let component_w = function
+  | Cpu (spec, sockets) -> spec.Cpu_spec.tdp_w *. float_of_int sockets
+  | Fpga n -> fpga_tdp_w *. float_of_int n
+  | Fixed (_, w) -> w
+
+let total_w components = List.fold_left (fun acc c -> acc +. component_w c) 0.0 components
+
+let watts_per_vcpu ~components ~sellable_vcpus =
+  assert (sellable_vcpus > 0);
+  total_w components /. float_of_int sellable_vcpus

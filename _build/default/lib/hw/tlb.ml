@@ -1,0 +1,45 @@
+type t = {
+  entries : int;
+  page_bytes : float;
+  walk_access_ns : float;
+  accesses_per_page_visit : float;
+}
+
+let create ?(entries = 1536) ?(page_kb = 4) ?(walk_access_ns = 60.0) ?(huge_pages = false)
+    ?(accesses_per_page_visit = 1024.0) () =
+  assert (entries > 0 && page_kb > 0 && walk_access_ns > 0.0 && accesses_per_page_visit >= 1.0);
+  let factor = if huge_pages then 512 else 1 in
+  {
+    entries;
+    page_bytes = float_of_int (page_kb * 1024 * factor);
+    walk_access_ns;
+    accesses_per_page_visit;
+  }
+
+let reach_bytes t = float_of_int t.entries *. t.page_bytes
+
+let miss_rate t ~working_set_bytes ~locality =
+  assert (locality >= 0.0 && locality <= 1.0);
+  let reach = reach_bytes t in
+  if working_set_bytes <= reach then 0.0
+  else begin
+    (* Random accesses hit a cached translation with probability
+       reach/ws; local accesses always hit. *)
+    let uncovered = 1.0 -. (reach /. working_set_bytes) in
+    (* A page visit amortises its translation over many accesses (cache
+       lines x reuse): per-access miss rates are small even for large
+       working sets, which is why real TLB overheads are percents, not
+       multiples. *)
+    (1.0 -. locality) *. uncovered /. t.accesses_per_page_visit
+  end
+
+(* Native radix walk: 4 levels. Two-dimensional (EPT) walk: each of the 4
+   guest levels needs a 5-access nested walk plus the final translation,
+   24 accesses in the worst case (§5 / [31]). Page-walk caches make the
+   typical cost lower; we charge half the worst case. *)
+let walk_accesses ~virtualized = if virtualized then 24.0 /. 2.0 else 4.0 /. 2.0
+
+let walk_ns t ~virtualized = walk_accesses ~virtualized *. t.walk_access_ns
+
+let avg_overhead_ns t ~virtualized ~working_set_bytes ~locality =
+  miss_rate t ~working_set_bytes ~locality *. walk_ns t ~virtualized

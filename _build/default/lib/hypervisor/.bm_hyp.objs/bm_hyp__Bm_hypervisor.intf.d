@@ -1,0 +1,1 @@
+lib/hypervisor/bm_hypervisor.mli: Bm_cloud Bm_engine Bm_guest Bm_hw Bm_iobond

@@ -1,0 +1,1 @@
+lib/hypervisor/ept.ml: Bm_hw

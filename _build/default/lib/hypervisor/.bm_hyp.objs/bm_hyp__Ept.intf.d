@@ -1,0 +1,1 @@
+lib/hypervisor/ept.mli: Bm_hw

@@ -1,0 +1,1 @@
+lib/hypervisor/fleet.ml: Array Bm_engine Float List Preempt Rng

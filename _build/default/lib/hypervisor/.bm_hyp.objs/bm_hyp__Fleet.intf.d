@@ -1,0 +1,1 @@
+lib/hypervisor/fleet.mli: Bm_engine

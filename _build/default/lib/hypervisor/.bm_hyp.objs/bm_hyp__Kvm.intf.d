@@ -1,0 +1,1 @@
+lib/hypervisor/kvm.mli: Bm_cloud Bm_engine Bm_guest Bm_hw Preempt Vmexit

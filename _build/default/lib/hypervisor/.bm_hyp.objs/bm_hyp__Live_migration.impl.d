@@ -1,0 +1,1 @@
+lib/hypervisor/live_migration.ml: Bm_engine Bm_guest Bm_hw Ept Instance Preempt Sim

@@ -1,0 +1,1 @@
+lib/hypervisor/live_migration.mli: Bm_engine Bm_guest

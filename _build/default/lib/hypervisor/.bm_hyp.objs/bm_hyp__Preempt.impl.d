@@ -1,0 +1,1 @@
+lib/hypervisor/preempt.ml: Bm_engine Float Rng Sim

@@ -1,0 +1,1 @@
+lib/hypervisor/preempt.mli: Bm_engine

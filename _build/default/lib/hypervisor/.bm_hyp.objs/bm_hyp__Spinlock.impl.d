@@ -1,0 +1,1 @@
+lib/hypervisor/spinlock.ml: Bm_engine Bm_guest Instance Sim

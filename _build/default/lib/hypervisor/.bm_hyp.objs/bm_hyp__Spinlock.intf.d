@@ -1,0 +1,1 @@
+lib/hypervisor/spinlock.mli: Bm_guest

@@ -1,0 +1,1 @@
+lib/hypervisor/vmexit.mli: Format

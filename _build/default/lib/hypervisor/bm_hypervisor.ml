@@ -1,0 +1,357 @@
+open Bm_engine
+open Bm_hw
+open Bm_virtio
+open Bm_iobond
+open Bm_cloud
+open Bm_guest
+
+type params = { pmd_pkt_ns : float; pmd_blk_ns : float; bm_cpu_bonus : float }
+
+let default_params = { pmd_pkt_ns = 220.0; pmd_blk_ns = 1_800.0; bm_cpu_bonus = 0.04 }
+
+type bridge_controls = { bridge_pause : unit -> unit; bridge_resume : unit -> unit }
+
+type guest_state = {
+  instance : Instance.t;
+  board : Board.t;
+  rx_drops : int ref;
+  bridges : bridge_controls list;
+  offload : Offload.t option;
+  mutable backend_version : int;
+}
+
+type server = {
+  sim : Sim.t;
+  rng : Rng.t;
+  params : params;
+  profile : Profile.t;
+  base_cores : Cores.t;
+  vswitch : Vswitch.t;
+  storage : Blockstore.t;
+  board_pool : Board.t array;
+  mutable guests : (string * guest_state) list;
+}
+
+let create_server sim rng ~fabric ~storage ?(profile = Profile.Fpga)
+    ?(board_spec = Cpu_spec.xeon_e5_2682_v4) ?(board_mem_gb = 64) ?(boards = 8) ?dma_gbit_s
+    ?(params = default_params) () =
+  if boards < 1 || boards > 16 then invalid_arg "Bm_hypervisor: 1..16 boards per server (§3.3)";
+  let base_cores = Cores.create sim ~spec:Cpu_spec.base_server_e5 () in
+  {
+    sim;
+    rng;
+    params;
+    profile;
+    base_cores;
+    vswitch = Vswitch.create sim ~fabric ~cores:base_cores ();
+    storage;
+    board_pool =
+      Array.init boards (fun id ->
+          Board.create sim ~id ~spec:board_spec ~mem_gb:board_mem_gb ~profile ?dma_gbit_s ());
+    guests = [];
+  }
+
+let vswitch t = t.vswitch
+let base_cores t = t.base_cores
+let boards t = t.board_pool
+let profile t = t.profile
+
+let free_boards t =
+  Array.fold_left (fun acc b -> if Board.power b = Board.Off then acc + 1 else acc) 0 t.board_pool
+
+(* Net rings sized like a multiqueue device (8 queues x 256). *)
+let net_queue_size = 2048
+let rx_buffer_target = 1536
+
+let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.cloud_blk ())
+    ?(offload = false) () =
+  if List.mem_assoc name t.guests then Error (name ^ " already provisioned")
+  else
+    match Array.find_opt (fun b -> Board.power b = Board.Off) t.board_pool with
+    | None -> Error "no free compute board"
+    | Some board ->
+      Board.power_on board;
+      let sim = t.sim in
+      let p = t.params in
+      let os = Guest_os.default in
+      let spec = Board.spec board in
+      let cores = Board.cores board in
+      let memory = Board.memory board in
+      let tlb = Tlb.create () in
+      let iobond = Board.iobond board in
+      let net_port = Iobond.attach_net iobond ~queue_size:net_queue_size () in
+      let blk_port = Iobond.attach_blk iobond () in
+      let net = net_port.Iobond.net_device in
+      let blkdev = blk_port.Iobond.blk_device in
+      let rx_handler = ref (fun (_ : Packet.t) -> ()) in
+      let rx_drops = ref 0 in
+      let poll_mode = ref false in
+      let offload_table = if offload then Some (Offload.create ()) else None in
+
+      (* Guest-side interrupt handlers: genuine MSIs, no exits. *)
+      Virtio_net.set_interrupt net (fun () ->
+          Sim.spawn sim (fun () ->
+              (* Interrupt context preempts: it does not queue behind
+                 saturated application threads. *)
+              if !poll_mode then Sim.delay 500.0 (* PMD poll pickup *)
+              else Sim.delay os.Guest_os.irq_entry_ns;
+              ignore (Virtio_net.reap_tx net);
+              let pkts = Virtio_net.reap_rx net in
+              if Virtio_net.refill_rx net ~target:rx_buffer_target > 0 then
+                Queue_bridge.guest_notify net_port.Iobond.net_rx;
+              List.iter
+                (fun pkt ->
+                  let count = pkt.Packet.count in
+                  let stack_ns =
+                    if !poll_mode then Guest_os.dpdk_rx_ns_of os ~count
+                    else Guest_os.net_rx_ns os ~kind:pkt.Packet.protocol ~count
+                  in
+                  Cores.execute_ns cores stack_ns;
+                  !rx_handler pkt)
+                pkts));
+      Virtio_blk.set_interrupt blkdev (fun () ->
+          Sim.spawn sim (fun () ->
+              Sim.delay os.Guest_os.irq_entry_ns;
+              ignore (Virtio_blk.reap blkdev)));
+
+      (* The bm-hypervisor's device glue talks vhost-user to the cloud
+         backends, same as the vm path (§3.4.2). *)
+      let bring_up features =
+        let backend = Vhost_user.create ~backend_features:features () in
+        match Vhost_user.standard_handshake backend ~driver_features:features with
+        | Ok () -> backend
+        | Error e -> failwith ("vhost-user handshake failed: " ^ e)
+      in
+      let _vhost_net = bring_up Feature.default_net in
+      let _vhost_blk = bring_up Feature.default_blk in
+      (* Per-guest bm-hypervisor backend process: net tx. *)
+      let tx_hint = Sim.Channel.create () in
+      Queue_bridge.set_work_hint net_port.Iobond.net_tx (fun () -> Sim.Channel.send tx_hint ());
+      Sim.spawn sim (fun () ->
+          let rec loop () =
+            Sim.Channel.recv tx_hint;
+            let rec drain any =
+              match Queue_bridge.pop net_port.Iobond.net_tx with
+              | Some req ->
+                (* Bursts fan out to PMD workers (multiqueue). An
+                   offloaded flow never touches the base cores: the FPGA
+                   pipeline forwards it into the fabric (S6). *)
+                Sim.fork (fun () ->
+                    let pkt = req.Queue_bridge.payload in
+                    match
+                      Option.map (fun ot -> (ot, Offload.classify ot pkt)) offload_table
+                    with
+                    | Some (_, `Offloaded) ->
+                      Sim.delay (Offload.fpga_forward_ns *. float_of_int pkt.Packet.count);
+                      Queue_bridge.complete net_port.Iobond.net_tx req ~written:0 ();
+                      Queue_bridge.flush net_port.Iobond.net_tx;
+                      Vswitch.forward_hw t.vswitch pkt
+                    | Some (ot, `Slow_path) ->
+                      Cores.execute_ns t.base_cores
+                        (p.pmd_pkt_ns *. float_of_int pkt.Packet.count);
+                      Offload.install ot pkt;
+                      Queue_bridge.complete net_port.Iobond.net_tx req ~written:0 ();
+                      Queue_bridge.flush net_port.Iobond.net_tx;
+                      Vswitch.send t.vswitch pkt
+                    | None ->
+                      Cores.execute_ns t.base_cores
+                        (p.pmd_pkt_ns *. float_of_int pkt.Packet.count);
+                      Queue_bridge.complete net_port.Iobond.net_tx req ~written:0 ();
+                      Queue_bridge.flush net_port.Iobond.net_tx;
+                      Vswitch.send t.vswitch pkt);
+                drain true
+              | None -> any
+            in
+            ignore (drain false);
+            loop ()
+          in
+          loop ());
+
+      (* Net rx: vswitch delivery into posted guest buffers. *)
+      let rx_chan = Sim.Channel.create () in
+      let endpoint =
+        Vswitch.register t.vswitch ~deliver:(fun pkt -> Sim.Channel.send rx_chan pkt)
+      in
+      Sim.spawn sim (fun () ->
+          let rec loop () =
+            let pkt = Sim.Channel.recv rx_chan in
+            Sim.fork (fun () ->
+                Cores.execute_ns t.base_cores (p.pmd_pkt_ns *. float_of_int pkt.Packet.count);
+                match Queue_bridge.pop net_port.Iobond.net_rx with
+                | Some req ->
+                  Queue_bridge.complete net_port.Iobond.net_rx req ~payload:pkt
+                    ~written:pkt.Packet.size ();
+                  Queue_bridge.flush net_port.Iobond.net_rx
+                | None -> rx_drops := !rx_drops + pkt.Packet.count);
+            loop ()
+          in
+          loop ());
+
+      (* Blk backend: SPDK-style, one in-flight task per request. *)
+      let blk_hint = Sim.Channel.create () in
+      Queue_bridge.set_work_hint blk_port.Iobond.blk_queue (fun () ->
+          Sim.Channel.send blk_hint ());
+      Sim.spawn sim (fun () ->
+          let rec loop () =
+            Sim.Channel.recv blk_hint;
+            let rec drain () =
+              match Queue_bridge.pop blk_port.Iobond.blk_queue with
+              | Some req ->
+                Sim.fork (fun () ->
+                    let vreq = req.Queue_bridge.payload in
+                    Cores.execute_ns t.base_cores p.pmd_blk_ns;
+                    let op =
+                      match vreq.Virtio_blk.op with
+                      | Virtio_blk.Read -> `Read
+                      | Virtio_blk.Write -> `Write
+                      | Virtio_blk.Flush -> `Flush
+                    in
+                    Blockstore.serve t.storage ~op ~bytes_:vreq.Virtio_blk.bytes;
+                    let written =
+                      match vreq.Virtio_blk.op with
+                      | Virtio_blk.Read -> vreq.Virtio_blk.bytes + 1
+                      | Virtio_blk.Write | Virtio_blk.Flush -> 1
+                    in
+                    Queue_bridge.complete blk_port.Iobond.blk_queue req ~written ();
+                    Queue_bridge.flush blk_port.Iobond.blk_queue);
+                drain ()
+              | None -> ()
+            in
+            drain ();
+            loop ()
+          in
+          loop ());
+
+      (* Native execution, with the paper's ~4% board bonus. *)
+      let cpu_factor = 1.0 /. (1.0 +. p.bm_cpu_bonus) in
+      let exec_ns natural = Cores.execute_ns cores (natural *. cpu_factor) in
+      let exec_mem_ns ~working_set ~locality natural =
+        (* Native single-level page walks — no EPT on bare metal. *)
+        let factor = Ept.dilation_factor tlb ~virtualized:false ~working_set ~locality in
+        Cores.execute_ns cores (natural *. cpu_factor *. factor)
+      in
+      (* A doorbell to IO-Bond is an uncached MMIO store to the FPGA BAR:
+         ~300 ns of CPU stall per kick (a vm kick is a plain store into
+         shared memory). *)
+      let doorbell_cpu_ns = 300.0 in
+      let send pkt =
+        Cores.execute_ns cores
+          (Guest_os.net_tx_ns os ~kind:pkt.Packet.protocol ~count:pkt.Packet.count
+          +. doorbell_cpu_ns);
+        Limits.net_admit net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size;
+        Virtio_net.xmit net pkt
+      in
+      let send_dpdk pkt =
+        Cores.execute_ns cores
+          (Guest_os.dpdk_tx_ns_of os ~count:pkt.Packet.count +. doorbell_cpu_ns);
+        Limits.net_admit net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size;
+        Virtio_net.xmit net pkt
+      in
+      let blk ~op ~bytes_ =
+        Cores.execute_ns cores os.Guest_os.blk_submit_ns;
+        Limits.blk_admit blk_limits ~bytes_;
+        (* Completion latency (fio's clat): measured after admission. *)
+        let t0 = Sim.clock () in
+        let vop =
+          match op with
+          | `Read -> Virtio_blk.Read
+          | `Write -> Virtio_blk.Write
+          | `Flush -> Virtio_blk.Flush
+        in
+        let req = Virtio_blk.make_req ~op:vop ~sector:0 ~bytes:bytes_ ~now:(Sim.clock ()) in
+        if not (Virtio_blk.submit blkdev req) then Sim.delay 1_000.0
+        else ignore (Sim.Ivar.read req.Virtio_blk.done_);
+        Cores.execute_ns cores os.Guest_os.blk_complete_ns;
+        Sim.clock () -. t0
+      in
+      let probe () =
+        match Virtio_net.probe net with
+        | Error e -> Error e
+        | Ok () -> (
+          match Virtio_blk.probe blkdev with
+          | Error e -> Error e
+          | Ok () ->
+            Ok
+              (Virtio_pci.access_count (Virtio_net.pci net)
+              + Virtio_pci.access_count (Virtio_blk.pci blkdev)))
+      in
+      let instance =
+        {
+          Instance.name;
+          kind = Instance.Bare_metal t.profile;
+          spec;
+          endpoint;
+          cores;
+          memory;
+          os;
+          exec_ns;
+          exec_mem_ns;
+          mem_stream = (fun ~bytes_ -> Memory.transfer memory ~bytes_);
+          send;
+          send_dpdk;
+          set_rx_handler = (fun h -> rx_handler := h);
+          blk;
+          probe;
+          pause = (fun () -> ());
+          ipi = (fun () -> Cores.execute_ns cores 1_000.0);
+          set_poll_mode = (fun b -> poll_mode := b);
+          timer_arm = (fun () -> Cores.execute_ns cores 100.0);
+        }
+      in
+      let controls q =
+        {
+          bridge_pause = (fun () -> Queue_bridge.pause q);
+          bridge_resume = (fun () -> Queue_bridge.resume q);
+        }
+      in
+      let bridges =
+        [
+          controls net_port.Iobond.net_tx;
+          controls net_port.Iobond.net_rx;
+          { bridge_pause = (fun () -> Queue_bridge.pause blk_port.Iobond.blk_queue);
+            bridge_resume = (fun () -> Queue_bridge.resume blk_port.Iobond.blk_queue) };
+        ]
+      in
+      t.guests <-
+        (name, { instance; board; rx_drops; bridges; offload = offload_table; backend_version = 1 })
+        :: t.guests;
+      (* Post the initial rx buffers and mirror them into the shadow ring. *)
+      Sim.spawn sim (fun () ->
+          if Virtio_net.refill_rx net ~target:rx_buffer_target > 0 then
+            Queue_bridge.guest_notify net_port.Iobond.net_rx);
+      Ok instance
+
+let release t ~name =
+  match List.assoc_opt name t.guests with
+  | None -> ()
+  | Some state ->
+    Board.power_off state.board;
+    t.guests <- List.remove_assoc name t.guests
+
+let guest_board t ~name = Option.map (fun s -> s.board) (List.assoc_opt name t.guests)
+
+let rx_no_buffer_drops t ~name =
+  match List.assoc_opt name t.guests with Some s -> !(s.rx_drops) | None -> 0
+
+let offload_table t ~name =
+  match List.assoc_opt name t.guests with Some s -> s.offload | None -> None
+
+let backend_version t ~name =
+  match List.assoc_opt name t.guests with Some s -> s.backend_version | None -> 0
+
+(* Orthus-style live upgrade (§6): the bm-hypervisor is an ordinary
+   user-space process per guest and all queue state lives in the shared
+   shadow vrings, so upgrading is: pause the bridges, let the new
+   process map the rings (the handover blackout), bump the version,
+   resume. Requests issued during the blackout accumulate in the shadow
+   rings and are drained on resume; the guest never notices beyond a
+   latency blip. Must be called from a simulation process. *)
+let live_upgrade t ~name ?(handover_ns = 200_000.0) () =
+  match List.assoc_opt name t.guests with
+  | None -> Error (name ^ " not provisioned")
+  | Some state ->
+    List.iter (fun b -> b.bridge_pause ()) state.bridges;
+    Sim.delay handover_ns;
+    state.backend_version <- state.backend_version + 1;
+    List.iter (fun b -> b.bridge_resume ()) state.bridges;
+    Ok state.backend_version

@@ -1,0 +1,80 @@
+(** The bm-hypervisor: a BM-Hive base server (§3.2–3.4, Fig. 2 right).
+
+    The base is a simplified 16-core Xeon server. The bm-hypervisor is a
+    user-space process per guest (§3.2: "Every bm-hypervisor process
+    provides service to one bm-guest only for better isolation") that
+    polls the guest's IO-Bond shadow rings and bridges them to the DPDK
+    vswitch and the SPDK cloud storage. It never virtualizes CPU or
+    memory — guests run natively on their compute boards — and it only
+    talks to guests through the virtio rings, never through hypercalls. *)
+
+type server
+
+type params = {
+  pmd_pkt_ns : float;  (** backend per-packet service cost on base cores *)
+  pmd_blk_ns : float;  (** backend per-block-request service cost *)
+  bm_cpu_bonus : float;  (** §4.2: bm boards measured ~4%% faster than the
+                             reference physical server (different
+                             manufacturer/configuration) *)
+}
+
+val default_params : params
+
+val create_server :
+  Bm_engine.Sim.t ->
+  Bm_engine.Rng.t ->
+  fabric:Bm_cloud.Vswitch.fabric ->
+  storage:Bm_cloud.Blockstore.t ->
+  ?profile:Bm_iobond.Profile.t ->
+  ?board_spec:Bm_hw.Cpu_spec.t ->
+  ?board_mem_gb:int ->
+  ?boards:int ->
+  ?dma_gbit_s:float ->
+  ?params:params ->
+  unit ->
+  server
+(** Default server: FPGA IO-Bond, 8 Xeon E5-2682 v4 boards with 64 GB
+    (the head-to-head configuration of §4; a server takes up to 16
+    boards, §3.3). *)
+
+val vswitch : server -> Bm_cloud.Vswitch.t
+val base_cores : server -> Bm_hw.Cores.t
+val boards : server -> Bm_guest.Board.t array
+val free_boards : server -> int
+val profile : server -> Bm_iobond.Profile.t
+
+val provision :
+  server ->
+  name:string ->
+  ?net_limits:Bm_cloud.Limits.net ->
+  ?blk_limits:Bm_cloud.Limits.blk ->
+  ?offload:bool ->
+  unit ->
+  (Bm_guest.Instance.t, string) result
+(** Power on a free compute board, attach its IO-Bond virtio devices,
+    start the per-guest backend process, and return the instance handle.
+    Limits default to the cloud-standard ones (§4.1). With [offload]
+    (default false), IO-Bond classifies tx flows and forwards known ones
+    entirely in hardware (§6). *)
+
+val release : server -> name:string -> unit
+(** Power the board off and return it to the free pool. *)
+
+val guest_board : server -> name:string -> Bm_guest.Board.t option
+
+val offload_table : server -> name:string -> Bm_iobond.Offload.t option
+(** The guest's flow-offload engine when provisioned with [~offload]. *)
+
+val rx_no_buffer_drops : server -> name:string -> int
+(** Packets dropped because the guest had no posted rx buffers. *)
+
+val backend_version : server -> name:string -> int
+(** Version of the guest's bm-hypervisor backend process (1 at
+    provisioning; bumped by {!live_upgrade}). 0 if unknown. *)
+
+val live_upgrade : server -> name:string -> ?handover_ns:float -> unit -> (int, string) result
+(** Orthus-style live upgrade of a guest's bm-hypervisor process (§6):
+    pause the queue bridges, hand the shadow-ring state to the new
+    process (a [handover_ns] blackout, default 200 µs), resume. In-flight
+    and newly issued requests survive in the shadow rings. Returns the
+    new backend version. Must be called from a simulation process. *)

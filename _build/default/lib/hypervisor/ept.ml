@@ -1,0 +1,12 @@
+let accesses_per_ns = 0.5
+
+let dilation_factor tlb ~virtualized ~working_set ~locality =
+  let per_access =
+    Bm_hw.Tlb.avg_overhead_ns tlb ~virtualized ~working_set_bytes:working_set ~locality
+  in
+  1.0 +. (per_access *. accesses_per_ns)
+
+let vm_overhead tlb ~working_set ~locality =
+  dilation_factor tlb ~virtualized:true ~working_set ~locality
+  /. dilation_factor tlb ~virtualized:false ~working_set ~locality
+  -. 1.0

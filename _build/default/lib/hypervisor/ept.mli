@@ -1,0 +1,22 @@
+(** Memory-virtualization (EPT/two-dimensional paging) overhead.
+
+    A TLB miss under nested paging walks both the guest page table and
+    the EPT — up to 24 memory accesses versus 4 natively (§5, [31]).
+    This module turns a workload's memory profile into the execution-time
+    dilation a vm-guest experiences, using the shared {!Bm_hw.Tlb}
+    model. *)
+
+val accesses_per_ns : float
+(** Memory accesses issued per ns of compute on the reference core
+    (~one access every 2 ns for integer server code). *)
+
+val dilation_factor :
+  Bm_hw.Tlb.t -> virtualized:bool -> working_set:float -> locality:float -> float
+(** Multiplicative execution-time factor (≥ 1). For [virtualized:false]
+    this is the native page-walk cost, already part of baseline
+    performance; the vm overhead is the ratio of the two factors. *)
+
+val vm_overhead :
+  Bm_hw.Tlb.t -> working_set:float -> locality:float -> float
+(** Fractional slowdown of a vm-guest versus native for this profile:
+    [factor(virt)/factor(native) - 1]. *)

@@ -1,0 +1,78 @@
+open Bm_engine
+
+type workload_class = Idle | Web | Database | Cache | Hpc | Io_heavy
+
+(* Mixture calibrated against Table 2: 3.82% of VMs above 10K exits/s,
+   0.37% above 50K, 0.13% above 100K. Most of the fleet barely exits;
+   a small I/O-heavy population carries the tail. *)
+let class_mix =
+  [ (Idle, 0.35); (Web, 0.38); (Database, 0.15); (Cache, 0.07); (Hpc, 0.02); (Io_heavy, 0.03) ]
+
+let sample_class rng =
+  let u = Rng.float rng 1.0 in
+  let rec pick acc = function
+    | [] -> Io_heavy
+    | (cls, p) :: rest -> if u < acc +. p then cls else pick (acc +. p) rest
+  in
+  pick 0.0 class_mix
+
+(* Exit-rate medians (per second per vCPU) and lognormal shapes. *)
+let rate_params = function
+  | Idle -> (30.0, 1.0)
+  | Web -> (600.0, 1.0)
+  | Database -> (1_800.0, 1.0)
+  | Cache -> (3_500.0, 1.1)
+  | Hpc -> (300.0, 0.8)
+  | Io_heavy -> (9_000.0, 1.35)
+
+let sample_exit_rate rng cls =
+  let median, sigma = rate_params cls in
+  Rng.lognormal rng ~median ~sigma
+
+type exit_survey = { vms : int; over_10k : float; over_50k : float; over_100k : float }
+
+let survey_exits rng ~vms =
+  assert (vms > 0);
+  let over_10k = ref 0 and over_50k = ref 0 and over_100k = ref 0 in
+  for _ = 1 to vms do
+    let rate = sample_exit_rate rng (sample_class rng) in
+    if rate > 10_000.0 then incr over_10k;
+    if rate > 50_000.0 then incr over_50k;
+    if rate > 100_000.0 then incr over_100k
+  done;
+  let frac r = float_of_int !r /. float_of_int vms in
+  { vms; over_10k = frac over_10k; over_50k = frac over_50k; over_100k = frac over_100k }
+
+type preempt_window = {
+  hour : int;
+  shared_p99 : float;
+  shared_p999 : float;
+  exclusive_p99 : float;
+  exclusive_p999 : float;
+}
+
+(* Datacenter host load: a mild diurnal swing around ~0.55. *)
+let diurnal_load ~hour =
+  let phase = float_of_int ((hour + 18) mod 24) /. 24.0 *. 2.0 *. Float.pi in
+  0.55 +. (0.25 *. sin phase)
+
+let percentile_of_array a p =
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (Float.of_int n *. p /. 100.0) in
+  a.(min (n - 1) rank)
+
+let survey_preemption rng ~vms ~hours =
+  assert (vms > 1 && hours > 0);
+  List.init hours (fun hour ->
+      let host_load = diurnal_load ~hour in
+      let draw mode = Array.init vms (fun _ -> Preempt.sample_window_fraction rng ~mode ~host_load) in
+      let shared = draw Preempt.Shared in
+      let exclusive = draw Preempt.Exclusive in
+      {
+        hour;
+        shared_p99 = percentile_of_array shared 99.0;
+        shared_p999 = percentile_of_array shared 99.9;
+        exclusive_p99 = percentile_of_array exclusive 99.0;
+        exclusive_p999 = percentile_of_array exclusive 99.9;
+      })

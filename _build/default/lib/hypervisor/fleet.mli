@@ -1,0 +1,45 @@
+(** Fleet-scale Monte-Carlo telemetry (Table 2, Fig. 1).
+
+    The paper measures 300,000 production VMs for five minutes (Table 2:
+    VM exits per second per vCPU) and 20,000 VMs for 24 hours (Fig. 1:
+    preemption percentiles). We cannot replay production traces, so this
+    module samples the same statistics from the mechanism models: each VM
+    draws a workload class, the class implies an exit-rate distribution
+    (and interacts with the host-load model for preemption). *)
+
+type workload_class = Idle | Web | Database | Cache | Hpc | Io_heavy
+
+val class_mix : (workload_class * float) list
+(** Population mixture (sums to 1). *)
+
+val sample_class : Bm_engine.Rng.t -> workload_class
+
+val sample_exit_rate : Bm_engine.Rng.t -> workload_class -> float
+(** Exits per second per vCPU for one VM of this class. *)
+
+type exit_survey = {
+  vms : int;
+  over_10k : float;  (** fraction of VMs with > 10K exits/s/vCPU *)
+  over_50k : float;
+  over_100k : float;
+}
+
+val survey_exits : Bm_engine.Rng.t -> vms:int -> exit_survey
+(** Reproduces Table 2 (paper: 3.82%% / 0.37%% / 0.13%%). *)
+
+type preempt_window = {
+  hour : int;
+  shared_p99 : float;
+  shared_p999 : float;
+  exclusive_p99 : float;
+  exclusive_p999 : float;
+}
+
+val survey_preemption :
+  Bm_engine.Rng.t -> vms:int -> hours:int -> preempt_window list
+(** Reproduces Fig. 1: per hour of the day, the p99/p99.9 preemption
+    fraction across the fleet, for shareable and exclusive VMs. Host
+    load follows a diurnal curve. *)
+
+val diurnal_load : hour:int -> float
+(** The host-load curve used by {!survey_preemption}. *)

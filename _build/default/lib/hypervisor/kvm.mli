@@ -1,0 +1,72 @@
+(** The vm-hypervisor: a KVM/QEMU-class host (§2, Fig. 2 left).
+
+    A host reserves a slice of its hardware threads for the hypervisor
+    and host OS (8 HT, §3.5) — that slice runs the vhost-user poll-mode
+    backends and the DPDK vswitch. Guests get dedicated vCPU pools
+    (high-end instances are pinned, §2.1) but still pay the
+    virtualization mechanisms: trapped config accesses, EPT page walks on
+    memory-intensive work, interrupt injection on the I/O completion
+    path, extra CPU copies on the storage path, and host-task
+    preemption. *)
+
+type host
+
+type params = {
+  cpu_overhead : float;  (** residual dilation of pure CPU work (world switches) *)
+  mem_tax : float;  (** memory-bandwidth tax under load (§4.2: vm ≈ 98%) *)
+  vhost_pkt_ns : float;  (** vhost-user per-packet service cost on host cores *)
+  vblk_req_ns : float;  (** vhost-blk per-request service cost *)
+  vblk_sched_ns : float;
+      (** host block-layer + event-loop scheduling latency per request
+          (eventfd wake-up on submit, completion softirq on the way back) *)
+  vblk_hiccup_p : float;  (** probability of a host block-layer stall per request *)
+  vblk_hiccup_scale_ns : float;  (** Pareto scale of such a stall *)
+  copy_gb_s : float;  (** CPU memcpy bandwidth for the storage data copies *)
+  injection_ns : float;  (** guest-side cost of one injected interrupt (exit+entry) *)
+}
+
+val default_params : params
+
+val create_host :
+  Bm_engine.Sim.t ->
+  Bm_engine.Rng.t ->
+  fabric:Bm_cloud.Vswitch.fabric ->
+  storage:Bm_cloud.Blockstore.t ->
+  ?spec:Bm_hw.Cpu_spec.t ->
+  ?sockets:int ->
+  ?params:params ->
+  unit ->
+  host
+(** Default host: two sockets of Xeon E5-2682 v4 (the §4.2 comparison
+    server), 8 HT reserved for the hypervisor. *)
+
+val vswitch : host -> Bm_cloud.Vswitch.t
+val sellable_threads : host -> int
+val service_cores : host -> Bm_hw.Cores.t
+
+type vm_config = {
+  name : string;
+  vcpus : int;
+  mem_gb : int;
+  pinning : Preempt.mode;
+  host_load : float;  (** busyness of the host's service cores *)
+  net_limits : Bm_cloud.Limits.net;
+  blk_limits : Bm_cloud.Limits.blk;
+  nested : bool;  (** run the user's own hypervisor inside (§2.3) *)
+  halt_polling : bool;
+      (** KVM's halt-polling (on by default, as deployed): polls for wake
+          conditions before descheduling an idle vCPU, avoiding a host
+          scheduling round trip on every interrupt delivery (§5) *)
+}
+
+val default_config : name:string -> vm_config
+(** 32 vCPUs, 64 GB, exclusive pinning, cloud-standard limits. *)
+
+val create_vm : host -> vm_config -> Bm_guest.Instance.t
+(** Provision a vm-guest: builds its vCPU pool, virtio devices, vhost
+    backend threads, and returns the uniform instance handle. *)
+
+val exit_counters : host -> name:string -> Vmexit.counters option
+(** Per-VM exit telemetry. *)
+
+val preempt_of : host -> name:string -> Preempt.t option

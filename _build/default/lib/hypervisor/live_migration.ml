@@ -1,0 +1,80 @@
+open Bm_engine
+open Bm_guest
+
+type injected = {
+  sim : Sim.t;
+  base : Instance.t;
+  wrapped : Instance.t;
+  tlb : Bm_hw.Tlb.t;
+}
+
+(* Inserting the layer shadows the guest's page tables: a brief stall. *)
+let insertion_stall_ns = 50e6
+
+let inject sim rng base =
+  match base.Instance.kind with
+  | Instance.Virtual -> Error "already virtualized"
+  | Instance.Physical -> Error "not a cloud instance"
+  | Instance.Bare_metal _ ->
+    Sim.delay insertion_stall_ns;
+    let tlb = Bm_hw.Tlb.create () in
+    let preempt = Preempt.create sim rng ~mode:Preempt.Exclusive ~host_load:0.3 () in
+    (* The thin layer adds EPT-style paging and occasional traps on what
+       used to be a native guest. *)
+    let wrapped =
+      {
+        base with
+        Instance.kind = Instance.Virtual;
+        exec_ns = (fun natural -> base.Instance.exec_ns (natural *. 1.02));
+        exec_mem_ns =
+          (fun ~working_set ~locality natural ->
+            let factor = Ept.dilation_factor tlb ~virtualized:true ~working_set ~locality in
+            base.Instance.exec_ns (natural *. factor));
+        pause = (fun () -> Preempt.maybe_steal preempt);
+      }
+    in
+    Ok { sim; base; wrapped; tlb }
+
+let as_instance t = t.wrapped
+
+type migration_stats = {
+  precopy_rounds : int;
+  bytes_copied : float;
+  blackout_ns : float;
+  total_ns : float;
+}
+
+let max_rounds = 12
+let target_blackout_ns = 10e6
+
+let migrate (t : injected) ?(link_gb_s = 12.5) ~dirty_rate_gb_s ~mem_gb () =
+  ignore t.base;
+  if dirty_rate_gb_s < 0.0 || mem_gb <= 0 then Error "bad migration parameters"
+  else if dirty_rate_gb_s >= link_gb_s then
+    Error "guest dirties memory faster than the link can copy: will never converge"
+  else begin
+    let t0 = Sim.clock () in
+    let link_b_ns = link_gb_s in
+    (* Iterative pre-copy: each round copies what the previous round left
+       dirty; dirtying continues while copying. *)
+    let rec rounds n remaining copied =
+      let copy_ns = remaining /. link_b_ns in
+      Sim.delay copy_ns;
+      let copied = copied +. remaining in
+      let dirtied = copy_ns *. dirty_rate_gb_s in
+      if dirtied /. link_b_ns <= target_blackout_ns || n + 1 >= max_rounds then (n + 1, dirtied, copied)
+      else rounds (n + 1) dirtied copied
+    in
+    let total_bytes = float_of_int mem_gb *. 1e9 in
+    let precopy_rounds, remainder, copied = rounds 0 total_bytes 0.0 in
+    (* Stop-and-copy blackout for the final remainder. *)
+    let blackout_ns = remainder /. link_b_ns in
+    Sim.delay blackout_ns;
+    Ok
+      {
+        precopy_rounds;
+        bytes_copied = copied +. remainder;
+        blackout_ns;
+        total_ns = Sim.clock () -. t0;
+      }
+  end

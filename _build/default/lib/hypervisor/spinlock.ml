@@ -1,0 +1,42 @@
+open Bm_engine
+open Bm_guest
+
+type t = {
+  instance : Instance.t;
+  lock : Sim.Resource.resource;
+  mutable acquisitions : int;
+  mutable total_spin_ns : float;
+  mutable worst_wait_ns : float;
+}
+
+type stats = { acquisitions : int; total_spin_ns : float; worst_wait_ns : float }
+
+let create instance =
+  {
+    instance;
+    lock = Sim.Resource.create ~capacity:1;
+    acquisitions = 0;
+    total_spin_ns = 0.0;
+    worst_wait_ns = 0.0;
+  }
+
+let critical_section t ~work_ns =
+  assert (work_ns >= 0.0);
+  let t0 = Sim.clock () in
+  Sim.Resource.acquire t.lock;
+  let waited = Sim.clock () -. t0 in
+  (* The waiter's vCPU spun for the whole wait: account the burned CPU
+     (it is wall-clock-concurrent with the wait, so no extra delay). *)
+  if waited > 0.0 then begin
+    t.total_spin_ns <- t.total_spin_ns +. waited;
+    if waited > t.worst_wait_ns then t.worst_wait_ns <- waited
+  end;
+  t.acquisitions <- t.acquisitions + 1;
+  (* The holder may lose the CPU mid-section — harmless natively, an
+     amplifier under virtualization because every waiter keeps spinning. *)
+  t.instance.Instance.pause ();
+  t.instance.Instance.exec_ns work_ns;
+  Sim.Resource.release t.lock
+
+let stats (t : t) =
+  { acquisitions = t.acquisitions; total_spin_ns = t.total_spin_ns; worst_wait_ns = t.worst_wait_ns }

@@ -1,0 +1,64 @@
+type reason =
+  | Ept_violation
+  | Msr_access
+  | Ipi
+  | Io_instruction
+  | Hlt
+  | External_interrupt
+  | Interrupt_window
+  | Cpuid
+
+let handle_ns = function
+  | Ept_violation -> 12_000.0
+  | Msr_access -> 9_000.0
+  | Ipi -> 10_000.0
+  | Io_instruction -> 10_000.0
+  | Hlt -> 4_000.0
+  | External_interrupt -> 6_000.0
+  | Interrupt_window -> 5_000.0
+  | Cpuid -> 3_000.0
+
+let observable_threshold_per_s = 5_000.0
+
+let all =
+  [ Ept_violation; Msr_access; Ipi; Io_instruction; Hlt; External_interrupt; Interrupt_window; Cpuid ]
+
+let index = function
+  | Ept_violation -> 0
+  | Msr_access -> 1
+  | Ipi -> 2
+  | Io_instruction -> 3
+  | Hlt -> 4
+  | External_interrupt -> 5
+  | Interrupt_window -> 6
+  | Cpuid -> 7
+
+type counters = { counts : int array; mutable time_ns : float }
+
+let create_counters () = { counts = Array.make (List.length all) 0; time_ns = 0.0 }
+
+let record t reason =
+  t.counts.(index reason) <- t.counts.(index reason) + 1;
+  t.time_ns <- t.time_ns +. handle_ns reason
+
+let count t reason = t.counts.(index reason)
+let total t = Array.fold_left ( + ) 0 t.counts
+let total_time_ns t = t.time_ns
+
+let rate_per_s t ~elapsed_ns = if elapsed_ns <= 0.0 then nan else float_of_int (total t) /. (elapsed_ns /. 1e9)
+
+let name = function
+  | Ept_violation -> "ept"
+  | Msr_access -> "msr"
+  | Ipi -> "ipi"
+  | Io_instruction -> "io"
+  | Hlt -> "hlt"
+  | External_interrupt -> "extint"
+  | Interrupt_window -> "injection"
+  | Cpuid -> "cpuid"
+
+let pp fmt t =
+  Format.fprintf fmt "exits=%d time=%.1fus" (total t) (t.time_ns /. 1e3);
+  List.iter
+    (fun r -> if count t r > 0 then Format.fprintf fmt " %s=%d" (name r) (count t r))
+    all

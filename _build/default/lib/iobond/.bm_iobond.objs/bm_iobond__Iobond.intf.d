@@ -1,0 +1,1 @@
+lib/iobond/iobond.mli: Bm_engine Bm_hw Bm_virtio Mailbox Profile Queue_bridge

@@ -1,0 +1,1 @@
+lib/iobond/mailbox.mli: Bm_engine Bm_hw

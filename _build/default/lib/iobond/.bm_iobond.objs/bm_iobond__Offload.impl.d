@@ -1,0 +1,1 @@
+lib/iobond/offload.ml: Bm_virtio Hashtbl List Packet Queue

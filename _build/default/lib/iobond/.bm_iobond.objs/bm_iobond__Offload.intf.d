@@ -1,0 +1,1 @@
+lib/iobond/offload.mli: Bm_virtio

@@ -1,0 +1,1 @@
+lib/iobond/profile.ml: Format

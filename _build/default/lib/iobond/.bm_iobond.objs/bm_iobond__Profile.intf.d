@@ -1,0 +1,1 @@
+lib/iobond/profile.mli: Format

@@ -1,0 +1,1 @@
+lib/iobond/queue_bridge.mli: Bm_engine Bm_hw Bm_virtio Mailbox

@@ -1,0 +1,81 @@
+open Bm_engine
+open Bm_hw
+open Bm_virtio
+
+type t = {
+  sim : Sim.t;
+  profile : Profile.t;
+  base_link : Pcie.t;
+  net_link : Pcie.t;
+  blk_link : Pcie.t;
+  dma : Dma.t;
+  mailbox : Mailbox.t;
+}
+
+type net_port = {
+  net_device : Virtio_net.t;
+  net_tx : Packet.t Queue_bridge.t;
+  net_rx : Packet.t Queue_bridge.t;
+}
+
+type blk_port = { blk_device : Virtio_blk.t; blk_queue : Virtio_blk.req Queue_bridge.t }
+
+let create sim ~profile ?dma_gbit_s () =
+  let register_ns = Profile.register_ns profile in
+  let base_link = Pcie.x8 sim ~register_ns in
+  let gbit_s = Option.value dma_gbit_s ~default:(Profile.dma_gbit_s profile) in
+  {
+    sim;
+    profile;
+    base_link;
+    net_link = Pcie.x4 sim ~register_ns;
+    blk_link = Pcie.x4 sim ~register_ns;
+    dma = Dma.create sim ~gbit_s ~setup_ns:(Profile.dma_setup_ns profile) ();
+    mailbox = Mailbox.create sim ~base_link;
+  }
+
+let profile t = t.profile
+let mailbox t = t.mailbox
+let base_link t = t.base_link
+let net_link t = t.net_link
+let blk_link t = t.blk_link
+let dma t = t.dma
+
+let pci_access_ns t = Profile.pci_emulation_ns t.profile
+
+(* Emulated config access: the guest blocks for both register hops, and
+   the access is signalled through the mailbox pair. *)
+let on_pci_access t () =
+  Mailbox.notify_pci_access t.mailbox;
+  Sim.delay (pci_access_ns t)
+
+let attach_net t ?queue_size () =
+  let device = Virtio_net.create ?queue_size ~on_access:(on_pci_access t) () in
+  let bridge name guest =
+    Queue_bridge.create t.sim ~name ~guest ~dma:t.dma ~guest_link:t.net_link
+      ~base_link:t.base_link ~mailbox:t.mailbox
+  in
+  let net_tx = bridge "net-tx" (Virtio_net.tx_ring device) in
+  let net_rx = bridge "net-rx" (Virtio_net.rx_ring device) in
+  Virtio_net.set_notify device
+    ~tx:(fun () -> Queue_bridge.guest_notify net_tx)
+    ~rx:(fun () -> Queue_bridge.guest_notify net_rx);
+  Queue_bridge.set_guest_interrupt net_tx (fun () -> Virtio_net.fire_interrupt device);
+  Queue_bridge.set_guest_interrupt net_rx (fun () -> Virtio_net.fire_interrupt device);
+  { net_device = device; net_tx; net_rx }
+
+let attach_blk t ?queue_size () =
+  let device = Virtio_blk.create ?queue_size ~on_access:(on_pci_access t) () in
+  let blk_queue =
+    Queue_bridge.create t.sim ~name:"blk" ~guest:(Virtio_blk.ring device) ~dma:t.dma
+      ~guest_link:t.blk_link ~base_link:t.base_link ~mailbox:t.mailbox
+  in
+  Virtio_blk.set_notify device (fun () -> Queue_bridge.guest_notify blk_queue);
+  Queue_bridge.set_guest_interrupt blk_queue (fun () -> Virtio_blk.fire_interrupt device);
+  { blk_device = device; blk_queue }
+
+let attach_vga t =
+  Virtio_pci.create ~kind:Virtio_pci.Vga ~num_queues:1 ~queue_size:2
+    ~on_access:(on_pci_access t)
+
+let max_guest_gbit_s t = Dma.gbit_s t.dma

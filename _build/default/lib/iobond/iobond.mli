@@ -1,0 +1,55 @@
+(** IO-Bond: the FPGA (or ASIC) bridging one compute board to the base.
+
+    One IO-Bond instance serves one bm-guest (§3.3). It exposes a PCIe x4
+    interface each for the virtio network and storage devices on the
+    compute-board side, backed by a PCIe x8 interface to the
+    bm-hypervisor, with a ~50 Gbit/s internal DMA engine (§3.4.3).
+    Emulated PCI config accesses are forwarded through the mailbox pair
+    at a constant cost of two register hops.
+
+    Use {!attach_net}/{!attach_blk} to instantiate virtio devices whose
+    queues are bridged through shadow vrings; the returned ports give the
+    guest side (the virtio device) and the hypervisor side (the queue
+    bridges). *)
+
+type t
+
+type net_port = {
+  net_device : Bm_virtio.Virtio_net.t;
+  net_tx : Bm_virtio.Packet.t Queue_bridge.t;
+  net_rx : Bm_virtio.Packet.t Queue_bridge.t;
+}
+
+type blk_port = {
+  blk_device : Bm_virtio.Virtio_blk.t;
+  blk_queue : Bm_virtio.Virtio_blk.req Queue_bridge.t;
+}
+
+val create : Bm_engine.Sim.t -> profile:Profile.t -> ?dma_gbit_s:float -> unit -> t
+(** [dma_gbit_s] overrides the profile's 50 Gbit/s engine — used by the
+    DMA-sizing ablation. *)
+
+val profile : t -> Profile.t
+val mailbox : t -> Mailbox.t
+val base_link : t -> Bm_hw.Pcie.t
+val net_link : t -> Bm_hw.Pcie.t
+val blk_link : t -> Bm_hw.Pcie.t
+val dma : t -> Bm_hw.Dma.t
+
+val attach_net : t -> ?queue_size:int -> unit -> net_port
+(** Create the virtio-net device: PCI accesses cost
+    [Profile.pci_emulation_ns]; tx/rx kicks ring the bridge doorbells. *)
+
+val attach_blk : t -> ?queue_size:int -> unit -> blk_port
+
+val attach_vga : t -> Bm_virtio.Virtio_pci.t
+(** The console device (§3.4.2 mentions a VGA device for users to reach
+    the bm-guest console). Config-space only. *)
+
+val pci_access_ns : t -> float
+(** Guest-visible cost of one emulated PCI access (1.6 µs on the FPGA,
+    0.4 µs projected for the ASIC). *)
+
+val max_guest_gbit_s : t -> float
+(** Upper bound of a guest's combined I/O bandwidth: the DMA engine's
+    50 Gbit/s (§3.4.3). *)

@@ -1,0 +1,51 @@
+open Bm_engine
+open Bm_hw
+
+type t = {
+  sim : Sim.t;
+  base_link : Pcie.t;
+  mutable heads : int array;
+  mutable tails : int array;
+  mutable rings : int;
+  mutable pci_accesses : int;
+  mutable tail_writes : int;
+}
+
+let create sim ~base_link =
+  { sim; base_link; heads = Array.make 8 0; tails = Array.make 8 0; rings = 0; pci_accesses = 0; tail_writes = 0 }
+
+let ring_count t = t.rings
+
+let grow arr n = if n <= Array.length arr then arr else Array.append arr (Array.make n 0)
+
+let alloc_ring t =
+  let i = t.rings in
+  t.rings <- t.rings + 1;
+  t.heads <- grow t.heads t.rings;
+  t.tails <- grow t.tails t.rings;
+  i
+
+let check t i = if i < 0 || i >= t.rings then invalid_arg "Mailbox: bad ring index"
+
+let head t i =
+  check t i;
+  t.heads.(i)
+
+let set_head t i v =
+  check t i;
+  t.heads.(i) <- v
+
+let tail t i =
+  check t i;
+  t.tails.(i)
+
+let write_tail t i v =
+  check t i;
+  Pcie.register_access t.base_link;
+  t.tails.(i) <- v;
+  t.tail_writes <- t.tail_writes + 1
+
+let notify_pci_access t = t.pci_accesses <- t.pci_accesses + 1
+
+let pci_access_count t = t.pci_accesses
+let tail_writes t = t.tail_writes

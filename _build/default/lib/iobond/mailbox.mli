@@ -1,0 +1,37 @@
+(** IO-Bond's register file toward the bm-hypervisor.
+
+    A pair of mailbox registers signals guest PCI accesses; each shadow
+    vring has a head register (written by IO-Bond as it mirrors guest
+    requests) and a tail register (written by the bm-hypervisor as it
+    completes them) (§3.4.3). Head values are also mirrored into the
+    shared shadow-ring buffer, so the hypervisor's poll-mode thread reads
+    them from host memory; writes toward IO-Bond cross the base PCIe link
+    and cost a register hop. *)
+
+type t
+
+val create : Bm_engine.Sim.t -> base_link:Bm_hw.Pcie.t -> t
+
+val ring_count : t -> int
+val alloc_ring : t -> int
+(** Register a shadow vring; returns its index. *)
+
+val head : t -> int -> int
+(** Current head (shadow avail index) for ring [i]; a cheap host-memory
+    read for the poll-mode thread. *)
+
+val set_head : t -> int -> int -> unit
+(** IO-Bond side: publish a new head value (free: the FPGA owns it and
+    DMA-mirrors it with the ring data). *)
+
+val tail : t -> int -> int
+
+val write_tail : t -> int -> int -> unit
+(** Hypervisor side: posted register write across the base link —
+    delays the calling process by the link's register latency. *)
+
+val notify_pci_access : t -> unit
+(** Count one guest PCI access forwarded through the mailbox pair. *)
+
+val pci_access_count : t -> int
+val tail_writes : t -> int

@@ -1,0 +1,74 @@
+open Bm_virtio
+
+type flow = { f_src : int; f_dst : int; f_proto : int }
+
+type t = {
+  cap : int;
+  table : (flow, unit) Hashtbl.t;
+  order : flow Queue.t; (* installation order, for eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let fpga_forward_ns = 120.0
+
+let create ?(capacity = 2048) () =
+  assert (capacity > 0);
+  {
+    cap = capacity;
+    table = Hashtbl.create capacity;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let occupancy t = Hashtbl.length t.table
+
+let proto_id = function Packet.Udp -> 0 | Packet.Tcp -> 1 | Packet.Icmp -> 2
+
+let flow_of (pkt : Packet.t) =
+  { f_src = pkt.Packet.src; f_dst = pkt.Packet.dst; f_proto = proto_id pkt.Packet.protocol }
+
+let classify t pkt =
+  if Hashtbl.mem t.table (flow_of pkt) then begin
+    t.hits <- t.hits + pkt.Packet.count;
+    `Offloaded
+  end
+  else begin
+    t.misses <- t.misses + pkt.Packet.count;
+    `Slow_path
+  end
+
+let rec evict_to_fit t =
+  if Hashtbl.length t.table >= t.cap then begin
+    match Queue.take_opt t.order with
+    | Some victim ->
+      if Hashtbl.mem t.table victim then begin
+        Hashtbl.remove t.table victim;
+        t.evictions <- t.evictions + 1
+      end;
+      evict_to_fit t
+    | None -> ()
+  end
+
+let install t pkt =
+  let flow = flow_of pkt in
+  if not (Hashtbl.mem t.table flow) then begin
+    evict_to_fit t;
+    Hashtbl.replace t.table flow ();
+    Queue.add flow t.order
+  end
+
+let remove_flow t ~src ~dst =
+  List.iter
+    (fun f_proto ->
+      let flow = { f_src = src; f_dst = dst; f_proto } in
+      Hashtbl.remove t.table flow)
+    [ 0; 1; 2 ]
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

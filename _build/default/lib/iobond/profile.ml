@@ -1,0 +1,8 @@
+type t = Fpga | Asic
+
+let register_ns = function Fpga -> 800.0 | Asic -> 200.0
+let pci_emulation_ns t = 2.0 *. register_ns t
+let dma_gbit_s = function Fpga | Asic -> 50.0
+let dma_setup_ns = function Fpga -> 250.0 | Asic -> 100.0
+let name = function Fpga -> "FPGA" | Asic -> "ASIC"
+let pp fmt t = Format.pp_print_string fmt (name t)

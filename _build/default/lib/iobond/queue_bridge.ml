@@ -1,0 +1,163 @@
+open Bm_engine
+open Bm_hw
+open Bm_virtio
+
+let desc_bytes = 16
+let used_elem_bytes = 8
+
+type 'a request = { token : int; out_bytes : int; in_bytes : int; payload : 'a }
+
+type 'a t = {
+  sim : Sim.t;
+  name : string;
+  guest : 'a Vring.t;
+  shadow : (int * 'a) Vring.t; (* payload tagged with the guest head *)
+  dma : Dma.t;
+  guest_link : Pcie.t;
+  base_link : Pcie.t;
+  mailbox : Mailbox.t;
+  ring_index : int;
+  mutable guest_irq : unit -> unit;
+  mutable work_hint : unit -> unit;
+  mutable paused : bool;
+  mutable forward_running : bool;
+  mutable backward_running : bool;
+  mutable forwarded : int;
+  mutable completed : int;
+  mutable interrupts : int;
+}
+
+let create sim ~name ~guest ~dma ~guest_link ~base_link ~mailbox =
+  {
+    sim;
+    name;
+    guest;
+    shadow = Vring.create ~size:(Vring.size guest);
+    dma;
+    guest_link;
+    base_link;
+    mailbox;
+    ring_index = Mailbox.alloc_ring mailbox;
+    guest_irq = ignore;
+    work_hint = ignore;
+    paused = false;
+    forward_running = false;
+    backward_running = false;
+    forwarded = 0;
+    completed = 0;
+    interrupts = 0;
+  }
+
+let name t = t.name
+let ring_index t = t.ring_index
+let set_guest_interrupt t f = t.guest_irq <- f
+let set_work_hint t f = t.work_hint <- f
+
+let chain_nsegs chain = List.length chain.Vring.out + List.length chain.Vring.in_
+
+(* Forward mirror engine: drain new guest avail entries into the shadow
+   ring, one DMA per chain (descriptors + driver->device payload). *)
+let rec pump_forward t =
+  match Vring.pop_avail t.guest with
+  | None -> t.forward_running <- false
+  | Some chain ->
+    let bytes_ = (desc_bytes * chain_nsegs chain) + Vring.total_out_bytes chain in
+    Dma.copy t.dma ~src:t.guest_link ~dst:t.base_link ~bytes_;
+    let out = List.map snd chain.Vring.out in
+    let in_ = List.map snd chain.Vring.in_ in
+    (match
+       Vring.add t.shadow ~indirect:chain.Vring.indirect ~out ~in_
+         (chain.Vring.head, chain.Vring.payload)
+     with
+    | Some _ ->
+      t.forwarded <- t.forwarded + 1;
+      Mailbox.set_head t.mailbox t.ring_index (Vring.avail_idx t.shadow);
+      if Vring.avail_pending t.shadow = 1 then t.work_hint ()
+    | None ->
+      (* Cannot happen while the guest ring bounds outstanding requests,
+         but stay safe: retry after a poll interval. *)
+      Sim.delay 1_000.0);
+    pump_forward t
+
+let start_forward t =
+  if not t.forward_running then begin
+    t.forward_running <- true;
+    Sim.spawn t.sim (fun () -> pump_forward t)
+  end
+
+let guest_notify t =
+  (* Posted doorbell: the guest is not stalled; the FPGA sees it one
+     register hop later. *)
+  Sim.schedule t.sim ~delay:(Pcie.register_ns t.guest_link) (fun () -> start_forward t)
+
+let pending t = Vring.avail_pending t.shadow
+
+let pause t = t.paused <- true
+
+let resume t =
+  t.paused <- false;
+  if pending t > 0 then t.work_hint ()
+
+let paused t = t.paused
+
+let pop t =
+  if t.paused then None
+  else
+    match Vring.pop_avail t.shadow with
+  | None -> None
+  | Some chain ->
+    Some
+      {
+        token = chain.Vring.head;
+        out_bytes = Vring.total_out_bytes chain;
+        in_bytes = Vring.total_in_bytes chain;
+        payload = snd chain.Vring.payload;
+      }
+
+let complete t req ?payload ~written () =
+  (match payload with
+  | Some p ->
+    (* Keep the guest-head tag, swap the payload under it. *)
+    let tag, _old = Vring.payload t.shadow ~head:req.token in
+    Vring.set_payload t.shadow ~head:req.token (tag, p)
+  | None -> ());
+  Vring.push_used t.shadow ~head:req.token ~written
+
+(* Backward mirror engine: completions flow shadow -> guest. *)
+let rec pump_backward t completed_any =
+  match Vring.pop_used t.shadow with
+  | None ->
+    t.backward_running <- false;
+    if completed_any then begin
+      t.interrupts <- t.interrupts + 1;
+      t.guest_irq ()
+    end
+  | Some ((guest_head, payload), written) ->
+    let bytes_ = used_elem_bytes + written in
+    Dma.copy t.dma ~src:t.base_link ~dst:t.guest_link ~bytes_;
+    Vring.set_payload t.guest ~head:guest_head payload;
+    Vring.push_used t.guest ~head:guest_head ~written;
+    t.completed <- t.completed + 1;
+    pump_backward t true
+
+let flush t =
+  Mailbox.write_tail t.mailbox t.ring_index (Vring.used_idx t.shadow);
+  if not t.backward_running then begin
+    t.backward_running <- true;
+    Sim.spawn t.sim (fun () -> pump_backward t false)
+  end
+
+let forwarded t = t.forwarded
+let completed t = t.completed
+let interrupts t = t.interrupts
+
+let check_invariants t =
+  match Vring.check_invariants t.guest with
+  | Error e -> Error ("guest ring: " ^ e)
+  | Ok () -> (
+    match Vring.check_invariants t.shadow with
+    | Error e -> Error ("shadow ring: " ^ e)
+    | Ok () ->
+      if Vring.in_flight_requests t.shadow > Vring.in_flight_requests t.guest then
+        Error "shadow holds more requests than guest"
+      else Ok ())

@@ -1,0 +1,1 @@
+lib/virtio/feature.ml: Format List String

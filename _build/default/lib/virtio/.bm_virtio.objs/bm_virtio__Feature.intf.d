@@ -1,0 +1,1 @@
+lib/virtio/feature.mli: Format

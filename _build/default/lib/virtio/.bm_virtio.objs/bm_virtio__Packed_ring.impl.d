@@ -1,0 +1,1 @@
+lib/virtio/packed_ring.ml: Array List Printf

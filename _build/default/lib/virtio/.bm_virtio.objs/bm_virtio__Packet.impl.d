@@ -1,0 +1,1 @@
+lib/virtio/packet.ml: Format

@@ -1,0 +1,1 @@
+lib/virtio/virtio_blk.ml: Bm_engine Feature Sim Virtio_pci Vring

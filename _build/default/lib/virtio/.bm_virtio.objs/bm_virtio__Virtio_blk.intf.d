@@ -1,0 +1,1 @@
+lib/virtio/virtio_blk.mli: Bm_engine Virtio_pci Vring

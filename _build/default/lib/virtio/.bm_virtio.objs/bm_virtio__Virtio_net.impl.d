@@ -1,0 +1,1 @@
+lib/virtio/virtio_net.ml: Feature List Packet Virtio_pci Vring

@@ -1,0 +1,1 @@
+lib/virtio/virtio_net.mli: Packet Virtio_pci Vring

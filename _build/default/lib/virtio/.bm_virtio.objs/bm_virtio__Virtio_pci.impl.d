@@ -1,0 +1,1 @@
+lib/virtio/virtio_pci.ml: Array Feature Printf

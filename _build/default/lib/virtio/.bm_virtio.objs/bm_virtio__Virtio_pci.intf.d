@@ -1,0 +1,1 @@
+lib/virtio/virtio_pci.mli: Feature

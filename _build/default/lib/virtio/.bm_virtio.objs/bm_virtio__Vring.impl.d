@@ -1,0 +1,1 @@
+lib/virtio/vring.ml: Array List Printf

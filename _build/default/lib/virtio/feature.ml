@@ -1,0 +1,27 @@
+type t = int
+
+let indirect_desc = 1 lsl 28
+let event_idx = 1 lsl 29
+let version_1 = 1 lsl 32
+let mrg_rxbuf = 1 lsl 15
+let csum_offload = 1 lsl 0
+
+let default_net = indirect_desc lor event_idx lor version_1 lor mrg_rxbuf lor csum_offload
+let default_blk = indirect_desc lor event_idx lor version_1
+
+let contains set bits = set land bits = bits
+let intersect = ( land )
+let union = ( lor )
+
+let pp fmt t =
+  let names =
+    [
+      (indirect_desc, "INDIRECT_DESC");
+      (event_idx, "EVENT_IDX");
+      (version_1, "VERSION_1");
+      (mrg_rxbuf, "MRG_RXBUF");
+      (csum_offload, "CSUM");
+    ]
+  in
+  let present = List.filter_map (fun (bit, name) -> if contains t bit then Some name else None) names in
+  Format.fprintf fmt "{%s}" (String.concat "," present)

@@ -1,0 +1,211 @@
+(* Flag bits from the virtio 1.1 spec. *)
+let f_next = 0x1
+let f_write = 0x2
+let f_avail = 1 lsl 7
+let f_used = 1 lsl 15
+
+type desc = { mutable addr : int; mutable len : int; mutable id : int; mutable flags : int }
+
+type 'a chain = { id : int; out : (int * int) list; in_ : (int * int) list; payload : 'a }
+
+type 'a slot = {
+  mutable s_out : (int * int) list;
+  mutable s_in : (int * int) list;
+  mutable s_payload : 'a option;
+  mutable s_ndesc : int;
+  mutable s_popped : bool;
+}
+
+type 'a t = {
+  size : int;
+  ring : desc array;
+  slots : 'a slot array; (* per buffer id *)
+  mutable free_ids : int list;
+  mutable free_slots : int;
+  (* driver publish side *)
+  mutable next_avail : int;
+  mutable avail_wrap : bool;
+  (* device consume side *)
+  mutable next_peek : int;
+  mutable peek_wrap : bool;
+  (* device completion-write side *)
+  mutable next_used_write : int;
+  mutable used_write_wrap : bool;
+  (* driver completion-read side *)
+  mutable next_used_read : int;
+  mutable used_read_wrap : bool;
+  mutable added : int;
+  mutable popped : int;
+  mutable completed : int;
+  mutable reclaimed : int;
+  mutable next_addr : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~size =
+  if not (is_power_of_two size && size >= 2 && size <= 32768) then
+    invalid_arg "Packed_ring.create: size must be a power of two in [2, 32768]";
+  {
+    size;
+    ring = Array.init size (fun _ -> { addr = 0; len = 0; id = -1; flags = 0 });
+    slots =
+      Array.init size (fun _ ->
+          { s_out = []; s_in = []; s_payload = None; s_ndesc = 0; s_popped = false });
+    free_ids = List.init size (fun i -> i);
+    free_slots = size;
+    next_avail = 0;
+    avail_wrap = true;
+    next_peek = 0;
+    peek_wrap = true;
+    next_used_write = 0;
+    used_write_wrap = true;
+    next_used_read = 0;
+    used_read_wrap = true;
+    added = 0;
+    popped = 0;
+    completed = 0;
+    reclaimed = 0;
+    next_addr = 0x1000;
+  }
+
+let size t = t.size
+let num_free t = t.free_slots
+let in_flight_requests t = t.added - t.reclaimed
+let avail_pending t = t.added - t.popped
+let used_pending t = t.completed - t.reclaimed
+
+let alloc_addr t len =
+  let a = t.next_addr in
+  t.next_addr <- t.next_addr + ((len + 0xFFF) land lnot 0xFFF);
+  a
+
+(* Wrap-aware flag encoding: a descriptor is driver-available when
+   AVAIL = wrap and USED = inverse(wrap); device-used when both equal the
+   device's used wrap counter. *)
+let avail_flags ~wrap = if wrap then f_avail else f_used
+let used_flags ~wrap = if wrap then f_avail lor f_used else 0
+
+let is_avail flags ~wrap =
+  (flags land f_avail <> 0) = wrap && (flags land f_used <> 0) = not wrap
+
+let is_used flags ~wrap = (flags land f_avail <> 0) = wrap && (flags land f_used <> 0) = wrap
+
+let advance t index wrap n =
+  let i = index + n in
+  if i >= t.size then (i - t.size, not wrap) else (i, wrap)
+
+let add t ~out ~in_ payload =
+  let nsegs = List.length out + List.length in_ in
+  if nsegs = 0 then invalid_arg "Packed_ring.add: at least one segment required";
+  if nsegs > t.free_slots then None
+  else
+    match t.free_ids with
+    | [] -> None
+    | id :: rest ->
+      t.free_ids <- rest;
+      let out_segs = List.map (fun len -> (alloc_addr t len, len)) out in
+      let in_segs = List.map (fun len -> (alloc_addr t len, len)) in_ in
+      let segs =
+        List.map (fun s -> (false, s)) out_segs @ List.map (fun s -> (true, s)) in_segs
+      in
+      List.iteri
+        (fun k (write, (addr, len)) ->
+          let slot_index = (t.next_avail + k) mod t.size in
+          (* The wrap counter flips for slots past the ring boundary. *)
+          let wrap = if t.next_avail + k >= t.size then not t.avail_wrap else t.avail_wrap in
+          let d = t.ring.(slot_index) in
+          d.addr <- addr;
+          d.len <- len;
+          d.id <- id;
+          d.flags <-
+            avail_flags ~wrap
+            lor (if write then f_write else 0)
+            lor if k < nsegs - 1 then f_next else 0)
+        segs;
+      let slot = t.slots.(id) in
+      slot.s_out <- out_segs;
+      slot.s_in <- in_segs;
+      slot.s_payload <- Some payload;
+      slot.s_ndesc <- nsegs;
+      slot.s_popped <- false;
+      t.free_slots <- t.free_slots - nsegs;
+      let next, wrap = advance t t.next_avail t.avail_wrap nsegs in
+      t.next_avail <- next;
+      t.avail_wrap <- wrap;
+      t.added <- t.added + 1;
+      Some id
+
+let pop_avail t =
+  let d = t.ring.(t.next_peek) in
+  if not (is_avail d.flags ~wrap:t.peek_wrap) then None
+  else begin
+    let id = d.id in
+    let slot = t.slots.(id) in
+    (match slot.s_payload with
+    | None -> invalid_arg "Packed_ring.pop_avail: corrupted descriptor id"
+    | Some _ -> ());
+    slot.s_popped <- true;
+    let next, wrap = advance t t.next_peek t.peek_wrap slot.s_ndesc in
+    t.next_peek <- next;
+    t.peek_wrap <- wrap;
+    t.popped <- t.popped + 1;
+    match slot.s_payload with
+    | Some payload -> Some { id; out = slot.s_out; in_ = slot.s_in; payload }
+    | None -> None
+  end
+
+let set_payload t ~id payload =
+  let slot = t.slots.(id) in
+  match slot.s_payload with
+  | None -> invalid_arg "Packed_ring.set_payload: id not outstanding"
+  | Some _ -> slot.s_payload <- Some payload
+
+let push_used t ~id ~written =
+  let slot = t.slots.(id) in
+  if not slot.s_popped then invalid_arg "Packed_ring.push_used: id not popped";
+  slot.s_popped <- false;
+  let d = t.ring.(t.next_used_write) in
+  d.id <- id;
+  d.len <- written;
+  d.flags <- used_flags ~wrap:t.used_write_wrap;
+  let next, wrap = advance t t.next_used_write t.used_write_wrap slot.s_ndesc in
+  t.next_used_write <- next;
+  t.used_write_wrap <- wrap;
+  t.completed <- t.completed + 1
+
+let pop_used t =
+  let d = t.ring.(t.next_used_read) in
+  if not (is_used d.flags ~wrap:t.used_read_wrap) then None
+  else begin
+    let id = d.id in
+    let written = d.len in
+    let slot = t.slots.(id) in
+    match slot.s_payload with
+    | None -> invalid_arg "Packed_ring.pop_used: stale used entry"
+    | Some payload ->
+      slot.s_payload <- None;
+      t.free_slots <- t.free_slots + slot.s_ndesc;
+      t.free_ids <- id :: t.free_ids;
+      let next, wrap = advance t t.next_used_read t.used_read_wrap slot.s_ndesc in
+      t.next_used_read <- next;
+      t.used_read_wrap <- wrap;
+      t.reclaimed <- t.reclaimed + 1;
+      slot.s_ndesc <- 0;
+      Some (payload, written)
+  end
+
+let check_invariants t =
+  let live_descs =
+    Array.fold_left
+      (fun acc s -> if s.s_payload <> None then acc + s.s_ndesc else acc)
+      0 t.slots
+  in
+  if t.free_slots + live_descs <> t.size then
+    Error
+      (Printf.sprintf "descriptor leak: free=%d live=%d size=%d" t.free_slots live_descs t.size)
+  else if List.length t.free_ids + (t.added - t.reclaimed) <> t.size then
+    Error "buffer id leak"
+  else if t.popped > t.added || t.completed > t.popped || t.reclaimed > t.completed then
+    Error "counter ordering violated"
+  else Ok ()

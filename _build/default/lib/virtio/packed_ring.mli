@@ -1,0 +1,52 @@
+(** Virtio 1.1 packed virtqueue.
+
+    The packed ring replaces the split ring's three structures with a
+    single descriptor ring: the driver publishes chains by writing
+    descriptors whose AVAIL/USED flag bits encode its wrap counter, and
+    the device completes by overwriting a slot with a used descriptor
+    (buffer id + written length) and skipping the chain's slots. One
+    cache line carries both directions — the reason hardware
+    implementations (like an IO-Bond ASIC, §6) prefer it.
+
+    The interface deliberately mirrors {!Vring} so the two can be checked
+    against each other; the paper-era deployment uses split rings, and
+    the packed ring is exercised by the ring-format ablation. *)
+
+type 'a t
+
+type 'a chain = {
+  id : int;  (** buffer id — the token completion uses *)
+  out : (int * int) list;
+  in_ : (int * int) list;
+  payload : 'a;
+}
+
+val create : size:int -> 'a t
+(** [size] descriptors, a power of two in [\[2, 32768\]]. *)
+
+val size : 'a t -> int
+val num_free : 'a t -> int
+(** Free descriptor slots. *)
+
+val in_flight_requests : 'a t -> int
+
+(** {2 Driver side} *)
+
+val add : 'a t -> out:int list -> in_:int list -> 'a -> int option
+(** Publish a chain of one descriptor per segment; returns its buffer
+    id, or [None] when the ring cannot hold it. *)
+
+val pop_used : 'a t -> ('a * int) option
+(** Reclaim the oldest unseen used entry (completion order). *)
+
+val used_pending : 'a t -> int
+
+(** {2 Device side} *)
+
+val avail_pending : 'a t -> int
+val pop_avail : 'a t -> 'a chain option
+val set_payload : 'a t -> id:int -> 'a -> unit
+val push_used : 'a t -> id:int -> written:int -> unit
+(** Completions may be out of order with respect to {!pop_avail}. *)
+
+val check_invariants : 'a t -> (unit, string) result

@@ -1,0 +1,77 @@
+open Bm_engine
+
+type op = Read | Write | Flush
+
+type req = {
+  op : op;
+  sector : int;
+  bytes : int;
+  submitted_at : float;
+  done_ : float Sim.Ivar.ivar;
+}
+
+let sector_bytes = 512
+let header_bytes = 16
+let status_bytes = 1
+
+type t = {
+  pci : Virtio_pci.t;
+  ring : req Vring.t;
+  mutable notify : unit -> unit;
+  mutable interrupt : unit -> unit;
+  mutable submitted : int;
+  mutable completed : int;
+}
+
+let create ?(queue_size = 128) ~on_access () =
+  {
+    pci = Virtio_pci.create ~kind:Virtio_pci.Blk ~num_queues:1 ~queue_size ~on_access;
+    ring = Vring.create ~size:queue_size;
+    notify = ignore;
+    interrupt = ignore;
+    submitted = 0;
+    completed = 0;
+  }
+
+let pci t = t.pci
+let ring t = t.ring
+let set_notify t f = t.notify <- f
+let set_interrupt t f = t.interrupt <- f
+let fire_interrupt t = t.interrupt ()
+
+let probe t =
+  match Virtio_pci.probe t.pci ~driver_features:Feature.default_blk with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let make_req ~op ~sector ~bytes ~now =
+  assert (bytes >= 0);
+  { op; sector; bytes; submitted_at = now; done_ = Sim.Ivar.create () }
+
+let submit t ?(indirect = false) req =
+  let out, in_ =
+    match req.op with
+    | Read -> ([ header_bytes ], [ req.bytes; status_bytes ])
+    | Write -> ([ header_bytes; req.bytes ], [ status_bytes ])
+    | Flush -> ([ header_bytes ], [ status_bytes ])
+  in
+  match Vring.add t.ring ~indirect ~out ~in_ req with
+  | Some _ ->
+    t.submitted <- t.submitted + 1;
+    t.notify ();
+    true
+  | None -> false
+
+let reap t =
+  let rec go n =
+    match Vring.pop_used t.ring with
+    | Some (req, _written) ->
+      t.completed <- t.completed + 1;
+      Sim.Ivar.fill req.done_ (Sim.clock ());
+      go (n + 1)
+    | None -> n
+  in
+  go 0
+
+let submitted t = t.submitted
+let completed t = t.completed

@@ -1,0 +1,45 @@
+(** Virtio block device (front-end view).
+
+    Requests follow the virtio-blk layout: a 16-byte header descriptor,
+    the data segments, and a 1-byte status descriptor — so a 4 KB read is
+    a 3-descriptor chain (or one indirect slot). Completion is conveyed
+    to the submitting process through an ivar carried in the payload. *)
+
+type op = Read | Write | Flush
+
+type req = {
+  op : op;
+  sector : int;
+  bytes : int;
+  submitted_at : float;
+  done_ : float Bm_engine.Sim.Ivar.ivar;
+      (** filled with the completion timestamp when the request is reaped *)
+}
+
+type t
+
+val sector_bytes : int
+
+val create : ?queue_size:int -> on_access:(unit -> unit) -> unit -> t
+(** [queue_size] defaults to 128, virtio-blk's classic depth. *)
+
+val pci : t -> Virtio_pci.t
+val ring : t -> req Vring.t
+
+val set_notify : t -> (unit -> unit) -> unit
+val set_interrupt : t -> (unit -> unit) -> unit
+val fire_interrupt : t -> unit
+
+val probe : t -> (unit, string) result
+
+val make_req : op:op -> sector:int -> bytes:int -> now:float -> req
+
+val submit : t -> ?indirect:bool -> req -> bool
+(** Queue a request and notify; [false] if the ring is full. *)
+
+val reap : t -> int
+(** Reap completions, filling each request's [done_] ivar with the
+    current time; returns the number reaped. *)
+
+val submitted : t -> int
+val completed : t -> int

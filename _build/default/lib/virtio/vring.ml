@@ -1,0 +1,254 @@
+let wrap16 = 0xFFFF
+
+(* Descriptor flags from the virtio spec. *)
+let f_next = 0x1
+let f_write = 0x2
+let f_indirect = 0x4
+
+type desc = { mutable addr : int; mutable len : int; mutable flags : int; mutable next : int }
+
+type 'a chain = {
+  head : int;
+  out : (int * int) list;
+  in_ : (int * int) list;
+  indirect : bool;
+  payload : 'a;
+}
+
+type 'a slot = {
+  mutable chain_out : (int * int) list;
+  mutable chain_in : (int * int) list;
+  mutable chain_indirect : bool;
+  mutable chain_payload : 'a option;
+  mutable ndesc : int; (* table descriptors consumed (1 if indirect) *)
+}
+
+type 'a t = {
+  size : int;
+  desc : desc array;
+  avail : int array; (* ring of head indices *)
+  used : (int * int) array; (* ring of (head, written) *)
+  slots : 'a slot array; (* per-head request bookkeeping *)
+  mutable avail_idx : int; (* driver-written, free-running mod 2^16 *)
+  mutable used_idx : int; (* device-written *)
+  mutable last_avail : int; (* device's private progress index *)
+  mutable last_used : int; (* driver's private progress index *)
+  mutable free_head : int; (* singly-linked free list through desc.next *)
+  mutable num_free : int;
+  mutable next_addr : int; (* synthetic buffer address allocator *)
+  mutable requests : int; (* added but not yet reaped *)
+  (* EVENT_IDX suppression state (virtio spec 2.6.7/2.6.8) *)
+  mutable used_event : int option; (* driver-written: interrupt threshold *)
+  mutable avail_event : int option; (* device-written: notify threshold *)
+  mutable interrupt_pending : bool;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~size =
+  if not (is_power_of_two size && size >= 2 && size <= 32768) then
+    invalid_arg "Vring.create: size must be a power of two in [2, 32768]";
+  let desc = Array.init size (fun i -> { addr = 0; len = 0; flags = 0; next = i + 1 }) in
+  let slots =
+    Array.init size (fun _ ->
+        { chain_out = []; chain_in = []; chain_indirect = false; chain_payload = None; ndesc = 0 })
+  in
+  {
+    size;
+    desc;
+    avail = Array.make size (-1);
+    used = Array.make size (-1, 0);
+    slots;
+    avail_idx = 0;
+    used_idx = 0;
+    last_avail = 0;
+    last_used = 0;
+    free_head = 0;
+    num_free = size;
+    next_addr = 0x1000;
+    requests = 0;
+    used_event = None;
+    avail_event = None;
+    interrupt_pending = false;
+  }
+
+let size t = t.size
+let num_free t = t.num_free
+
+let avail_pending t = (t.avail_idx - t.last_avail) land wrap16
+let used_pending t = (t.used_idx - t.last_used) land wrap16
+let in_flight t = t.size - t.num_free
+let in_flight_requests t = t.requests
+let avail_idx t = t.avail_idx
+let used_idx t = t.used_idx
+
+let alloc_addr t len =
+  let a = t.next_addr in
+  t.next_addr <- t.next_addr + ((len + 0xFFF) land lnot 0xFFF);
+  a
+
+(* Pop [n] descriptors off the free list, chained with F_NEXT. *)
+let alloc_descs t n =
+  assert (n >= 1 && n <= t.num_free);
+  let head = t.free_head in
+  let rec walk i prev =
+    if i = n then begin
+      t.free_head <- t.desc.(prev).next;
+      t.desc.(prev).flags <- t.desc.(prev).flags land lnot f_next
+    end
+    else begin
+      let cur = if i = 0 then head else t.desc.(prev).next in
+      t.desc.(cur).flags <- f_next;
+      walk (i + 1) cur
+    end
+  in
+  walk 0 head;
+  t.num_free <- t.num_free - n;
+  head
+
+let free_descs t head n =
+  (* Walk the chain to its tail and splice it back onto the free list. *)
+  let rec tail i cur = if i = n - 1 then cur else tail (i + 1) t.desc.(cur).next in
+  let last = tail 0 head in
+  t.desc.(last).next <- t.free_head;
+  t.free_head <- head;
+  t.num_free <- t.num_free + n
+
+let add t ?(indirect = false) ~out ~in_ payload =
+  let nsegs = List.length out + List.length in_ in
+  if nsegs = 0 then invalid_arg "Vring.add: at least one segment required";
+  List.iter (fun l -> if l < 0 then invalid_arg "Vring.add: negative segment") (out @ in_);
+  let needed = if indirect then 1 else nsegs in
+  if needed > t.num_free || avail_pending t >= t.size then None
+  else begin
+    let head = alloc_descs t needed in
+    let out_segs = List.map (fun len -> (alloc_addr t len, len)) out in
+    let in_segs = List.map (fun len -> (alloc_addr t len, len)) in_ in
+    if indirect then begin
+      let d = t.desc.(head) in
+      d.flags <- f_indirect;
+      d.addr <- alloc_addr t (nsegs * 16);
+      d.len <- nsegs * 16
+    end
+    else begin
+      (* Fill each table descriptor of the chain in order. *)
+      let rec fill cur = function
+        | [] -> ()
+        | (write, (addr, len)) :: rest ->
+          let d = t.desc.(cur) in
+          d.addr <- addr;
+          d.len <- len;
+          d.flags <- (d.flags land f_next) lor (if write then f_write else 0);
+          fill d.next rest
+      in
+      fill head
+        (List.map (fun s -> (false, s)) out_segs @ List.map (fun s -> (true, s)) in_segs)
+    end;
+    let slot = t.slots.(head) in
+    slot.chain_out <- out_segs;
+    slot.chain_in <- in_segs;
+    slot.chain_indirect <- indirect;
+    slot.chain_payload <- Some payload;
+    slot.ndesc <- needed;
+    t.avail.(t.avail_idx land (t.size - 1)) <- head;
+    t.avail_idx <- (t.avail_idx + 1) land wrap16;
+    t.requests <- t.requests + 1;
+    Some head
+  end
+
+let chain_of_head t head =
+  let slot = t.slots.(head) in
+  match slot.chain_payload with
+  | None -> invalid_arg "Vring: no outstanding request at this head"
+  | Some payload ->
+    { head; out = slot.chain_out; in_ = slot.chain_in; indirect = slot.chain_indirect; payload }
+
+let peek_avail t =
+  if avail_pending t = 0 then None
+  else Some (chain_of_head t t.avail.(t.last_avail land (t.size - 1)))
+
+let pop_avail t =
+  match peek_avail t with
+  | None -> None
+  | Some chain ->
+    t.last_avail <- (t.last_avail + 1) land wrap16;
+    Some chain
+
+let payload t ~head =
+  match t.slots.(head).chain_payload with
+  | None -> invalid_arg "Vring.payload: head not outstanding"
+  | Some p -> p
+
+let set_payload t ~head payload =
+  let slot = t.slots.(head) in
+  match slot.chain_payload with
+  | None -> invalid_arg "Vring.set_payload: head not outstanding"
+  | Some _ -> slot.chain_payload <- Some payload
+
+(* Spec: an event fires when the free-running index crossed [event]
+   going from [old_idx] to [new_idx] (all mod 2^16). *)
+let need_event ~event ~new_idx ~old_idx =
+  (new_idx - event - 1) land wrap16 < (new_idx - old_idx) land wrap16
+
+let set_used_event t idx = t.used_event <- Some (idx land wrap16)
+let set_avail_event t idx = t.avail_event <- Some (idx land wrap16)
+
+let should_notify t =
+  match t.avail_event with
+  | None -> true
+  | Some event -> need_event ~event ~new_idx:t.avail_idx ~old_idx:((t.avail_idx - 1) land wrap16)
+
+let should_interrupt t =
+  let fire = t.interrupt_pending in
+  t.interrupt_pending <- false;
+  fire
+
+let push_used t ~head ~written =
+  let slot = t.slots.(head) in
+  (match slot.chain_payload with
+  | None -> invalid_arg "Vring.push_used: head not outstanding"
+  | Some _ -> ());
+  t.used.(t.used_idx land (t.size - 1)) <- (head, written);
+  let old_idx = t.used_idx in
+  t.used_idx <- (t.used_idx + 1) land wrap16;
+  (match t.used_event with
+  | None -> t.interrupt_pending <- true
+  | Some event ->
+    if need_event ~event ~new_idx:t.used_idx ~old_idx then t.interrupt_pending <- true)
+
+let pop_used t =
+  if used_pending t = 0 then None
+  else begin
+    let head, written = t.used.(t.last_used land (t.size - 1)) in
+    t.last_used <- (t.last_used + 1) land wrap16;
+    let slot = t.slots.(head) in
+    match slot.chain_payload with
+    | None -> invalid_arg "Vring.pop_used: corrupted used entry"
+    | Some payload ->
+      slot.chain_payload <- None;
+      free_descs t head slot.ndesc;
+      slot.ndesc <- 0;
+      t.requests <- t.requests - 1;
+      Some (payload, written)
+  end
+
+let total_out_bytes chain = List.fold_left (fun acc (_, len) -> acc + len) 0 chain.out
+let total_in_bytes chain = List.fold_left (fun acc (_, len) -> acc + len) 0 chain.in_
+
+let check_invariants t =
+  let outstanding = Array.fold_left (fun acc s -> acc + s.ndesc) 0 t.slots in
+  (* Count the free list. *)
+  let rec count cur n =
+    if n > t.size then Error "free list cycle"
+    else if n = t.num_free then Ok n
+    else count t.desc.(cur).next (n + 1)
+  in
+  match count t.free_head 0 with
+  | Error e -> Error e
+  | Ok free ->
+    if free + outstanding <> t.size then
+      Error
+        (Printf.sprintf "descriptor leak: free=%d outstanding=%d size=%d" free outstanding t.size)
+    else if avail_pending t > t.size then Error "avail overflow"
+    else if used_pending t > t.size then Error "used overflow"
+    else Ok ()

@@ -1,0 +1,1 @@
+lib/workloads/fio.ml: Bm_engine Bm_guest Instance Rng Sim Simtime Stats

@@ -1,0 +1,1 @@
+lib/workloads/mariadb.ml: Array Bm_engine Bm_guest Bm_virtio Instance List Packet Rng Rpc Sim Simtime Stats

@@ -1,0 +1,1 @@
+lib/workloads/mariadb.mli: Bm_engine Bm_guest

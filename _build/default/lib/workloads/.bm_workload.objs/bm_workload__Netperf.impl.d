@@ -1,0 +1,1 @@
+lib/workloads/netperf.ml: Bm_engine Bm_guest Bm_virtio Instance List Packet Sim Simtime Stats

@@ -1,0 +1,1 @@
+lib/workloads/nginx.ml: Bm_engine Bm_guest Float Instance Rpc Sim Simtime Stats

@@ -1,0 +1,1 @@
+lib/workloads/nginx.mli: Bm_engine Bm_guest

@@ -1,0 +1,1 @@
+lib/workloads/redis_bench.ml: Bm_engine Bm_guest Bm_virtio Float Instance List Packet Rpc Sim Simtime Stats

@@ -1,0 +1,1 @@
+lib/workloads/redis_bench.mli: Bm_engine Bm_guest

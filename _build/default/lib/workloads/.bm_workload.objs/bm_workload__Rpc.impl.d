@@ -1,0 +1,1 @@
+lib/workloads/rpc.ml: Bm_engine Bm_guest Bm_virtio Hashtbl Instance Packet Sim

@@ -1,0 +1,1 @@
+lib/workloads/rpc.mli: Bm_engine Bm_guest Bm_virtio

@@ -1,0 +1,1 @@
+lib/workloads/sockperf.ml: Bm_engine Bm_guest Bm_virtio Instance Packet Sim Stats

@@ -1,0 +1,1 @@
+lib/workloads/sockperf.mli: Bm_engine Bm_guest

@@ -1,0 +1,1 @@
+lib/workloads/spec_cint.ml: Bm_engine Bm_guest Instance List Sim

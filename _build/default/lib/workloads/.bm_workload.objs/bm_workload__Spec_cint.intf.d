@@ -1,0 +1,1 @@
+lib/workloads/spec_cint.mli: Bm_engine Bm_guest

@@ -1,0 +1,1 @@
+lib/workloads/stream.ml: Bm_engine Bm_guest Float Instance List Sim

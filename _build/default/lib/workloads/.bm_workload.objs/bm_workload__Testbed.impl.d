@@ -1,0 +1,1 @@
+lib/workloads/testbed.ml: Blockstore Bm_cloud Bm_engine Bm_guest Bm_hw Bm_hyp Bm_hypervisor Kvm Option Physical Preempt Rng Sim Vswitch

@@ -1,0 +1,1 @@
+lib/workloads/testbed.mli: Bm_cloud Bm_engine Bm_guest Bm_hyp Bm_iobond

@@ -1,0 +1,38 @@
+open Bm_engine
+open Bm_guest
+
+type pattern = Randread | Randwrite | Randrw
+
+type result = { iops : float; avg_us : float; p99_us : float; p999_us : float; completed : int }
+
+let run sim rng instance ?(jobs = 8) ?(block_bytes = 4096) ?(pattern = Randread) ?(iodepth = 4)
+    ~duration () =
+  let hist = Stats.Histogram.create ~lo:1_000.0 ~hi:1e10 ~precision:0.01 () in
+  let completed = ref 0 in
+  let stop_at = Sim.now sim +. duration in
+  let pick_op () =
+    match pattern with
+    | Randread -> `Read
+    | Randwrite -> `Write
+    | Randrw -> if Rng.bool rng then `Read else `Write
+  in
+  for _ = 1 to jobs * iodepth do
+    Sim.spawn sim (fun () ->
+        let rec issue () =
+          if Sim.clock () < stop_at then begin
+            let lat = instance.Instance.blk ~op:(pick_op ()) ~bytes_:block_bytes in
+            Stats.Histogram.add hist lat;
+            incr completed;
+            issue ()
+          end
+        in
+        issue ())
+  done;
+  Sim.run ~until:(stop_at +. Simtime.ms 20.0) sim;
+  {
+    iops = float_of_int !completed /. Simtime.to_sec duration;
+    avg_us = Stats.Histogram.mean hist /. 1e3;
+    p99_us = Stats.Histogram.percentile hist 99.0 /. 1e3;
+    p999_us = Stats.Histogram.percentile hist 99.9 /. 1e3;
+    completed = !completed;
+  }

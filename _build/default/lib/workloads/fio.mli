@@ -1,0 +1,30 @@
+(** fio-3.1 model (Fig. 11, §4.3).
+
+    "We run fio-3.1 with 8 threads and the 4KB data size for random read
+    and write" against the SSD-backed cloud storage; both guests saturate
+    the 25K IOPS limit but differ in average and 99.9th-percentile
+    latency. *)
+
+type pattern = Randread | Randwrite | Randrw
+
+type result = {
+  iops : float;
+  avg_us : float;
+  p99_us : float;
+  p999_us : float;
+  completed : int;
+}
+
+val run :
+  Bm_engine.Sim.t ->
+  Bm_engine.Rng.t ->
+  Bm_guest.Instance.t ->
+  ?jobs:int ->
+  ?block_bytes:int ->
+  ?pattern:pattern ->
+  ?iodepth:int ->
+  duration:float ->
+  unit ->
+  result
+(** Paper parameters by default: 8 jobs, 4 KiB blocks. [iodepth] requests
+    are kept in flight per job (default 4). *)

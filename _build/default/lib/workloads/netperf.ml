@@ -1,0 +1,109 @@
+open Bm_engine
+open Bm_virtio
+open Bm_guest
+
+type pps_result = {
+  offered_pps : float;
+  received_pps : float;
+  jitter_pps : float;
+  dropped : int;
+}
+
+let udp_pps sim ~src ~dst ?(senders = 4) ?(batch = 32) ~duration () =
+  let received = ref 0 in
+  let offered = ref 0 in
+  let dropped = ref 0 in
+  let interval = Simtime.ms 10.0 in
+  let interval_counts = ref [] in
+  let current = ref 0 in
+  dst.Instance.set_rx_handler (fun pkt ->
+      received := !received + pkt.Packet.count;
+      current := !current + pkt.Packet.count);
+  (* Sample per-interval receive rates for the jitter estimate. *)
+  Sim.spawn sim (fun () ->
+      let rec tick () =
+        Sim.delay interval;
+        interval_counts := !current :: !interval_counts;
+        current := 0;
+        tick ()
+      in
+      tick ());
+  let stop_at = Sim.now sim +. duration in
+  let next_id = ref 0 in
+  for _ = 1 to senders do
+    Sim.spawn sim (fun () ->
+        let rec blast () =
+          if Sim.clock () < stop_at then begin
+            incr next_id;
+            let pkt =
+              Packet.small_udp ~id:!next_id ~src:src.Instance.endpoint
+                ~dst:dst.Instance.endpoint ~count:batch ~sent_at:(Sim.clock ()) ()
+            in
+            offered := !offered + batch;
+            if not (src.Instance.send pkt) then dropped := !dropped + batch;
+            blast ()
+          end
+        in
+        blast ())
+  done;
+  Sim.run ~until:(stop_at +. Simtime.ms 5.0) sim;
+  let seconds = Simtime.to_sec duration in
+  let rates = List.map (fun c -> float_of_int c /. Simtime.to_sec interval) !interval_counts in
+  let jitter =
+    match rates with
+    | [] | [ _ ] -> 0.0
+    | rates ->
+      let s = Stats.Summary.create () in
+      (* Drop the first and last partial intervals. *)
+      let trimmed = List.filteri (fun i _ -> i > 0 && i < List.length rates - 1) rates in
+      List.iter (Stats.Summary.add s) (if trimmed = [] then rates else trimmed);
+      Stats.Summary.stddev s
+  in
+  {
+    offered_pps = float_of_int !offered /. seconds;
+    received_pps = float_of_int !received /. seconds;
+    jitter_pps = jitter;
+    dropped = !dropped;
+  }
+
+type throughput_result = { gbit_s : float; payload_gbit_s : float; messages : int }
+
+let tcp_stream sim ~src ~dst ?(connections = 64) ?(message_bytes = 1400) ~duration () =
+  let received_bytes = ref 0 in
+  let payload_bytes = ref 0 in
+  let messages = ref 0 in
+  let stop_at = Sim.now sim +. duration in
+  dst.Instance.set_rx_handler (fun pkt ->
+      (* Only arrivals inside the measurement window count. *)
+      if Sim.now sim <= stop_at then begin
+        received_bytes := !received_bytes + pkt.Packet.size;
+        payload_bytes :=
+          !payload_bytes + pkt.Packet.size - (Packet.tcp_header_bytes * pkt.Packet.count);
+        messages := !messages + pkt.Packet.count
+      end);
+  let next_id = ref 0 in
+  (* Each connection streams messages back-to-back; a burst of 8 messages
+     per send models TSO-style batching. *)
+  let burst = 8 in
+  for _ = 1 to connections do
+    Sim.spawn sim (fun () ->
+        let rec stream () =
+          if Sim.clock () < stop_at then begin
+            incr next_id;
+            let size = (message_bytes + Packet.tcp_header_bytes) * burst in
+            let pkt =
+              Packet.make ~id:!next_id ~src:src.Instance.endpoint ~dst:dst.Instance.endpoint
+                ~size ~count:burst ~protocol:Packet.Tcp ~sent_at:(Sim.clock ()) ()
+            in
+            ignore (src.Instance.send pkt);
+            stream ()
+          end
+        in
+        stream ())
+  done;
+  Sim.run ~until:(stop_at +. Simtime.ms 5.0) sim;
+  {
+    gbit_s = float_of_int !received_bytes *. 8.0 /. duration;
+    payload_gbit_s = float_of_int !payload_bytes *. 8.0 /. duration;
+    messages = !messages;
+  }

@@ -1,0 +1,43 @@
+(** netperf-2.5 models (§4.3).
+
+    The PPS test blasts minimum-size UDP packets between two co-resident
+    guests and reports the receive rate and its jitter; the throughput
+    test opens 64 TCP connections of 1400-byte messages across the
+    100 Gbit/s fabric and reports delivered Gbit/s. *)
+
+type pps_result = {
+  offered_pps : float;
+  received_pps : float;
+  jitter_pps : float;  (** stddev of per-10ms receive rates *)
+  dropped : int;
+}
+
+val udp_pps :
+  Bm_engine.Sim.t ->
+  src:Bm_guest.Instance.t ->
+  dst:Bm_guest.Instance.t ->
+  ?senders:int ->
+  ?batch:int ->
+  duration:float ->
+  unit ->
+  pps_result
+(** [senders] parallel sender threads (default 4) each transmitting
+    [batch]-packet bursts (default 32) as fast as the stack and the rate
+    limits allow, for [duration] ns of warm measurement. *)
+
+type throughput_result = {
+  gbit_s : float;  (** wire rate, headers included *)
+  payload_gbit_s : float;  (** goodput — what netperf reports *)
+  messages : int;
+}
+
+val tcp_stream :
+  Bm_engine.Sim.t ->
+  src:Bm_guest.Instance.t ->
+  dst:Bm_guest.Instance.t ->
+  ?connections:int ->
+  ?message_bytes:int ->
+  duration:float ->
+  unit ->
+  throughput_result
+(** Paper parameters: 64 connections, 1400-byte messages. *)

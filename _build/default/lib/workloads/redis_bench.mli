@@ -1,0 +1,43 @@
+(** Redis + redis-benchmark model (Fig. 15/16).
+
+    "we … configured the server with 10M random key-value entries. In
+    each test, we queried the server 1M times to get/set the data."
+    Redis is single-threaded: every command serialises through one event
+    loop doing hash lookups over a large, randomly-accessed heap — the
+    worst case for EPT walks — so the vm-guest loses 20–40%% and shows
+    visibly less stable throughput (its single thread is the one being
+    preempted and cache-disturbed). *)
+
+type op = Get | Set
+
+type result = {
+  clients : int;
+  value_bytes : int;
+  rps : float;
+  avg_us : float;
+  p99_us : float;
+  stability : float;  (** stddev / mean of per-20ms throughput samples *)
+}
+
+val serve :
+  Bm_engine.Sim.t ->
+  Bm_guest.Instance.t ->
+  ?keys:int ->
+  ?base_cpu_ns:float ->
+  unit ->
+  unit
+(** Install the Redis service: [keys] (default 10M) sized heap,
+    [base_cpu_ns] (default 5.5 µs) per command on the single thread. *)
+
+val benchmark :
+  Bm_engine.Sim.t ->
+  client:Bm_guest.Instance.t ->
+  server:Bm_guest.Instance.t ->
+  ?clients:int ->
+  ?value_bytes:int ->
+  ?op:op ->
+  requests:int ->
+  unit ->
+  result
+(** redis-benchmark: [clients] concurrent connections (default 1000)
+    issuing [requests] commands of [value_bytes] values (default 64). *)

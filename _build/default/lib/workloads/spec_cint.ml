@@ -1,0 +1,58 @@
+open Bm_engine
+open Bm_guest
+
+type profile = { bench : string; natural_ns : float; working_set : float; locality : float }
+
+let mb x = x *. 1024.0 *. 1024.0
+
+(* Working sets and localities follow published CINT2006 memory
+   characterisations: mcf/omnetpp/astar/xalancbmk are the TLB-hostile
+   ones; gobmk/hmmer/h264ref barely leave the caches. Run length: 20 ms
+   of native time per benchmark — relative scores are length-invariant. *)
+let profiles =
+  let t = 20e6 in
+  [
+    { bench = "perlbench"; natural_ns = t; working_set = mb 380.0; locality = 0.90 };
+    { bench = "bzip2"; natural_ns = t; working_set = mb 850.0; locality = 0.85 };
+    { bench = "gcc"; natural_ns = t; working_set = mb 900.0; locality = 0.84 };
+    { bench = "mcf"; natural_ns = t; working_set = mb 1700.0; locality = 0.62 };
+    { bench = "gobmk"; natural_ns = t; working_set = mb 28.0; locality = 0.92 };
+    { bench = "hmmer"; natural_ns = t; working_set = mb 60.0; locality = 0.95 };
+    { bench = "sjeng"; natural_ns = t; working_set = mb 180.0; locality = 0.88 };
+    { bench = "libquantum"; natural_ns = t; working_set = mb 100.0; locality = 0.78 };
+    { bench = "h264ref"; natural_ns = t; working_set = mb 65.0; locality = 0.93 };
+    { bench = "omnetpp"; natural_ns = t; working_set = mb 175.0; locality = 0.66 };
+    { bench = "astar"; natural_ns = t; working_set = mb 330.0; locality = 0.72 };
+    { bench = "xalancbmk"; natural_ns = t; working_set = mb 420.0; locality = 0.75 };
+  ]
+
+type score = { bench : string; time_ns : float }
+
+let run sim instance =
+  let scores = ref [] in
+  Sim.spawn sim (fun () ->
+      List.iter
+        (fun p ->
+          let t0 = Sim.clock () in
+          instance.Instance.exec_mem_ns ~working_set:p.working_set ~locality:p.locality
+            p.natural_ns;
+          scores := { bench = p.bench; time_ns = Sim.clock () -. t0 } :: !scores)
+        profiles);
+  Sim.run sim;
+  List.rev !scores
+
+let relative ~baseline scores =
+  let time name l =
+    match List.find_opt (fun s -> s.bench = name) l with
+    | Some s -> s.time_ns
+    | None -> invalid_arg ("Spec_cint.relative: missing " ^ name)
+  in
+  let per_bench =
+    List.map
+      (fun (p : profile) -> (p.bench, time p.bench baseline /. time p.bench scores))
+      profiles
+  in
+  let geomean =
+    exp (List.fold_left (fun acc (_, r) -> acc +. log r) 0.0 per_bench /. float_of_int (List.length per_bench))
+  in
+  per_bench @ [ ("geomean", geomean) ]

@@ -1,0 +1,89 @@
+open Bm_engine
+open Bm_cloud
+open Bm_guest
+open Bm_hyp
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  fabric : Vswitch.fabric;
+  storage : Blockstore.t;
+}
+
+let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed in
+  let fabric = Vswitch.create_fabric sim () in
+  let storage = Blockstore.create sim (Rng.split rng) ~kind:storage_kind () in
+  { sim; rng; fabric; storage }
+
+let bm_server ?profile ?boards t =
+  Bm_hypervisor.create_server t.sim (Rng.split t.rng) ~fabric:t.fabric ~storage:t.storage
+    ?profile ?boards ()
+
+let bm_guest ?profile ?net_limits ?blk_limits ?(name = "bm0") t =
+  let server = bm_server ?profile t in
+  match Bm_hypervisor.provision server ~name ?net_limits ?blk_limits () with
+  | Ok inst -> (server, inst)
+  | Error e -> failwith e
+
+(* Two bm-guests co-resident on one base server — the Fig. 9 topology
+   ("we started two bm-guests on the same server"). *)
+let bm_pair ?profile ?net_limits t =
+  let server = bm_server ?profile t in
+  let provision name =
+    match Bm_hypervisor.provision server ~name ?net_limits () with
+    | Ok inst -> inst
+    | Error e -> failwith e
+  in
+  (server, provision "bm0", provision "bm1")
+
+let vm_host t = Kvm.create_host t.sim (Rng.split t.rng) ~fabric:t.fabric ~storage:t.storage ()
+
+let vm_guest ?net_limits ?blk_limits ?(vcpus = 32) ?(host_load = 0.5)
+    ?(pinning = Preempt.Exclusive) ?(name = "vm0") t =
+  let host = vm_host t in
+  let config = Kvm.default_config ~name in
+  let config =
+    {
+      config with
+      Kvm.vcpus;
+      host_load;
+      pinning;
+      net_limits = Option.value net_limits ~default:config.Kvm.net_limits;
+      blk_limits = Option.value blk_limits ~default:config.Kvm.blk_limits;
+    }
+  in
+  (host, Kvm.create_vm host config)
+
+(* Two vm-guests on a dual-socket host with headroom for both — the
+   Fig. 9 comparison ("the server having two Xeon E5-2682 v4 CPUs and
+   384 GB of memory … sufficient resource to run two vm-guests"). *)
+let vm_pair ?net_limits ?(vcpus = 16) t =
+  let host = vm_host t in
+  let mk name =
+    let config = Kvm.default_config ~name in
+    let config =
+      {
+        config with
+        Kvm.vcpus;
+        net_limits = Option.value net_limits ~default:config.Kvm.net_limits;
+      }
+    in
+    Kvm.create_vm host config
+  in
+  (host, mk "vm0", mk "vm1")
+
+let physical ?(name = "phys0") ?sockets t =
+  Physical.create t.sim ~name ?sockets ~storage:t.storage ()
+
+(* A beefy load-generator box on its own switch, so client costs never
+   contend with the system under test. *)
+let client_box ?(name = "client") t =
+  let cores = Bm_hw.Cores.create t.sim ~spec:Bm_hw.Cpu_spec.xeon_platinum_8163 ~threads:96 () in
+  let vswitch = Vswitch.create t.sim ~fabric:t.fabric ~cores () in
+  Physical.create t.sim ~name ~spec:Bm_hw.Cpu_spec.xeon_platinum_8163 ~sockets:2 ~vswitch
+    ~storage:t.storage ()
+
+let run ?until t =
+  match until with Some u -> Sim.run ~until:u t.sim | None -> Sim.run t.sim

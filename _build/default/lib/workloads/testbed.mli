@@ -1,0 +1,57 @@
+(** Standard experiment topologies (§4.1).
+
+    Builders for the configurations the paper's evaluation uses: a
+    bm-guest on a BM-Hive server, a vm-guest on a dual-socket host,
+    co-resident pairs of each (the Fig. 9/10 setups), the physical
+    baseline, and a fat client box on its own switch for load
+    generation. *)
+
+type t = {
+  sim : Bm_engine.Sim.t;
+  rng : Bm_engine.Rng.t;
+  fabric : Bm_cloud.Vswitch.fabric;
+  storage : Bm_cloud.Blockstore.t;
+}
+
+val make : ?seed:int -> ?storage_kind:Bm_cloud.Blockstore.kind -> unit -> t
+
+val bm_server :
+  ?profile:Bm_iobond.Profile.t -> ?boards:int -> t -> Bm_hyp.Bm_hypervisor.server
+
+val bm_guest :
+  ?profile:Bm_iobond.Profile.t ->
+  ?net_limits:Bm_cloud.Limits.net ->
+  ?blk_limits:Bm_cloud.Limits.blk ->
+  ?name:string ->
+  t ->
+  Bm_hyp.Bm_hypervisor.server * Bm_guest.Instance.t
+
+val bm_pair :
+  ?profile:Bm_iobond.Profile.t ->
+  ?net_limits:Bm_cloud.Limits.net ->
+  t ->
+  Bm_hyp.Bm_hypervisor.server * Bm_guest.Instance.t * Bm_guest.Instance.t
+(** Two bm-guests co-resident on one base server (Fig. 9 topology). *)
+
+val vm_host : t -> Bm_hyp.Kvm.host
+
+val vm_guest :
+  ?net_limits:Bm_cloud.Limits.net ->
+  ?blk_limits:Bm_cloud.Limits.blk ->
+  ?vcpus:int ->
+  ?host_load:float ->
+  ?pinning:Bm_hyp.Preempt.mode ->
+  ?name:string ->
+  t ->
+  Bm_hyp.Kvm.host * Bm_guest.Instance.t
+
+val vm_pair :
+  ?net_limits:Bm_cloud.Limits.net ->
+  ?vcpus:int ->
+  t ->
+  Bm_hyp.Kvm.host * Bm_guest.Instance.t * Bm_guest.Instance.t
+(** Two vm-guests on one dual-socket host with headroom for both. *)
+
+val physical : ?name:string -> ?sockets:int -> t -> Bm_guest.Instance.t
+val client_box : ?name:string -> t -> Bm_guest.Instance.t
+val run : ?until:float -> t -> unit

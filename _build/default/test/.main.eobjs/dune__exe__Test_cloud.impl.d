@@ -1,0 +1,1 @@
+test/test_cloud.ml: Alcotest Blockstore Bm_cloud Bm_engine Bm_hw Bm_virtio Control_plane Float Gen Image Limits List Packet QCheck QCheck_alcotest Rng Sim Stats Tap Vhost_user Vswitch

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Astring Bm_cloud Bm_engine Bm_hw Bmhive Comparison Cost_model Experiments Float Instances List Report Result String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Bm_engine Buffer Float Gen List Pqueue Printf QCheck QCheck_alcotest Rng Sim Simtime Stats String Token_bucket Trace

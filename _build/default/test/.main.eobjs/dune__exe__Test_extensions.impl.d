@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Astring Bm_engine Bm_guest Bm_hyp Bm_hypervisor Bm_iobond Bm_virtio Bm_workload Float Instance Live_migration Result Rng Sgx Sim Simtime Testbed

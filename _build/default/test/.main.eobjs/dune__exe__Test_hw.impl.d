@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bm_engine Bm_hw Cache Cores Cpu_spec Dma Float Gen Irq List Memory Pcie Power QCheck QCheck_alcotest Sim Tlb

@@ -1,0 +1,1 @@
+test/test_iobond.ml: Alcotest Bm_engine Bm_hw Bm_iobond Bm_virtio Float Gen Iobond List Mailbox Packet Profile QCheck QCheck_alcotest Queue_bridge Sim Simtime Virtio_blk Virtio_net Virtio_pci

@@ -1,0 +1,1 @@
+test/test_packed_ring.ml: Alcotest Bm_virtio Buffer Gen List Option Packed_ring Packet Printf QCheck QCheck_alcotest Queue Vring

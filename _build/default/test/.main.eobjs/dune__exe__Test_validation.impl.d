@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Bm_engine Float Queueing Rng Sim Stats

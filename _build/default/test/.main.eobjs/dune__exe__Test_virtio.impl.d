@@ -1,0 +1,1 @@
+test/test_virtio.ml: Alcotest Bm_engine Bm_virtio Feature Gen Hashtbl List Option Packet QCheck QCheck_alcotest Queue Sim Virtio_blk Virtio_net Virtio_pci Vring

@@ -1,0 +1,204 @@
+(* Tests for the bmhive facade: catalogue, cost model, comparison,
+   report rendering, experiment registry. *)
+
+open Bmhive
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Instances (Table 3) *)
+
+let test_catalogue_contents () =
+  check_bool "several families" true (List.length Instances.catalogue >= 5);
+  (match Instances.find "ebm.e5-2682v4.32" with
+  | Some i ->
+    check_int "32 vCPU" 32 i.Instances.vcpus;
+    check_int "8 boards/server" 8 i.Instances.max_boards_per_server
+  | None -> Alcotest.fail "eval instance missing");
+  check_bool "unknown absent" true (Instances.find "nope" = None);
+  (* §3.3: at most 16 boards per server across the catalogue. *)
+  List.iter
+    (fun i ->
+      check_bool "1..16 boards" true
+        (i.Instances.max_boards_per_server >= 1 && i.Instances.max_boards_per_server <= 16))
+    Instances.catalogue
+
+let test_catalogue_limits_usable () =
+  let i = Instances.eval_instance in
+  let net = Instances.net_limits i in
+  let blk = Instances.blk_limits i in
+  (* Admitting within limits must not raise and must throttle eventually. *)
+  let sim = Bm_engine.Sim.create () in
+  Bm_engine.Sim.spawn sim (fun () ->
+      for _ = 1 to 100_000 do
+        Bm_cloud.Limits.net_admit net ~packets:64 ~bytes_:(64 * 64)
+      done;
+      for _ = 1 to 1_000 do
+        Bm_cloud.Limits.blk_admit blk ~bytes_:4096
+      done);
+  Bm_engine.Sim.run sim;
+  check_bool "time advanced under throttle" true (Bm_engine.Sim.now sim > 1e6)
+
+let test_high_frequency_single_thread () =
+  (* §4.2: the E3 instance is 31% faster single-thread. *)
+  let e3 = Instances.high_frequency.Instances.cpu in
+  let e5 = Instances.eval_instance.Instances.cpu in
+  Alcotest.(check (float 1e-6)) "1.31x" 1.31
+    (e3.Bm_hw.Cpu_spec.single_thread_mark /. e5.Bm_hw.Cpu_spec.single_thread_mark)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model (§3.5) *)
+
+let test_density_matches_paper () =
+  let d = Cost_model.density () in
+  check_int "vm sellable 88" 88 d.Cost_model.vm_sellable_ht;
+  check_int "bm sellable 256" 256 d.Cost_model.bm_sellable_ht;
+  check_bool "2.9x ratio" true (Float.abs (Cost_model.sellable_ht_per_rack_ratio () -. 2.909) < 0.01)
+
+let test_tdp_matches_paper () =
+  let vm = Cost_model.vm_watts_per_vcpu () in
+  let bm = Cost_model.bm_single_board_watts_per_vcpu () in
+  check_bool "vm ~3.06" true (Float.abs (vm -. 3.06) < 0.1);
+  check_bool "bm ~3.17" true (Float.abs (bm -. 3.17) < 0.1);
+  check_bool "bm slightly above vm" true (bm > vm)
+
+let test_price () =
+  Alcotest.(check (float 1e-9)) "10% below" 0.90 Cost_model.price_ratio_bm_over_vm
+
+(* ------------------------------------------------------------------ *)
+(* Comparison (Table 1) *)
+
+let test_comparison_derivations () =
+  let vm = Comparison.properties Comparison.Vm_based in
+  let st = Comparison.properties Comparison.Single_tenant_bm in
+  let bh = Comparison.properties Comparison.Bm_hive in
+  check_bool "vm exposed to side channels" true (Comparison.side_channel_exposed vm);
+  check_bool "bm-hive not exposed" false (Comparison.side_channel_exposed bh);
+  check_bool "single-tenant hands over the platform" false (Comparison.provider_secure st);
+  check_bool "bm-hive provider-secure" true (Comparison.provider_secure bh);
+  check_bool "bm-hive denser than single-tenant" true
+    (bh.Comparison.guests_per_server > st.Comparison.guests_per_server);
+  check_int "16 bm-guests max" 16 bh.Comparison.guests_per_server
+
+let test_comparison_rows_shape () =
+  let rows = Comparison.rows () in
+  check_int "three services" 3 (List.length rows);
+  List.iter (fun row -> check_int "five columns" 5 (List.length row)) rows
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+let test_report_table_rendering () =
+  let s = Report.table ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  check_bool "has borders" true (String.length s > 0 && s.[0] = '+');
+  (* All lines equally wide. *)
+  let lines = String.split_on_char '\n' s in
+  let widths = List.map String.length (List.filter (fun l -> l <> "") lines) in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> check_int "aligned" w w') rest
+  | [] -> Alcotest.fail "empty table");
+  check_bool "cell present" true
+    (List.exists (fun l -> Astring.String.is_infix ~affix:"333" l) lines)
+
+let test_report_formatters () =
+  Alcotest.(check string) "si M" "3.20M" (Report.si 3.2e6);
+  Alcotest.(check string) "si K" "25.0K" (Report.si 25e3);
+  Alcotest.(check string) "pct" "4.2%" (Report.pct 0.0417);
+  Alcotest.(check string) "f1" "1.5" (Report.f1 1.50);
+  Alcotest.(check (list string)) "check row"
+    [ "x"; "1"; "2"; "DIFF" ]
+    (Report.check ~paper:"1" ~measured:"2" ~ok:false [ "x" ])
+
+(* ------------------------------------------------------------------ *)
+(* Experiments registry *)
+
+let test_registry_complete () =
+  (* Every table and figure of the paper is present. *)
+  let ids = Experiments.ids () in
+  List.iter
+    (fun required -> check_bool required true (List.mem required ids))
+    [
+      "table1"; "table2"; "table3"; "fig1"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+      "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "sec2_3"; "sec3_5"; "sec4_3net";
+      "sec4_3blk"; "sec6"; "ablation_reg"; "ablation_dma"; "ablation_batch";
+      "ablation_offload";
+    ];
+  check_bool "unknown id rejected" true (Result.is_error (Experiments.run_one "nonsense"))
+
+let run_quick id =
+  match Experiments.run_one ~quick:true ~seed:7 id with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+let test_cheap_experiments_run () =
+  (* The static/Monte-Carlo experiments are cheap enough for the suite. *)
+  List.iter
+    (fun id ->
+      let o = run_quick id in
+      check_bool (id ^ " produced rows") true (o.Experiments.rows <> []);
+      List.iter
+        (fun row -> check_int (id ^ " row width") (List.length o.Experiments.header) (List.length row))
+        o.Experiments.rows)
+    [ "table1"; "table2"; "table3"; "fig1"; "sec3_5" ]
+
+let test_fig7_outcome_bands () =
+  let o = run_quick "fig7" in
+  (* 12 benchmarks + geomean. *)
+  check_int "13 rows" 13 (List.length o.Experiments.rows);
+  List.iter
+    (fun row ->
+      match row with
+      | [ _bench; _phys; bm; vm ] ->
+        let bm = float_of_string bm and vm = float_of_string vm in
+        check_bool "bm above physical" true (bm > 1.0);
+        check_bool "vm below bm" true (vm < bm)
+      | _ -> Alcotest.fail "unexpected row shape")
+    o.Experiments.rows
+
+let test_sec6_asic_improves () =
+  let o = run_quick "sec6" in
+  (* The latency row: ASIC strictly better than FPGA. *)
+  match List.rev o.Experiments.rows with
+  | [ _metric; fpga; asic; _paper ] :: _ ->
+    check_bool "asic lower latency" true (float_of_string asic < float_of_string fpga)
+  | _ -> Alcotest.fail "unexpected sec6 shape"
+
+let test_determinism_of_experiments () =
+  let a = run_quick "table2" in
+  let b = run_quick "table2" in
+  check_bool "same seed, same rows" true (a.Experiments.rows = b.Experiments.rows)
+
+let suites =
+  [
+    ( "core.instances",
+      [
+        Alcotest.test_case "catalogue" `Quick test_catalogue_contents;
+        Alcotest.test_case "limits usable" `Quick test_catalogue_limits_usable;
+        Alcotest.test_case "E3 single-thread" `Quick test_high_frequency_single_thread;
+      ] );
+    ( "core.cost_model",
+      [
+        Alcotest.test_case "density 88 vs 256" `Quick test_density_matches_paper;
+        Alcotest.test_case "TDP per vCPU" `Quick test_tdp_matches_paper;
+        Alcotest.test_case "price ratio" `Quick test_price;
+      ] );
+    ( "core.comparison",
+      [
+        Alcotest.test_case "derivations" `Quick test_comparison_derivations;
+        Alcotest.test_case "rows shape" `Quick test_comparison_rows_shape;
+      ] );
+    ( "core.report",
+      [
+        Alcotest.test_case "table rendering" `Quick test_report_table_rendering;
+        Alcotest.test_case "formatters" `Quick test_report_formatters;
+      ] );
+    ( "core.experiments",
+      [
+        Alcotest.test_case "registry complete" `Quick test_registry_complete;
+        Alcotest.test_case "cheap experiments run" `Quick test_cheap_experiments_run;
+        Alcotest.test_case "fig7 bands" `Quick test_fig7_outcome_bands;
+        Alcotest.test_case "sec6 ASIC improves" `Quick test_sec6_asic_improves;
+        Alcotest.test_case "determinism" `Quick test_determinism_of_experiments;
+      ] );
+  ]

@@ -1,0 +1,673 @@
+(* Tests for the discrete-event simulation engine. *)
+
+open Bm_engine
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Simtime *)
+
+let test_time_units () =
+  check_float "us" 1_000.0 (Simtime.us 1.0);
+  check_float "ms" 1_000_000.0 (Simtime.ms 1.0);
+  check_float "sec" 1e9 (Simtime.sec 1.0);
+  check_float "minutes" 60e9 (Simtime.minutes 1.0);
+  check_float "hours" 3600e9 (Simtime.hours 1.0);
+  check_float "roundtrip us" 2.5 (Simtime.to_us (Simtime.us 2.5));
+  check_float "roundtrip s" 3.25 (Simtime.to_sec (Simtime.sec 3.25))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "500ns" (Simtime.to_string 500.0);
+  Alcotest.(check string) "us" "1.60us" (Simtime.to_string (Simtime.us 1.6));
+  Alcotest.(check string) "ms" "2.50ms" (Simtime.to_string (Simtime.ms 2.5));
+  Alcotest.(check string) "s" "1.000s" (Simtime.to_string (Simtime.sec 1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~time:3.0 ~seq:1 "c";
+  Pqueue.add q ~time:1.0 ~seq:2 "a";
+  Pqueue.add q ~time:2.0 ~seq:3 "b";
+  let pop () = match Pqueue.pop q with Some (_, _, v) -> v | None -> "!" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ];
+  check_bool "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  for i = 1 to 100 do
+    Pqueue.add q ~time:5.0 ~seq:i i
+  done;
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (_, _, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "fifo on equal time" (List.init 100 (fun i -> i + 1)) (drain [])
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing key order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1e6) small_nat))
+    (fun items ->
+      let q = Pqueue.create () in
+      List.iteri (fun i (t, _) -> Pqueue.add q ~time:(Float.abs t) ~seq:i i) items;
+      let rec drain last ok =
+        match Pqueue.pop q with
+        | None -> ok
+        | Some (t, _, _) -> drain t (ok && t >= last)
+      in
+      drain neg_infinity true)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  (* After splitting, consuming from [b] must not affect [a]'s stream. *)
+  let a' = Rng.copy a in
+  for _ = 1 to 10 do
+    ignore (Rng.bits64 b)
+  done;
+  check_bool "a unchanged by b" true (Rng.bits64 a = Rng.bits64 a')
+
+let test_rng_uniform_range () =
+  let r = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 10.0 in
+    check_bool "in range" true (x >= 0.0 && x < 10.0);
+    let i = Rng.int r 7 in
+    check_bool "int range" true (i >= 0 && i < 7)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:3 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Rng.exponential r ~mean:100.0)
+  done;
+  let m = Stats.Summary.mean s in
+  check_bool "mean near 100" true (m > 97.0 && m < 103.0)
+
+let test_rng_normal_moments () =
+  let r = Rng.create ~seed:4 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 50_000 do
+    Stats.Summary.add s (Rng.normal r ~mean:50.0 ~stddev:5.0)
+  done;
+  check_bool "mean near 50" true (Float.abs (Stats.Summary.mean s -. 50.0) < 0.2);
+  check_bool "sd near 5" true (Float.abs (Stats.Summary.stddev s -. 5.0) < 0.2)
+
+let test_rng_zipf_skew () =
+  let r = Rng.create ~seed:5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let k = Rng.zipf r ~n:100 ~s:1.1 in
+    check_bool "zipf in range" true (k >= 0 && k < 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_bool "rank0 most popular" true (counts.(0) > counts.(10) && counts.(10) > 0)
+
+let prop_pareto_above_scale =
+  QCheck.Test.make ~name:"pareto samples >= scale" ~count:500
+    QCheck.(pair (int_range 1 1000) (int_range 1 10))
+    (fun (seed, shape) ->
+      let r = Rng.create ~seed in
+      let x = Rng.pareto r ~scale:5.0 ~shape:(float_of_int shape) in
+      x >= 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_summary_basic () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Stats.Summary.count s);
+  check_float "mean" 2.5 (Stats.Summary.mean s);
+  check_float "min" 1.0 (Stats.Summary.min s);
+  check_float "max" 4.0 (Stats.Summary.max s);
+  Alcotest.(check (float 1e-6)) "variance" (5.0 /. 3.0) (Stats.Summary.variance s)
+
+let test_summary_merge () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  let all = Stats.Summary.create () in
+  let r = Rng.create ~seed:9 in
+  for i = 1 to 1000 do
+    let x = Rng.float r 50.0 in
+    Stats.Summary.add (if i mod 2 = 0 then a else b) x;
+    Stats.Summary.add all x
+  done;
+  let m = Stats.Summary.merge a b in
+  Alcotest.(check (float 1e-6)) "merged mean" (Stats.Summary.mean all) (Stats.Summary.mean m);
+  Alcotest.(check (float 1e-4))
+    "merged variance" (Stats.Summary.variance all) (Stats.Summary.variance m);
+  check_int "merged count" 1000 (Stats.Summary.count m)
+
+let test_histogram_percentiles () =
+  let h = Stats.Histogram.create ~lo:1.0 ~hi:1e7 ~precision:0.005 () in
+  (* 10,000 samples: 1..10000; p50 ~ 5000, p99 ~ 9900. *)
+  for i = 1 to 10_000 do
+    Stats.Histogram.add h (float_of_int i)
+  done;
+  let p50 = Stats.Histogram.percentile h 50.0 in
+  let p99 = Stats.Histogram.percentile h 99.0 in
+  let p999 = Stats.Histogram.percentile h 99.9 in
+  check_bool "p50" true (Float.abs (p50 -. 5000.0) /. 5000.0 < 0.02);
+  check_bool "p99" true (Float.abs (p99 -. 9900.0) /. 9900.0 < 0.02);
+  check_bool "p999" true (Float.abs (p999 -. 9990.0) /. 9990.0 < 0.02);
+  check_bool "ordered" true (p50 <= p99 && p99 <= p999)
+
+let test_histogram_clamps () =
+  let h = Stats.Histogram.create ~lo:10.0 ~hi:100.0 () in
+  Stats.Histogram.add h 1.0;
+  Stats.Histogram.add h 1e9;
+  check_int "count" 2 (Stats.Histogram.count h);
+  check_float "min tracked exactly" 1.0 (Stats.Histogram.min h);
+  check_float "max tracked exactly" 1e9 (Stats.Histogram.max h)
+
+let prop_histogram_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentiles are monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (float_range 1.0 1e6))
+    (fun xs ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.add h) xs;
+      let ps = [ 10.0; 50.0; 90.0; 99.0; 99.9 ] in
+      let vs = List.map (Stats.Histogram.percentile h) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vs)
+
+let prop_histogram_percentile_within_bounds =
+  QCheck.Test.make ~name:"histogram percentile within [min,max]" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range 1.0 1e9))
+    (fun xs ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.add h) xs;
+      let p = Stats.Histogram.percentile h 99.0 in
+      p >= Stats.Histogram.min h && p <= Stats.Histogram.max h)
+
+let test_meter_rate () =
+  let m = Stats.Meter.create () in
+  (* 1000 events over 1 simulated second -> ~1000/s. *)
+  for i = 0 to 999 do
+    Stats.Meter.mark m ~now:(float_of_int i *. 1e6)
+  done;
+  let r = Stats.Meter.rate m in
+  check_bool "rate ~1000" true (Float.abs (r -. 1001.0) < 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_delay_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim (fun () ->
+      Sim.delay 30.0;
+      log := "c" :: !log);
+  Sim.spawn sim (fun () ->
+      Sim.delay 10.0;
+      log := "a" :: !log);
+  Sim.spawn sim (fun () ->
+      Sim.delay 20.0;
+      log := "b" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at last event" 30.0 (Sim.now sim)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.spawn sim (fun () ->
+      let rec tick () =
+        Sim.delay 100.0;
+        incr fired;
+        tick ()
+      in
+      tick ());
+  Sim.run ~until:1000.0 sim;
+  check_int "10 ticks in 1000ns" 10 !fired;
+  check_float "clock = until" 1000.0 (Sim.now sim)
+
+let test_sim_nested_fork () =
+  let sim = Sim.create () in
+  let sum = ref 0 in
+  Sim.spawn sim (fun () ->
+      for i = 1 to 5 do
+        Sim.fork (fun () ->
+            Sim.delay (float_of_int i);
+            sum := !sum + i)
+      done);
+  Sim.run sim;
+  check_int "all forks ran" 15 !sum
+
+let test_sim_clock_inside () =
+  let sim = Sim.create () in
+  let seen = ref (-1.0) in
+  Sim.spawn sim (fun () ->
+      Sim.delay 42.0;
+      seen := Sim.clock ());
+  Sim.run sim;
+  check_float "clock visible inside process" 42.0 !seen
+
+let test_sim_blocking_outside_raises () =
+  Alcotest.check_raises "delay outside" Sim.Not_in_simulation (fun () -> Sim.delay 1.0);
+  Alcotest.check_raises "clock outside" Sim.Not_in_simulation (fun () ->
+      ignore (Sim.clock ()))
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.spawn sim (fun () ->
+      let rec tick () =
+        Sim.delay 10.0;
+        incr count;
+        if !count = 5 then Sim.stop sim;
+        tick ()
+      in
+      tick ());
+  Sim.run sim;
+  check_int "stopped after 5" 5 !count
+
+let test_ivar () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  let got = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        let v = Sim.Ivar.read iv in
+        got := (i, v, Sim.clock ()) :: !got)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.delay 50.0;
+      Sim.Ivar.fill iv 99);
+  Sim.run sim;
+  check_int "three readers" 3 (List.length !got);
+  List.iter
+    (fun (_, v, t) ->
+      check_int "value" 99 v;
+      check_float "woke at fill time" 50.0 t)
+    !got
+
+let test_ivar_double_fill () =
+  let sim = Sim.create () in
+  let iv = Sim.Ivar.create () in
+  let raised = ref false in
+  Sim.spawn sim (fun () ->
+      Sim.Ivar.fill iv 1;
+      (try Sim.Ivar.fill iv 2 with Invalid_argument _ -> raised := true));
+  Sim.run sim;
+  check_bool "second fill rejected" true !raised;
+  Alcotest.(check (option int)) "peek" (Some 1) (Sim.Ivar.peek iv)
+
+let test_channel_fifo () =
+  let sim = Sim.create () in
+  let ch = Sim.Channel.create () in
+  let received = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        received := Sim.Channel.recv ch :: !received
+      done);
+  Sim.spawn sim (fun () ->
+      Sim.delay 5.0;
+      Sim.Channel.send ch 1;
+      Sim.Channel.send ch 2;
+      Sim.Channel.send ch 3);
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !received)
+
+let test_channel_waiter_order () =
+  let sim = Sim.create () in
+  let ch = Sim.Channel.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        let v = Sim.Channel.recv ch in
+        order := (i, v) :: !order)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.delay 1.0;
+      List.iter (Sim.Channel.send ch) [ 10; 20; 30 ]);
+  Sim.run sim;
+  Alcotest.(check (list (pair int int)))
+    "oldest waiter first" [ (1, 10); (2, 20); (3, 30) ] (List.rev !order)
+
+let test_resource_mutual_exclusion () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create ~capacity:1 in
+  let finish = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Sim.Resource.with_resource r (fun () ->
+            Sim.delay 10.0;
+            finish := (i, Sim.clock ()) :: !finish))
+  done;
+  Sim.run sim;
+  let finished = List.rev !finish in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "serialized FIFO" [ (1, 10.0); (2, 20.0); (3, 30.0) ] finished
+
+let test_resource_capacity_respected () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create ~capacity:3 in
+  let peak = ref 0 in
+  for _ = 1 to 10 do
+    Sim.spawn sim (fun () ->
+        Sim.Resource.acquire r;
+        peak := max !peak (Sim.Resource.in_use r);
+        Sim.delay 5.0;
+        Sim.Resource.release r)
+  done;
+  Sim.run sim;
+  check_int "never above capacity" 3 !peak;
+  check_int "all released" 0 (Sim.Resource.in_use r)
+
+let test_resource_no_barging () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create ~capacity:2 in
+  let order = ref [] in
+  (* p1 takes 2; p2 wants 2 (must wait); p3 wants 1 and arrives later —
+     FIFO admission means p3 must not overtake p2. *)
+  Sim.spawn sim (fun () ->
+      Sim.Resource.acquire ~n:2 r;
+      Sim.delay 10.0;
+      Sim.Resource.release ~n:2 r);
+  Sim.spawn sim (fun () ->
+      Sim.delay 1.0;
+      Sim.Resource.acquire ~n:2 r;
+      order := "p2" :: !order;
+      Sim.delay 10.0;
+      Sim.Resource.release ~n:2 r);
+  Sim.spawn sim (fun () ->
+      Sim.delay 2.0;
+      Sim.Resource.acquire ~n:1 r;
+      order := "p3" :: !order;
+      Sim.Resource.release ~n:1 r);
+  Sim.run sim;
+  Alcotest.(check (list string)) "fifo admission" [ "p2"; "p3" ] (List.rev !order)
+
+let test_determinism_same_seed () =
+  let trace seed =
+    let sim = Sim.create () in
+    let r = Rng.create ~seed in
+    let log = Buffer.create 64 in
+    for i = 1 to 20 do
+      Sim.spawn sim (fun () ->
+          Sim.delay (Rng.exponential r ~mean:100.0);
+          Buffer.add_string log (Printf.sprintf "%d@%.3f;" i (Sim.now sim)))
+    done;
+    Sim.run sim;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical traces" (trace 11) (trace 11);
+  check_bool "different seeds differ" true (trace 11 <> trace 12)
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket *)
+
+let test_token_bucket_steady_rate () =
+  let sim = Sim.create () in
+  let tb = Token_bucket.create ~rate:1000.0 ~burst:1.0 in
+  let meter = Stats.Meter.create () in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 2000 do
+        ignore (Token_bucket.take tb);
+        Stats.Meter.mark meter ~now:(Sim.clock ())
+      done);
+  Sim.run sim;
+  let r = Stats.Meter.rate meter in
+  check_bool "limited to ~1000/s" true (Float.abs (r -. 1000.0) /. 1000.0 < 0.01)
+
+let test_token_bucket_burst () =
+  let sim = Sim.create () in
+  let tb = Token_bucket.create ~rate:10.0 ~burst:100.0 in
+  let waited = ref nan in
+  Sim.spawn sim (fun () ->
+      (* The first 100 tokens are free (full bucket). *)
+      waited := Token_bucket.take_n tb 100.0;
+      check_float "burst free" 0.0 !waited;
+      (* The next token must wait 1/10 s. *)
+      let w = Token_bucket.take tb in
+      check_bool "then throttled" true (Float.abs (w -. 1e8) < 1e3));
+  Sim.run sim
+
+let test_token_bucket_unlimited () =
+  let sim = Sim.create () in
+  let tb = Token_bucket.unlimited () in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 100 do
+        check_float "no wait" 0.0 (Token_bucket.take_n tb 1e9)
+      done);
+  Sim.run sim;
+  check_float "time did not advance" 0.0 (Sim.now sim)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "engine.time",
+      [
+        Alcotest.test_case "unit conversions" `Quick test_time_units;
+        Alcotest.test_case "pretty printing" `Quick test_time_pp;
+      ] );
+    ( "engine.pqueue",
+      [
+        Alcotest.test_case "pops in order" `Quick test_pqueue_order;
+        Alcotest.test_case "FIFO on ties" `Quick test_pqueue_fifo_ties;
+      ] );
+    qsuite "engine.pqueue.prop" [ prop_pqueue_sorted ];
+    ( "engine.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "uniform ranges" `Quick test_rng_uniform_range;
+        Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+        Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+        Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+      ] );
+    qsuite "engine.rng.prop" [ prop_pareto_above_scale ];
+    ( "engine.stats",
+      [
+        Alcotest.test_case "summary basics" `Quick test_summary_basic;
+        Alcotest.test_case "summary merge" `Quick test_summary_merge;
+        Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+        Alcotest.test_case "histogram clamps outliers" `Quick test_histogram_clamps;
+        Alcotest.test_case "meter rate" `Quick test_meter_rate;
+      ] );
+    qsuite "engine.stats.prop"
+      [ prop_histogram_percentile_monotone; prop_histogram_percentile_within_bounds ];
+    ( "engine.sim",
+      [
+        Alcotest.test_case "delay ordering" `Quick test_sim_delay_ordering;
+        Alcotest.test_case "run until horizon" `Quick test_sim_until;
+        Alcotest.test_case "nested fork" `Quick test_sim_nested_fork;
+        Alcotest.test_case "clock inside process" `Quick test_sim_clock_inside;
+        Alcotest.test_case "blocking outside raises" `Quick test_sim_blocking_outside_raises;
+        Alcotest.test_case "stop" `Quick test_sim_stop;
+        Alcotest.test_case "ivar broadcast" `Quick test_ivar;
+        Alcotest.test_case "ivar double fill" `Quick test_ivar_double_fill;
+        Alcotest.test_case "channel FIFO" `Quick test_channel_fifo;
+        Alcotest.test_case "channel waiter order" `Quick test_channel_waiter_order;
+        Alcotest.test_case "resource mutual exclusion" `Quick test_resource_mutual_exclusion;
+        Alcotest.test_case "resource capacity" `Quick test_resource_capacity_respected;
+        Alcotest.test_case "resource no barging" `Quick test_resource_no_barging;
+        Alcotest.test_case "deterministic replay" `Quick test_determinism_same_seed;
+      ] );
+    ( "engine.token_bucket",
+      [
+        Alcotest.test_case "steady rate" `Quick test_token_bucket_steady_rate;
+        Alcotest.test_case "burst then throttle" `Quick test_token_bucket_burst;
+        Alcotest.test_case "unlimited" `Quick test_token_bucket_unlimited;
+      ] );
+  ]
+
+(* Property: a token bucket never over-admits — for any schedule of
+   take_n requests, total tokens granted by time T never exceeds
+   burst + rate * T. *)
+let prop_token_bucket_never_overadmits =
+  QCheck.Test.make ~name:"token bucket conserves tokens" ~count:100
+    QCheck.(pair (int_range 1 500) (list_of_size (Gen.int_range 1 100) (int_range 1 50)))
+    (fun (rate_hz, takes) ->
+      let sim = Sim.create () in
+      let rate = float_of_int rate_hz in
+      let burst = 10.0 in
+      let tb = Token_bucket.create ~rate ~burst in
+      let granted_by = ref [] in
+      Sim.spawn sim (fun () ->
+          List.iter
+            (fun n ->
+              ignore (Token_bucket.take_n tb (float_of_int n));
+              granted_by := (Sim.clock (), n) :: !granted_by)
+            takes);
+      Sim.run sim;
+      List.for_all
+        (fun (t, _) ->
+          let total_by_t =
+            List.fold_left
+              (fun acc (t', n) -> if t' <= t then acc + n else acc)
+              0 !granted_by
+          in
+          float_of_int total_by_t <= burst +. (rate *. t /. 1e9) +. 1e-6)
+        !granted_by)
+
+let () = ignore prop_token_bucket_never_overadmits
+
+let extra_prop_suites =
+  [ ("engine.token_bucket.prop", List.map QCheck_alcotest.to_alcotest [ prop_token_bucket_never_overadmits ]) ]
+
+let suites = suites @ extra_prop_suites
+
+(* Trace *)
+let test_trace_basics () =
+  let tr = Trace.create () in
+  Trace.instant tr ~track:"net" "kick" ~now:10.0;
+  Trace.begin_span tr ~track:"net" "dma" ~now:20.0;
+  Trace.end_span tr ~track:"net" "dma" ~now:70.0;
+  Trace.counter tr ~track:"net" "inflight" ~now:80.0 3.0;
+  check_int "four events" 4 (List.length (Trace.events tr));
+  check_int "track count" 4 (Trace.count tr ~track:"net" ());
+  check_int "named count" 1 (Trace.count tr ~track:"net" ~name:"kick" ());
+  Alcotest.(check (list (float 1e-9))) "span duration" [ 50.0 ] (Trace.span_durations tr ~track:"net" "dma");
+  check_bool "renders" true (String.length (Trace.render tr) > 0);
+  Trace.clear tr;
+  check_int "cleared" 0 (List.length (Trace.events tr))
+
+let test_trace_ring_bounds () =
+  let tr = Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Trace.instant tr ~track:"t" (string_of_int i) ~now:(float_of_int i)
+  done;
+  check_int "bounded" 8 (List.length (Trace.events tr));
+  check_int "dropped counted" 12 (Trace.dropped tr);
+  (* Oldest retained is event 13. *)
+  (match Trace.events tr with
+  | first :: _ -> Alcotest.(check string) "oldest" "13" first.Trace.name
+  | [] -> Alcotest.fail "empty");
+  ()
+
+let test_trace_span_in_simulation () =
+  let sim = Sim.create () in
+  let tr = Trace.create () in
+  Sim.spawn sim (fun () ->
+      Trace.span tr ~track:"guest" "request" ~clock:Sim.clock (fun () -> Sim.delay 123.0));
+  Sim.run sim;
+  Alcotest.(check (list (float 1e-9))) "span measured sim time" [ 123.0 ]
+    (Trace.span_durations tr ~track:"guest" "request")
+
+let trace_suites =
+  [
+    ( "engine.trace",
+      [
+        Alcotest.test_case "basics" `Quick test_trace_basics;
+        Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+        Alcotest.test_case "span in simulation" `Quick test_trace_span_in_simulation;
+      ] );
+  ]
+
+let suites = suites @ trace_suites
+
+(* Remaining edge cases. *)
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~time:1.0 ~seq:1 "x";
+  Pqueue.add q ~time:2.0 ~seq:2 "y";
+  check_int "two" 2 (Pqueue.length q);
+  Pqueue.clear q;
+  check_bool "empty after clear" true (Pqueue.is_empty q);
+  check_bool "pop empty" true (Pqueue.pop q = None);
+  check_bool "peek empty" true (Pqueue.peek q = None)
+
+let test_channel_try_recv () =
+  let sim = Sim.create () in
+  let ch = Sim.Channel.create () in
+  check_bool "empty" true (Sim.Channel.try_recv ch = None);
+  Sim.spawn sim (fun () ->
+      Sim.Channel.send ch 5;
+      Sim.Channel.send ch 6;
+      check_int "length" 2 (Sim.Channel.length ch);
+      Alcotest.(check (option int)) "first" (Some 5) (Sim.Channel.try_recv ch);
+      Alcotest.(check (option int)) "second" (Some 6) (Sim.Channel.try_recv ch);
+      check_bool "drained" true (Sim.Channel.try_recv ch = None));
+  Sim.run sim
+
+exception Boom
+
+let test_with_resource_exception_safe () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create ~capacity:1 in
+  let second_ran = ref false in
+  Sim.spawn sim (fun () ->
+      (try Sim.Resource.with_resource r (fun () -> raise Boom) with Boom -> ());
+      check_int "released after raise" 0 (Sim.Resource.in_use r));
+  Sim.spawn sim (fun () ->
+      Sim.delay 1.0;
+      Sim.Resource.with_resource r (fun () -> second_ran := true));
+  Sim.run sim;
+  check_bool "resource reusable" true !second_ran
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  for i = 1 to 100 do
+    Stats.Histogram.add a (float_of_int i)
+  done;
+  for i = 101 to 200 do
+    Stats.Histogram.add b (float_of_int i)
+  done;
+  let m = Stats.Histogram.merge a b in
+  check_int "merged count" 200 (Stats.Histogram.count m);
+  check_float "merged min" 1.0 (Stats.Histogram.min m);
+  check_float "merged max" 200.0 (Stats.Histogram.max m);
+  let p50 = Stats.Histogram.percentile m 50.0 in
+  check_bool "p50 near 100" true (Float.abs (p50 -. 100.0) /. 100.0 < 0.05)
+
+let test_schedule_callback_outside_process () =
+  let sim = Sim.create () in
+  let ran_at = ref nan in
+  Sim.schedule sim ~delay:42.0 (fun () -> ran_at := Sim.now sim);
+  Sim.run sim;
+  check_float "callback at 42" 42.0 !ran_at
+
+let edge_suites =
+  [
+    ( "engine.edges",
+      [
+        Alcotest.test_case "pqueue clear" `Quick test_pqueue_clear;
+        Alcotest.test_case "channel try_recv" `Quick test_channel_try_recv;
+        Alcotest.test_case "with_resource exception-safe" `Quick test_with_resource_exception_safe;
+        Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+        Alcotest.test_case "bare callback scheduling" `Quick test_schedule_callback_outside_process;
+      ] );
+  ]
+
+let suites = suites @ edge_suites

@@ -1,0 +1,467 @@
+(* Tests for the virtio substrate: rings, PCI transport, devices. *)
+
+open Bm_engine
+open Bm_virtio
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let pkt ?(size = 64) id =
+  Packet.make ~id ~src:0 ~dst:1 ~size ~protocol:Packet.Udp ~sent_at:0.0 ()
+
+(* ------------------------------------------------------------------ *)
+(* Vring basics *)
+
+let test_vring_create_validation () =
+  Alcotest.check_raises "non power of two" (Invalid_argument "Vring.create: size must be a power of two in [2, 32768]")
+    (fun () -> ignore (Vring.create ~size:100));
+  let r = Vring.create ~size:8 in
+  check_int "size" 8 (Vring.size r);
+  check_int "all free" 8 (Vring.num_free r)
+
+let test_vring_roundtrip () =
+  let r = Vring.create ~size:8 in
+  let p = pkt 1 in
+  (match Vring.add r ~out:[ 12; 64 ] ~in_:[] p with
+  | None -> Alcotest.fail "add failed"
+  | Some head ->
+    check_int "two descs consumed" 6 (Vring.num_free r);
+    check_int "avail pending" 1 (Vring.avail_pending r);
+    (match Vring.pop_avail r with
+    | None -> Alcotest.fail "nothing avail"
+    | Some chain ->
+      check_int "head matches" head chain.Vring.head;
+      check_int "out bytes" 76 (Vring.total_out_bytes chain);
+      check_int "in bytes" 0 (Vring.total_in_bytes chain);
+      check_bool "payload preserved" true (chain.Vring.payload == p));
+    Vring.push_used r ~head ~written:0;
+    (match Vring.pop_used r with
+    | Some (payload, written) ->
+      check_bool "payload back" true (payload == p);
+      check_int "written" 0 written
+    | None -> Alcotest.fail "no used entry"));
+  check_int "descs recycled" 8 (Vring.num_free r)
+
+let test_vring_fills_up () =
+  let r = Vring.create ~size:4 in
+  (* Each request takes 2 descriptors: only 2 fit. *)
+  check_bool "1st" true (Vring.add r ~out:[ 12; 64 ] ~in_:[] (pkt 1) <> None);
+  check_bool "2nd" true (Vring.add r ~out:[ 12; 64 ] ~in_:[] (pkt 2) <> None);
+  check_bool "3rd rejected" true (Vring.add r ~out:[ 12; 64 ] ~in_:[] (pkt 3) = None);
+  check_int "no free" 0 (Vring.num_free r)
+
+let test_vring_indirect_single_slot () =
+  let r = Vring.create ~size:4 in
+  (* An 8-segment request fits in one slot with indirect descriptors. *)
+  let segs = [ 16; 512; 512; 512; 512; 512; 512; 1 ] in
+  check_bool "direct rejected" true (Vring.add r ~out:segs ~in_:[] (pkt 1) = None);
+  check_bool "indirect accepted" true
+    (Vring.add r ~indirect:true ~out:segs ~in_:[] (pkt 1) <> None);
+  check_int "one desc used" 3 (Vring.num_free r);
+  match Vring.pop_avail r with
+  | Some chain ->
+    check_bool "flagged indirect" true chain.Vring.indirect;
+    check_int "all segments visible" 8 (List.length chain.Vring.out)
+  | None -> Alcotest.fail "indirect chain not available"
+
+let test_vring_fifo_order () =
+  let r = Vring.create ~size:16 in
+  for i = 1 to 5 do
+    ignore (Vring.add r ~out:[ 64 ] ~in_:[] (pkt i))
+  done;
+  for i = 1 to 5 do
+    match Vring.pop_avail r with
+    | Some chain -> check_int "fifo" i chain.Vring.payload.Packet.id
+    | None -> Alcotest.fail "missing chain"
+  done
+
+let test_vring_out_of_order_completion () =
+  let r = Vring.create ~size:16 in
+  let heads = List.filter_map (fun i -> Vring.add r ~out:[ 64 ] ~in_:[] (pkt i)) [ 1; 2; 3 ] in
+  List.iter (fun _ -> ignore (Vring.pop_avail r)) heads;
+  (* Complete in reverse order: driver reaps in completion order. *)
+  List.iter (fun head -> Vring.push_used r ~head ~written:0) (List.rev heads);
+  let ids =
+    List.filter_map (fun _ -> Option.map (fun (p, _) -> p.Packet.id) (Vring.pop_used r)) heads
+  in
+  Alcotest.(check (list int)) "completion order" [ 3; 2; 1 ] ids;
+  check_int "all recycled" 16 (Vring.num_free r)
+
+let test_vring_set_payload () =
+  let r = Vring.create ~size:8 in
+  let placeholder = pkt 0 in
+  (match Vring.add r ~out:[] ~in_:[ 12; 1536 ] placeholder with
+  | None -> Alcotest.fail "add failed"
+  | Some head ->
+    ignore (Vring.pop_avail r);
+    let received = pkt 42 in
+    Vring.set_payload r ~head received;
+    Vring.push_used r ~head ~written:received.Packet.size;
+    (match Vring.pop_used r with
+    | Some (p, written) ->
+      check_int "device payload" 42 p.Packet.id;
+      check_int "written" 64 written
+    | None -> Alcotest.fail "no used"))
+
+let test_vring_push_used_unpopped_rejected () =
+  let r = Vring.create ~size:8 in
+  Alcotest.check_raises "bogus head"
+    (Invalid_argument "Vring.push_used: head not outstanding") (fun () ->
+      Vring.push_used r ~head:3 ~written:0)
+
+let test_vring_index_wraparound () =
+  let r = Vring.create ~size:4 in
+  (* Cycle far past 2^16 to exercise free-running index wrap. *)
+  for i = 0 to 70_000 do
+    match Vring.add r ~out:[ 64 ] ~in_:[] (pkt i) with
+    | None -> Alcotest.fail "ring should never be full in lockstep"
+    | Some head ->
+      (match Vring.pop_avail r with
+      | Some chain -> check_int "lockstep id" i chain.Vring.payload.Packet.id
+      | None -> Alcotest.fail "avail missing");
+      Vring.push_used r ~head ~written:0;
+      (match Vring.pop_used r with
+      | Some (p, _) -> if p.Packet.id <> i then Alcotest.failf "wrap mismatch at %d" i
+      | None -> Alcotest.fail "used missing")
+  done;
+  check_bool "invariants hold after wrap" true (Vring.check_invariants r = Ok ())
+
+(* Random driver/device interleaving preserving all ring invariants. *)
+let prop_vring_random_ops =
+  QCheck.Test.make ~name:"vring invariants under random op interleavings" ~count:300
+    QCheck.(pair (int_range 0 3) (list_of_size (Gen.int_range 10 400) (int_range 0 99)))
+    (fun (size_exp, ops) ->
+      let size = 4 lsl size_exp in
+      let r = Vring.create ~size in
+      let popped = Queue.create () in
+      let added = ref 0 and reaped = ref 0 in
+      let step op =
+        if op < 40 then begin
+          (* driver add: 1-3 segments, sometimes indirect *)
+          let nsegs = 1 + (op mod 3) in
+          let indirect = op mod 7 = 0 in
+          match Vring.add r ~indirect ~out:(List.init nsegs (fun i -> 64 * (i + 1))) ~in_:[] (pkt op) with
+          | Some _ -> incr added
+          | None -> ()
+        end
+        else if op < 70 then begin
+          match Vring.pop_avail r with
+          | Some chain -> Queue.add chain.Vring.head popped
+          | None -> ()
+        end
+        else if op < 85 then begin
+          match Queue.take_opt popped with
+          | Some head -> Vring.push_used r ~head ~written:0
+          | None -> ()
+        end
+        else
+          match Vring.pop_used r with Some _ -> incr reaped | None -> ()
+      in
+      List.iter step ops;
+      match Vring.check_invariants r with
+      | Ok () -> !reaped <= !added
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_vring_conservation =
+  QCheck.Test.make ~name:"every added payload is reaped exactly once" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_range 1 1000))
+    (fun ids ->
+      let r = Vring.create ~size:16 in
+      let seen = Hashtbl.create 64 in
+      let submit_and_drain id =
+        match Vring.add r ~out:[ 64 ] ~in_:[] (pkt id) with
+        | None ->
+          (* ring full: drain device and driver sides, then retry once *)
+          (match Vring.pop_avail r with
+          | Some chain -> Vring.push_used r ~head:chain.Vring.head ~written:0
+          | None -> ());
+          (match Vring.pop_used r with
+          | Some (p, _) -> Hashtbl.replace seen p.Packet.id (1 + Option.value ~default:0 (Hashtbl.find_opt seen p.Packet.id))
+          | None -> ());
+          ignore (Vring.add r ~out:[ 64 ] ~in_:[] (pkt id))
+        | Some _ -> ()
+      in
+      List.iter submit_and_drain ids;
+      (* Drain everything. *)
+      let rec drain () =
+        match Vring.pop_avail r with
+        | Some chain ->
+          Vring.push_used r ~head:chain.Vring.head ~written:0;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      let rec reap () =
+        match Vring.pop_used r with
+        | Some (p, _) ->
+          Hashtbl.replace seen p.Packet.id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt seen p.Packet.id));
+          reap ()
+        | None -> ()
+      in
+      reap ();
+      Hashtbl.fold (fun _ n ok -> ok && n >= 1) seen true
+      && Vring.check_invariants r = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Virtio PCI *)
+
+let test_pci_probe_happy_path () =
+  let accesses = ref 0 in
+  let pci =
+    Virtio_pci.create ~kind:Virtio_pci.Net ~num_queues:2 ~queue_size:256
+      ~on_access:(fun () -> incr accesses)
+  in
+  (match Virtio_pci.probe pci ~driver_features:Feature.default_net with
+  | Ok (features, queues, size) ->
+    check_bool "indirect negotiated" true (Feature.contains features Feature.indirect_desc);
+    check_int "queues" 2 queues;
+    check_int "queue size" 256 size
+  | Error e -> Alcotest.fail e);
+  check_bool "driver ok" true (Virtio_pci.driver_ok pci);
+  check_bool "costed accesses" true (!accesses >= 10);
+  check_int "counted equally" !accesses (Virtio_pci.access_count pci)
+
+let test_pci_feature_subset_enforced () =
+  let pci =
+    Virtio_pci.create ~kind:Virtio_pci.Blk ~num_queues:1 ~queue_size:128 ~on_access:ignore
+  in
+  (* A driver asking for net-only features on a blk device negotiates the
+     intersection. *)
+  match Virtio_pci.probe pci ~driver_features:(Feature.union Feature.default_blk Feature.mrg_rxbuf) with
+  | Ok (features, _, _) ->
+    check_bool "mrg_rxbuf not granted" false (Feature.contains features Feature.mrg_rxbuf);
+    check_bool "indirect granted" true (Feature.contains features Feature.indirect_desc)
+  | Error e -> Alcotest.fail e
+
+let test_pci_reset_clears_state () =
+  let pci =
+    Virtio_pci.create ~kind:Virtio_pci.Net ~num_queues:1 ~queue_size:64 ~on_access:ignore
+  in
+  (match Virtio_pci.probe pci ~driver_features:Feature.default_net with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Virtio_pci.write pci Virtio_pci.Device_status 0;
+  check_bool "driver_ok cleared" false (Virtio_pci.driver_ok pci);
+  check_int "features cleared" 0 (Virtio_pci.read pci Virtio_pci.Driver_features)
+
+let test_pci_readonly_registers () =
+  let pci =
+    Virtio_pci.create ~kind:Virtio_pci.Net ~num_queues:1 ~queue_size:64 ~on_access:ignore
+  in
+  Alcotest.check_raises "write vendor"
+    (Invalid_argument "Virtio_pci: write to read-only register") (fun () ->
+      Virtio_pci.write pci Virtio_pci.Vendor_id 0)
+
+(* ------------------------------------------------------------------ *)
+(* Virtio net device *)
+
+let test_net_xmit_and_backend_drain () =
+  let dev = Virtio_net.create ~on_access:ignore () in
+  let kicks = ref 0 in
+  Virtio_net.set_notify dev ~tx:(fun () -> incr kicks) ~rx:ignore;
+  check_bool "xmit ok" true (Virtio_net.xmit dev (pkt 7));
+  check_int "kicked" 1 !kicks;
+  (* Backend drains the tx ring. *)
+  let ring = Virtio_net.tx_ring dev in
+  (match Vring.pop_avail ring with
+  | Some chain ->
+    check_int "hdr+payload" (12 + 64) (Vring.total_out_bytes chain);
+    Vring.push_used ring ~head:chain.Vring.head ~written:0
+  | None -> Alcotest.fail "backend saw nothing");
+  check_int "reaped" 1 (Virtio_net.reap_tx dev)
+
+let test_net_rx_path () =
+  let dev = Virtio_net.create ~on_access:ignore () in
+  let irqs = ref 0 in
+  Virtio_net.set_interrupt dev (fun () -> incr irqs);
+  let posted = Virtio_net.refill_rx dev ~target:32 in
+  check_int "posted 32" 32 posted;
+  check_int "idempotent refill" 0 (Virtio_net.refill_rx dev ~target:32);
+  (* Device delivers two packets. *)
+  let ring = Virtio_net.rx_ring dev in
+  List.iter
+    (fun id ->
+      match Vring.pop_avail ring with
+      | Some chain ->
+        let p = pkt id in
+        Vring.set_payload ring ~head:chain.Vring.head p;
+        Vring.push_used ring ~head:chain.Vring.head ~written:p.Packet.size;
+        Virtio_net.fire_interrupt dev
+      | None -> Alcotest.fail "no rx buffer")
+    [ 100; 101 ];
+  check_int "two interrupts" 2 !irqs;
+  let received = Virtio_net.reap_rx dev in
+  Alcotest.(check (list int)) "payload ids" [ 100; 101 ]
+    (List.map (fun p -> p.Packet.id) received);
+  (* Buffers were consumed; refill tops it back up. *)
+  check_int "refill replaces" 2 (Virtio_net.refill_rx dev ~target:32)
+
+let test_net_tx_full_drops () =
+  let dev = Virtio_net.create ~queue_size:4 ~on_access:ignore () in
+  (* queue_size 4, each packet = 2 descs -> 2 packets fit *)
+  check_bool "1st" true (Virtio_net.xmit dev (pkt 1));
+  check_bool "2nd" true (Virtio_net.xmit dev (pkt 2));
+  check_bool "3rd dropped" false (Virtio_net.xmit dev (pkt 3));
+  check_int "drop counted" 1 (Virtio_net.tx_dropped dev)
+
+let test_net_probe () =
+  let accesses = ref 0 in
+  let dev = Virtio_net.create ~on_access:(fun () -> incr accesses) () in
+  (match Virtio_net.probe dev with Ok () -> () | Error e -> Alcotest.fail e);
+  check_bool "probe costs accesses" true (!accesses > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Virtio blk device *)
+
+let test_blk_submit_complete () =
+  let sim = Sim.create () in
+  let dev = Virtio_blk.create ~on_access:ignore () in
+  let latency = ref nan in
+  Sim.spawn sim (fun () ->
+      let req = Virtio_blk.make_req ~op:Virtio_blk.Read ~sector:0 ~bytes:4096 ~now:(Sim.clock ()) in
+      check_bool "submitted" true (Virtio_blk.submit dev req);
+      let done_at = Sim.Ivar.read req.Virtio_blk.done_ in
+      latency := done_at -. req.Virtio_blk.submitted_at);
+  (* Backend: serve the request 100us later. *)
+  Sim.spawn sim (fun () ->
+      Sim.delay 100_000.0;
+      let ring = Virtio_blk.ring dev in
+      (match Vring.pop_avail ring with
+      | Some chain ->
+        (* read request: header out, data + status in *)
+        check_int "out = header" 16 (Vring.total_out_bytes chain);
+        check_int "in = data+status" 4097 (Vring.total_in_bytes chain);
+        Vring.push_used ring ~head:chain.Vring.head ~written:4097
+      | None -> Alcotest.fail "no request");
+      ignore (Virtio_blk.reap dev));
+  Sim.run sim;
+  Alcotest.(check (float 1.0)) "latency = backend delay" 100_000.0 !latency
+
+let test_blk_write_layout () =
+  let dev = Virtio_blk.create ~on_access:ignore () in
+  let req = Virtio_blk.make_req ~op:Virtio_blk.Write ~sector:8 ~bytes:8192 ~now:0.0 in
+  check_bool "submitted" true (Virtio_blk.submit dev req);
+  match Vring.pop_avail (Virtio_blk.ring dev) with
+  | Some chain ->
+    check_int "out = header+data" (16 + 8192) (Vring.total_out_bytes chain);
+    check_int "in = status" 1 (Vring.total_in_bytes chain)
+  | None -> Alcotest.fail "no request"
+
+let test_blk_queue_depth () =
+  let dev = Virtio_blk.create ~queue_size:8 ~on_access:ignore () in
+  (* Read = 3 descriptors -> 2 fit in 8, 3rd rejected. *)
+  let submit () =
+    Virtio_blk.submit dev (Virtio_blk.make_req ~op:Virtio_blk.Read ~sector:0 ~bytes:4096 ~now:0.0)
+  in
+  check_bool "1" true (submit ());
+  check_bool "2" true (submit ());
+  check_bool "3 rejected" false (submit ());
+  (* Indirect requests keep fitting. *)
+  check_bool "indirect fits" true
+    (Virtio_blk.submit dev ~indirect:true
+       (Virtio_blk.make_req ~op:Virtio_blk.Read ~sector:0 ~bytes:4096 ~now:0.0))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let suites =
+  [
+    ( "virtio.vring",
+      [
+        Alcotest.test_case "create validation" `Quick test_vring_create_validation;
+        Alcotest.test_case "roundtrip" `Quick test_vring_roundtrip;
+        Alcotest.test_case "fills up" `Quick test_vring_fills_up;
+        Alcotest.test_case "indirect descriptors" `Quick test_vring_indirect_single_slot;
+        Alcotest.test_case "FIFO avail order" `Quick test_vring_fifo_order;
+        Alcotest.test_case "out-of-order completion" `Quick test_vring_out_of_order_completion;
+        Alcotest.test_case "device sets payload" `Quick test_vring_set_payload;
+        Alcotest.test_case "push_used validation" `Quick test_vring_push_used_unpopped_rejected;
+        Alcotest.test_case "index wraparound past 2^16" `Quick test_vring_index_wraparound;
+      ] );
+    qsuite "virtio.vring.prop" [ prop_vring_random_ops; prop_vring_conservation ];
+    ( "virtio.pci",
+      [
+        Alcotest.test_case "probe happy path" `Quick test_pci_probe_happy_path;
+        Alcotest.test_case "feature subset" `Quick test_pci_feature_subset_enforced;
+        Alcotest.test_case "reset clears state" `Quick test_pci_reset_clears_state;
+        Alcotest.test_case "read-only registers" `Quick test_pci_readonly_registers;
+      ] );
+    ( "virtio.net",
+      [
+        Alcotest.test_case "xmit / backend drain" `Quick test_net_xmit_and_backend_drain;
+        Alcotest.test_case "rx path" `Quick test_net_rx_path;
+        Alcotest.test_case "tx full drops" `Quick test_net_tx_full_drops;
+        Alcotest.test_case "probe" `Quick test_net_probe;
+      ] );
+    ( "virtio.blk",
+      [
+        Alcotest.test_case "submit/complete" `Quick test_blk_submit_complete;
+        Alcotest.test_case "write layout" `Quick test_blk_write_layout;
+        Alcotest.test_case "queue depth" `Quick test_blk_queue_depth;
+      ] );
+  ]
+
+(* EVENT_IDX notification suppression (spec 2.6.7/2.6.8). *)
+let test_event_idx_interrupt_suppression () =
+  let r = Vring.create ~size:16 in
+  (* Without arming: every completion owes an interrupt. *)
+  (match Vring.add r ~out:[ 64 ] ~in_:[] (pkt 1) with
+  | Some head ->
+    ignore (Vring.pop_avail r);
+    Vring.push_used r ~head ~written:0;
+    check_bool "default fires" true (Vring.should_interrupt r);
+    check_bool "flag consumed" false (Vring.should_interrupt r);
+    ignore (Vring.pop_used r)
+  | None -> Alcotest.fail "add failed");
+  (* Armed: only the crossing completion fires. *)
+  let heads = List.filter_map (fun i -> Vring.add r ~out:[ 64 ] ~in_:[] (pkt i)) [ 1; 2; 3; 4 ] in
+  List.iter (fun _ -> ignore (Vring.pop_avail r)) heads;
+  (* Driver: "interrupt me when used_idx passes old+3". *)
+  Vring.set_used_event r (Vring.used_idx r + 2);
+  (match heads with
+  | [ a; b; c; d ] ->
+    Vring.push_used r ~head:a ~written:0;
+    check_bool "1st suppressed" false (Vring.should_interrupt r);
+    Vring.push_used r ~head:b ~written:0;
+    check_bool "2nd suppressed" false (Vring.should_interrupt r);
+    Vring.push_used r ~head:c ~written:0;
+    check_bool "3rd crosses the event" true (Vring.should_interrupt r);
+    Vring.push_used r ~head:d ~written:0;
+    check_bool "4th suppressed again" false (Vring.should_interrupt r)
+  | _ -> Alcotest.fail "expected 4 heads")
+
+let test_event_idx_notify_suppression () =
+  let r = Vring.create ~size:16 in
+  (* Device arms "kick me when avail passes current+2". *)
+  Vring.set_avail_event r (Vring.avail_idx r + 1);
+  ignore (Vring.add r ~out:[ 64 ] ~in_:[] (pkt 1));
+  check_bool "1st add: no kick needed" false (Vring.should_notify r);
+  ignore (Vring.add r ~out:[ 64 ] ~in_:[] (pkt 2));
+  check_bool "2nd add crosses: kick" true (Vring.should_notify r);
+  ignore (Vring.add r ~out:[ 64 ] ~in_:[] (pkt 3));
+  check_bool "3rd add: suppressed" false (Vring.should_notify r)
+
+let event_idx_suites =
+  [
+    ( "virtio.event_idx",
+      [
+        Alcotest.test_case "interrupt suppression" `Quick test_event_idx_interrupt_suppression;
+        Alcotest.test_case "notify suppression" `Quick test_event_idx_notify_suppression;
+      ] );
+  ]
+
+let suites = suites @ event_idx_suites
+
+(* Payload accessor errors. *)
+let test_vring_payload_accessor () =
+  let r = Vring.create ~size:8 in
+  Alcotest.check_raises "absent head" (Invalid_argument "Vring.payload: head not outstanding")
+    (fun () -> ignore (Vring.payload r ~head:2));
+  match Vring.add r ~out:[ 64 ] ~in_:[] (pkt 9) with
+  | Some head -> check_int "payload visible" 9 (Vring.payload r ~head).Packet.id
+  | None -> Alcotest.fail "add failed"
+
+let accessor_suites =
+  [ ("virtio.accessors", [ Alcotest.test_case "payload accessor" `Quick test_vring_payload_accessor ]) ]
+
+let suites = suites @ accessor_suites
