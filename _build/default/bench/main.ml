@@ -4,12 +4,62 @@
      bench/main.exe                 run every experiment (full scale)
      bench/main.exe fig12 fig13     run selected experiments
      bench/main.exe --quick         reduced scale (CI-sized)
+     bench/main.exe --seed N        deterministic seed (default 2020)
+     bench/main.exe --trace FILE    write a Chrome trace_event JSON of the run
+     bench/main.exe --metrics       print the datapath metrics table afterwards
      bench/main.exe --list          list experiment ids
      bench/main.exe --bechamel      bechamel micro-benchmarks of the
                                     (quick-scale) experiment runs *)
 
 let usage () =
-  print_endline "usage: main.exe [--quick] [--seed N] [--list] [--bechamel] [experiment ids...]"
+  print_endline
+    "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--list] [--bechamel] \
+     [experiment ids...]"
+
+type options = {
+  quick : bool;
+  seed : int;
+  trace_file : string option;
+  metrics : bool;
+  list : bool;
+  bechamel : bool;
+  help : bool;
+  targets : string list;
+}
+
+let default_options =
+  {
+    quick = false;
+    seed = 2020;
+    trace_file = None;
+    metrics = false;
+    list = false;
+    bechamel = false;
+    help = false;
+    targets = [];
+  }
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; usage (); exit 2) fmt
+
+(* A proper recursive parser: flags consume their own values, everything
+   else is a positional experiment id (so "--seed 7 fig7" no longer
+   swallows positionals that happen to spell the seed). *)
+let rec parse opts = function
+  | [] -> { opts with targets = List.rev opts.targets }
+  | "--quick" :: rest -> parse { opts with quick = true } rest
+  | "--metrics" :: rest -> parse { opts with metrics = true } rest
+  | "--list" :: rest -> parse { opts with list = true } rest
+  | "--bechamel" :: rest -> parse { opts with bechamel = true } rest
+  | ("--help" | "-h") :: rest -> parse { opts with help = true } rest
+  | "--seed" :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some seed -> parse { opts with seed } rest
+    | None -> fail "--seed expects an integer, got %S" v)
+  | [ "--seed" ] -> fail "--seed expects a value"
+  | "--trace" :: file :: rest -> parse { opts with trace_file = Some file } rest
+  | [ "--trace" ] -> fail "--trace expects a file name"
+  | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> fail "unknown flag %S" arg
+  | id :: rest -> parse { opts with targets = id :: opts.targets } rest
 
 (* One bechamel Test.make per table/figure: measures the wall-clock cost
    of the (quick-scale) experiment regeneration itself, so regressions in
@@ -21,7 +71,8 @@ let bechamel_suite seed =
       (fun spec ->
         Test.make ~name:spec.Bmhive.Experiments.id
           (Staged.stage (fun () ->
-               ignore (spec.Bmhive.Experiments.run ~quick:true ~seed))))
+               ignore
+                 (spec.Bmhive.Experiments.run ~trace:None ~metrics:None ~quick:true ~seed))))
       Bmhive.Experiments.all
   in
   Test.make_grouped ~name:"experiments" tests
@@ -42,41 +93,44 @@ let run_bechamel seed =
     results
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "--quick" args in
-  let bechamel = List.mem "--bechamel" args in
-  let rec seed_of = function
-    | "--seed" :: v :: _ -> int_of_string v
-    | _ :: rest -> seed_of rest
-    | [] -> 2020
-  in
-  let seed = seed_of args in
-  let positional =
-    List.filter
-      (fun a -> (not (String.length a > 1 && a.[0] = '-')) && a <> string_of_int seed)
-      args
-  in
-  if List.mem "--help" args then usage ()
-  else if List.mem "--list" args then
+  let opts = parse default_options (List.tl (Array.to_list Sys.argv)) in
+  if opts.help then usage ()
+  else if opts.list then
     List.iter
       (fun s ->
         Printf.printf "%-10s %-10s %s\n" s.Bmhive.Experiments.id s.Bmhive.Experiments.paper_ref
           s.Bmhive.Experiments.title)
       Bmhive.Experiments.all
-  else if bechamel then run_bechamel seed
+  else if opts.bechamel then run_bechamel opts.seed
   else begin
-    let targets = if positional = [] then Bmhive.Experiments.ids () else positional in
+    let trace = Option.map (fun _ -> Bm_engine.Trace.create ()) opts.trace_file in
+    let metrics = if opts.metrics then Some (Bm_engine.Metrics.create ()) else None in
+    let targets = if opts.targets = [] then Bmhive.Experiments.ids () else opts.targets in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun id ->
-        match Bmhive.Experiments.run_one ~quick ~seed id with
+        match Bmhive.Experiments.run_one ~quick:opts.quick ~seed:opts.seed ?trace ?metrics id with
         | Ok outcome -> Bmhive.Experiments.print_outcome outcome
         | Error e ->
           prerr_endline e;
           exit 1)
       targets;
+    (match metrics with
+    | Some m when not (Bm_engine.Metrics.is_empty m) ->
+      print_endline "";
+      print_endline (Bmhive.Report.metrics_table ~title:"datapath metrics" m)
+    | Some _ | None -> ());
+    (match (opts.trace_file, trace) with
+    | Some file, Some t ->
+      let oc = open_out file in
+      output_string oc (Bm_engine.Trace.export_json t);
+      close_out oc;
+      Printf.printf "\ntrace: %d event(s) written to %s (open in chrome://tracing)\n"
+        (List.length (Bm_engine.Trace.events t))
+        file
+    | _ -> ());
     Printf.printf "\n%d experiment(s) in %.1fs (%s scale, seed %d)\n" (List.length targets)
       (Unix.gettimeofday () -. t0)
-      (if quick then "quick" else "full")
-      seed
+      (if opts.quick then "quick" else "full")
+      opts.seed
   end

@@ -17,6 +17,17 @@ let seed_arg =
   let doc = "Deterministic seed for every simulation." in
   Arg.(value & opt int 2020 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record the datapath as Chrome trace_event JSON into $(docv) (open in chrome://tracing \
+     or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Collect datapath metrics and print the summary table after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
 (* --- list ----------------------------------------------------------- *)
 
 let list_cmd =
@@ -37,12 +48,32 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,list)); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed ids =
+  let run quick seed trace_file metrics_wanted ids =
+    let trace = Option.map (fun _ -> Bm_engine.Trace.create ()) trace_file in
+    let metrics = if metrics_wanted then Some (Bm_engine.Metrics.create ()) else None in
     let targets = if ids = [] then Bmhive.Experiments.ids () else ids in
+    let finish () =
+      (match metrics with
+      | Some m when not (Bm_engine.Metrics.is_empty m) ->
+        print_endline "";
+        print_endline (Bmhive.Report.metrics_table ~title:"datapath metrics" m)
+      | Some _ | None -> ());
+      match (trace_file, trace) with
+      | Some file, Some t ->
+        let oc = open_out file in
+        output_string oc (Bm_engine.Trace.export_json t);
+        close_out oc;
+        Printf.printf "\ntrace: %d event(s) written to %s\n"
+          (List.length (Bm_engine.Trace.events t))
+          file
+      | _ -> ()
+    in
     let rec go = function
-      | [] -> `Ok ()
+      | [] ->
+        finish ();
+        `Ok ()
       | id :: rest -> (
-        match Bmhive.Experiments.run_one ~quick ~seed id with
+        match Bmhive.Experiments.run_one ~quick ~seed ?trace ?metrics id with
         | Ok outcome ->
           Bmhive.Experiments.print_outcome outcome;
           go rest
@@ -52,7 +83,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures from the simulation.")
-    Term.(ret (const run $ quick_arg $ seed_arg $ ids_arg))
+    Term.(ret (const run $ quick_arg $ seed_arg $ trace_arg $ metrics_arg $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

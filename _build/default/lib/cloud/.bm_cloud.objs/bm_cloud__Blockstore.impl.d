@@ -1,1 +1,1 @@
-lib/cloud/blockstore.ml: Bm_engine Rng Sim
+lib/cloud/blockstore.ml: Bm_engine Metrics Obs Rng Sim Trace

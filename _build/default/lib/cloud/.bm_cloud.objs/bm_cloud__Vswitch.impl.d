@@ -1,1 +1,1 @@
-lib/cloud/vswitch.ml: Bm_engine Bm_hw Bm_virtio Cores Hashtbl Packet Sim
+lib/cloud/vswitch.ml: Bm_engine Bm_hw Bm_virtio Cores Hashtbl Metrics Obs Packet Sim Trace

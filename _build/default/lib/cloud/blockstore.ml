@@ -44,9 +44,10 @@ type t = {
   params : params;
   servers : Sim.Resource.resource;
   mutable served : int;
+  obs : Obs.t;
 }
 
-let create sim rng ~kind ?parallelism () =
+let create ?(obs = Obs.none) sim rng ~kind ?parallelism () =
   let parallelism =
     match parallelism with
     | Some n -> n
@@ -59,6 +60,7 @@ let create sim rng ~kind ?parallelism () =
     params = params_of kind;
     servers = Sim.Resource.create ~capacity:parallelism;
     served = 0;
+    obs;
   }
 
 let kind t = t.kind
@@ -75,10 +77,15 @@ let media_time t ~op ~bytes_ =
 
 let serve t ~op ~bytes_ =
   let p = t.params in
+  let t0 = Sim.now t.sim in
+  Trace.counter_opt (Obs.trace t.obs) ~track:"cloud.blockstore" "queue_depth" ~now:t0
+    (float_of_int (Sim.Resource.in_use t.servers + Sim.Resource.waiting t.servers));
   Sim.delay (p.net_rtt_ns /. 2.0);
   Sim.Resource.with_resource t.servers (fun () -> Sim.delay (media_time t ~op ~bytes_));
   Sim.delay (p.net_rtt_ns /. 2.0);
-  t.served <- t.served + 1
+  t.served <- t.served + 1;
+  Metrics.incr_opt (Obs.metrics t.obs) "cloud.blockstore.served";
+  Metrics.observe_opt (Obs.metrics t.obs) "cloud.blockstore.serve_ns" (Sim.now t.sim -. t0)
 
 let served t = t.served
 

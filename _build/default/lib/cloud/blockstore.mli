@@ -13,6 +13,7 @@ type kind = Cloud_ssd | Local_ssd
 type t
 
 val create :
+  ?obs:Bm_engine.Obs.t ->
   Bm_engine.Sim.t ->
   Bm_engine.Rng.t ->
   kind:kind ->
@@ -20,7 +21,11 @@ val create :
   unit ->
   t
 (** Defaults: [parallelism] 128 requests in service concurrently for
-    [Cloud_ssd] (a distributed backend), 16 for [Local_ssd]. *)
+    [Cloud_ssd] (a distributed backend), 16 for [Local_ssd]. With [obs],
+    each request samples server occupancy as a [queue_depth] counter on
+    the ["cloud.blockstore"] track and feeds the
+    ["cloud.blockstore.serve_ns"] latency histogram and
+    ["cloud.blockstore.served"] counter. *)
 
 val kind : t -> kind
 

@@ -13,6 +13,8 @@ type t = {
   local : (int, endpoint) Hashtbl.t;
   mutable forwarded : int;
   mutable dropped : int;
+  mutable queued : int; (* bursts in flight between schedule and delivery *)
+  obs : Obs.t;
 }
 
 and fabric = {
@@ -26,7 +28,7 @@ and fabric = {
 let create_fabric sim ?(gbit_s = 100.0) ?(rtt_ns = 10_000.0) () =
   { fsim = sim; nic_gbit_s = gbit_s; rtt_ns; routes = Hashtbl.create 64; next_endpoint = 1 }
 
-let create sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_ns = 5_000.0) () =
+let create ?(obs = Obs.none) sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_ns = 5_000.0) () =
   {
     sim;
     fabric;
@@ -36,7 +38,17 @@ let create sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_ns = 5_000.0) () =
     local = Hashtbl.create 16;
     forwarded = 0;
     dropped = 0;
+    queued = 0;
+    obs;
   }
+
+let note_queue_depth t =
+  Trace.counter_opt (Obs.trace t.obs) ~track:"cloud.vswitch" "queue_depth" ~now:(Sim.now t.sim)
+    (float_of_int t.queued)
+
+let note_drop t (pkt : Packet.t) =
+  t.dropped <- t.dropped + pkt.Packet.count;
+  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count) "cloud.vswitch.dropped"
 
 let register t ~deliver =
   let addr = t.fabric.next_endpoint in
@@ -58,15 +70,22 @@ let deliver_local t pkt =
   match Hashtbl.find_opt t.local pkt.Packet.dst with
   | Some ep ->
     t.forwarded <- t.forwarded + pkt.Packet.count;
-    Sim.schedule t.sim ~delay:t.hop_ns (fun () -> ep.deliver pkt)
-  | None -> t.dropped <- t.dropped + pkt.Packet.count
+    Metrics.mark_opt (Obs.metrics t.obs) ~n:pkt.Packet.count "cloud.vswitch.pps"
+      ~now:(Sim.now t.sim);
+    t.queued <- t.queued + 1;
+    note_queue_depth t;
+    Sim.schedule t.sim ~delay:t.hop_ns (fun () ->
+        t.queued <- t.queued - 1;
+        note_queue_depth t;
+        ep.deliver pkt)
+  | None -> note_drop t pkt
 
 let send t pkt =
   switch_cpu t pkt;
   if Hashtbl.mem t.local pkt.Packet.dst then deliver_local t pkt
   else
     match Hashtbl.find_opt t.fabric.routes pkt.Packet.dst with
-    | None -> t.dropped <- t.dropped + pkt.Packet.count
+    | None -> note_drop t pkt
     | Some peer ->
       (* NIC serialisation + propagation, then the peer switch's own
          forwarding cost in a process of its own. *)
@@ -83,7 +102,7 @@ let forward_hw t pkt =
   if Hashtbl.mem t.local pkt.Packet.dst then deliver_local t pkt
   else
     match Hashtbl.find_opt t.fabric.routes pkt.Packet.dst with
-    | None -> t.dropped <- t.dropped + pkt.Packet.count
+    | None -> note_drop t pkt
     | Some peer ->
       let wire_ns = float_of_int pkt.Packet.size *. 8.0 /. t.fabric.nic_gbit_s in
       Sim.schedule t.sim ~delay:(wire_ns +. t.fabric.rtt_ns) (fun () ->

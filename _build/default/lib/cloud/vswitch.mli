@@ -18,6 +18,7 @@ val create_fabric : Bm_engine.Sim.t -> ?gbit_s:float -> ?rtt_ns:float -> unit ->
     (default 100, §3.4.3) with [rtt_ns] one-way latency (default 10 µs). *)
 
 val create :
+  ?obs:Bm_engine.Obs.t ->
   Bm_engine.Sim.t ->
   fabric:fabric ->
   cores:Bm_hw.Cores.t ->
@@ -29,7 +30,11 @@ val create :
     cores (hypervisor/base cores); [per_packet_ns] is the vswitch cost of
     one packet (default 300 ns, a DPDK-class forwarding cost); [hop_ns]
     (default 5 µs) is the queueing/traversal latency of one switch hop,
-    applied asynchronously so it adds latency, not sender backpressure. *)
+    applied asynchronously so it adds latency, not sender backpressure.
+    With [obs], in-flight burst depth is sampled as a [queue_depth]
+    counter on the ["cloud.vswitch"] track, forwarded packets feed the
+    ["cloud.vswitch.pps"] meter and drops the ["cloud.vswitch.dropped"]
+    counter. *)
 
 val register : t -> deliver:(Bm_virtio.Packet.t -> unit) -> int
 (** Attach an endpoint; returns its address. [deliver] receives each

@@ -1,1 +1,1 @@
-lib/core/experiments.mli:
+lib/core/experiments.mli: Bm_engine

@@ -1,1 +1,1 @@
-lib/core/report.ml: Array Buffer Float List Printf String
+lib/core/report.ml: Array Bm_engine Buffer Float List Printf String

@@ -1,1 +1,1 @@
-lib/core/report.mli:
+lib/core/report.mli: Bm_engine

@@ -11,7 +11,12 @@ type outcome = {
   notes : string list;
 }
 
-type spec = { id : string; title : string; paper_ref : string; run : quick:bool -> seed:int -> outcome }
+type spec = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : trace:Trace.t option -> metrics:Metrics.t option -> quick:bool -> seed:int -> outcome;
+}
 
 let within ~tolerance ~target value =
   Float.abs (value -. target) /. Float.abs target <= tolerance
@@ -19,7 +24,7 @@ let within ~tolerance ~target value =
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
 
-let run_table1 ~quick:_ ~seed:_ =
+let run_table1 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
   {
     id = "table1";
     title = "Table 1: comparison of three cloud services";
@@ -31,7 +36,7 @@ let run_table1 ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* Table 2 *)
 
-let run_table2 ~quick ~seed =
+let run_table2 ~trace:_ ~metrics:_ ~quick ~seed =
   let vms = if quick then 30_000 else 300_000 in
   let rng = Rng.create ~seed in
   let s = Fleet.survey_exits rng ~vms in
@@ -58,7 +63,7 @@ let run_table2 ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 1 *)
 
-let run_fig1 ~quick ~seed =
+let run_fig1 ~trace:_ ~metrics:_ ~quick ~seed =
   let vms = if quick then 2_000 else 20_000 in
   let hours = if quick then 8 else 24 in
   let rng = Rng.create ~seed in
@@ -100,7 +105,7 @@ let run_fig1 ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let run_table3 ~quick:_ ~seed:_ =
+let run_table3 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
   let rows =
     List.map
       (fun i ->
@@ -126,9 +131,9 @@ let run_table3 ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: SPEC CINT2006 *)
 
-let run_fig7 ~quick:_ ~seed =
+let run_fig7 ~trace ~metrics ~quick:_ ~seed =
   let spec_on make =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let inst = make tb in
     Spec_cint.run tb.Testbed.sim inst
   in
@@ -160,11 +165,11 @@ let run_fig7 ~quick:_ ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: STREAM *)
 
-let run_fig8 ~quick ~seed =
+let run_fig8 ~trace ~metrics ~quick ~seed =
   let elements = if quick then 20_000_000 else 200_000_000 in
   let runs = if quick then 3 else 10 in
   let stream_on make =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let inst = make tb in
     Stream.run tb.Testbed.sim inst ~elements ~runs ()
   in
@@ -197,10 +202,10 @@ let run_fig8 ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: UDP PPS *)
 
-let run_fig9 ~quick ~seed =
+let run_fig9 ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 40.0 else Simtime.ms 400.0 in
   let pps_of pair =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let src, dst = pair tb in
     Netperf.udp_pps tb.Testbed.sim ~src ~dst ~senders:2 ~batch:32 ~duration ()
   in
@@ -230,10 +235,10 @@ let run_fig9 ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: latency *)
 
-let run_fig10 ~quick ~seed =
+let run_fig10 ~trace ~metrics ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let lat pair path =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let a, b = pair tb in
     Sockperf.ping_pong tb.Testbed.sim ~a ~b ~path ~count ()
   in
@@ -269,10 +274,10 @@ let run_fig10 ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: storage latency *)
 
-let run_fig11 ~quick ~seed =
+let run_fig11 ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 300.0 else Simtime.sec 4.0 in
   let fio_on make pattern =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let inst = make tb in
     Fio.run tb.Testbed.sim (Rng.create ~seed:(seed + 7)) inst ~pattern ~duration ()
   in
@@ -312,11 +317,11 @@ let nginx_rps_at tb ~server ~concurrency ~requests =
   Nginx.serve server ();
   Nginx.ab tb.Testbed.sim ~client ~server ~concurrency ~requests
 
-let run_fig12 ~quick ~seed =
+let run_fig12 ~trace ~metrics ~quick ~seed =
   let concurrencies = if quick then [ 100; 400 ] else [ 50; 100; 200; 400; 800 ] in
   let per_level = if quick then 60 else 150 in
   let run_level make concurrency =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let server = make tb in
     nginx_rps_at tb ~server ~concurrency ~requests:(concurrency * per_level)
   in
@@ -347,20 +352,26 @@ let run_fig12 ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 13/14: MariaDB *)
 
-let sysbench_on ~seed ~pattern ~duration make =
-  let tb = Testbed.make ~seed () in
+let sysbench_on ?trace ?metrics ~seed ~pattern ~duration make =
+  let tb = Testbed.make ~seed ?trace ?metrics () in
   let server = make tb in
   let client = Testbed.client_box tb in
   Mariadb.serve tb.Testbed.sim (Rng.create ~seed:(seed + 13)) server ();
   Mariadb.sysbench tb.Testbed.sim ~client ~server ~pattern ~duration ()
 
-let run_mariadb ~id ~title ~patterns ~paper_notes ~quick ~seed =
+let run_mariadb ~id ~title ~patterns ~paper_notes ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 200.0 else Simtime.sec 2.0 in
   let rows =
     List.map
       (fun pattern ->
-        let bm = sysbench_on ~seed ~pattern ~duration (fun tb -> snd (Testbed.bm_guest tb)) in
-        let vm = sysbench_on ~seed ~pattern ~duration (fun tb -> snd (Testbed.vm_guest tb)) in
+        let bm =
+          sysbench_on ?trace ?metrics ~seed ~pattern ~duration (fun tb ->
+              snd (Testbed.bm_guest tb))
+        in
+        let vm =
+          sysbench_on ?trace ?metrics ~seed ~pattern ~duration (fun tb ->
+              snd (Testbed.vm_guest tb))
+        in
         [
           Mariadb.pattern_name pattern;
           Report.si bm.Mariadb.qps;
@@ -391,24 +402,28 @@ let run_fig14 =
 (* ------------------------------------------------------------------ *)
 (* Fig. 15/16: Redis *)
 
-let redis_on ~seed make ~clients ~value_bytes ~requests =
-  let tb = Testbed.make ~seed () in
+let redis_on ?trace ?metrics ~seed make ~clients ~value_bytes ~requests =
+  let tb = Testbed.make ~seed ?trace ?metrics () in
   let server = make tb in
   let client = Testbed.client_box tb in
   Redis_bench.serve tb.Testbed.sim server ();
   Redis_bench.benchmark tb.Testbed.sim ~client ~server ~clients ~value_bytes ~requests ()
 
-let run_fig15 ~quick ~seed =
+let run_fig15 ~trace ~metrics ~quick ~seed =
   let clients_list = if quick then [ 1000; 4000 ] else [ 1000; 2000; 4000; 7000; 10000 ] in
   let requests = if quick then 8_000 else 40_000 in
   let rows =
     List.map
       (fun clients ->
         let bm =
-          redis_on ~seed (fun tb -> snd (Testbed.bm_guest tb)) ~clients ~value_bytes:64 ~requests
+          redis_on ?trace ?metrics ~seed
+            (fun tb -> snd (Testbed.bm_guest tb))
+            ~clients ~value_bytes:64 ~requests
         in
         let vm =
-          redis_on ~seed (fun tb -> snd (Testbed.vm_guest tb)) ~clients ~value_bytes:64 ~requests
+          redis_on ?trace ?metrics ~seed
+            (fun tb -> snd (Testbed.vm_guest tb))
+            ~clients ~value_bytes:64 ~requests
         in
         [
           string_of_int clients;
@@ -426,17 +441,21 @@ let run_fig15 ~quick ~seed =
     notes = [ "Paper: bm 20-40% more requests/s across 1K..10K clients." ];
   }
 
-let run_fig16 ~quick ~seed =
+let run_fig16 ~trace ~metrics ~quick ~seed =
   let sizes = if quick then [ 4; 1024 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
   let requests = if quick then 8_000 else 40_000 in
   let results =
     List.map
       (fun value_bytes ->
         let bm =
-          redis_on ~seed (fun tb -> snd (Testbed.bm_guest tb)) ~clients:1000 ~value_bytes ~requests
+          redis_on ?trace ?metrics ~seed
+            (fun tb -> snd (Testbed.bm_guest tb))
+            ~clients:1000 ~value_bytes ~requests
         in
         let vm =
-          redis_on ~seed (fun tb -> snd (Testbed.vm_guest tb)) ~clients:1000 ~value_bytes ~requests
+          redis_on ?trace ?metrics ~seed
+            (fun tb -> snd (Testbed.vm_guest tb))
+            ~clients:1000 ~value_bytes ~requests
         in
         (value_bytes, bm, vm))
       sizes
@@ -482,9 +501,9 @@ let run_fig16 ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §2.3: nested virtualization *)
 
-let run_sec2_3 ~quick ~seed =
+let run_sec2_3 ~trace ~metrics ~quick ~seed =
   let exec_time nested =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let host = Testbed.vm_host tb in
     let config = { (Kvm.default_config ~name:"vm") with Kvm.nested; host_load = 0.0 } in
     let vm = Kvm.create_vm host config in
@@ -497,7 +516,7 @@ let run_sec2_3 ~quick ~seed =
     !elapsed
   in
   let io_lat nested =
-    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd () in
+    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd ?trace ?metrics () in
     let host = Testbed.vm_host tb in
     let config =
       {
@@ -541,7 +560,7 @@ let run_sec2_3 ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §3.5: cost efficiency *)
 
-let run_sec3_5 ~quick:_ ~seed:_ =
+let run_sec3_5 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
   let d = Cost_model.density () in
   let vm_w = Cost_model.vm_watts_per_vcpu () in
   let bm_w = Cost_model.bm_single_board_watts_per_vcpu () in
@@ -569,11 +588,11 @@ let run_sec3_5 ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* §4.3 network: TCP throughput + unrestricted PPS *)
 
-let run_sec4_3net ~quick ~seed =
+let run_sec4_3net ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   (* Cross-server throughput at the 10 Gbit/s cap. *)
   let tcp make =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let a, b = make tb in
     Netperf.tcp_stream tb.Testbed.sim ~src:a ~dst:b ~duration ()
   in
@@ -595,7 +614,7 @@ let run_sec4_3net ~quick ~seed =
   let bm_tp = tcp bm_cross in
   let vm_tp = tcp vm_cross in
   (* Unrestricted PPS on the bm pair. *)
-  let tb = Testbed.make ~seed () in
+  let tb = Testbed.make ~seed ?trace ?metrics () in
   let unlimited = Bm_cloud.Limits.unlimited_net () in
   let _, a, b = Testbed.bm_pair ~net_limits:unlimited tb in
   let free =
@@ -627,17 +646,17 @@ let run_sec4_3net ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §4.3 storage: unrestricted local SSD *)
 
-let run_sec4_3blk ~quick ~seed =
+let run_sec4_3blk ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 100.0 else Simtime.ms 800.0 in
   let unlimited () = Bm_cloud.Limits.unlimited_blk () in
   let small make =
-    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd () in
+    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd ?trace ?metrics () in
     let inst = make tb in
     Fio.run tb.Testbed.sim (Rng.create ~seed) inst ~jobs:8 ~iodepth:2 ~block_bytes:4096
       ~pattern:Fio.Randread ~duration ()
   in
   let big make =
-    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd () in
+    let tb = Testbed.make ~seed ~storage_kind:Bm_cloud.Blockstore.Local_ssd ?trace ?metrics () in
     let inst = make tb in
     Fio.run tb.Testbed.sim (Rng.create ~seed) inst ~jobs:8 ~iodepth:4 ~block_bytes:(256 * 1024)
       ~pattern:Fio.Randread ~duration ()
@@ -675,9 +694,9 @@ let run_sec4_3blk ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §6: ASIC IO-Bond ablation *)
 
-let run_sec6 ~quick ~seed =
+let run_sec6 ~trace ~metrics ~quick ~seed =
   let probe profile =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, inst = Testbed.bm_guest ~profile tb in
     let time = ref nan and accesses = ref 0 in
     Sim.spawn tb.Testbed.sim (fun () ->
@@ -690,7 +709,7 @@ let run_sec6 ~quick ~seed =
     (!time, !accesses)
   in
   let lat profile =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, a, b = Testbed.bm_pair ~profile tb in
     let count = if quick then 300 else 1500 in
     (Sockperf.ping_pong tb.Testbed.sim ~a ~b ~path:Sockperf.Kernel ~count ()).Sockperf.avg_us
@@ -723,10 +742,10 @@ let run_sec6 ~quick ~seed =
 (* How much does IO-Bond's register latency matter? Sweep the per-hop
    cost (the FPGA -> ASIC axis, extended) against the two things it
    touches: the emulated config path and end-to-end message latency. *)
-let run_ablation_reg ~quick ~seed =
+let run_ablation_reg ~trace ~metrics ~quick ~seed =
   let count = if quick then 200 else 1000 in
   let probe_and_lat profile =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, inst = Testbed.bm_guest ~profile tb in
     let probe_us = ref nan in
     Sim.spawn tb.Testbed.sim (fun () ->
@@ -734,7 +753,7 @@ let run_ablation_reg ~quick ~seed =
         (match inst.Instance.probe () with Ok _ -> () | Error e -> failwith e);
         probe_us := (Sim.clock () -. t0) /. 1e3);
     Testbed.run tb;
-    let tb2 = Testbed.make ~seed () in
+    let tb2 = Testbed.make ~seed ?trace ?metrics () in
     let _, a, b = Testbed.bm_pair ~profile tb2 in
     let lat = Sockperf.ping_pong tb2.Testbed.sim ~a ~b ~path:Sockperf.Kernel ~count () in
     (!probe_us, lat.Sockperf.avg_us)
@@ -760,13 +779,13 @@ let run_ablation_reg ~quick ~seed =
 
 (* How big must the DMA engine be? The paper picked 50 Gbit/s; sweep it
    against unrestricted guest throughput. *)
-let run_ablation_dma ~quick ~seed =
+let run_ablation_dma ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let tput dma_gbit_s =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let server =
-      Bm_hyp.Bm_hypervisor.create_server tb.Testbed.sim tb.Testbed.rng ~fabric:tb.Testbed.fabric
-        ~storage:tb.Testbed.storage ~dma_gbit_s ()
+      Bm_hyp.Bm_hypervisor.create_server ~obs:tb.Testbed.obs tb.Testbed.sim tb.Testbed.rng
+        ~fabric:tb.Testbed.fabric ~storage:tb.Testbed.storage ~dma_gbit_s ()
     in
     let unlimited = Bm_cloud.Limits.unlimited_net () in
     let g name =
@@ -800,10 +819,10 @@ let run_ablation_dma ~quick ~seed =
 
 (* How much do batched doorbells/PMD bursts buy? Sweep the burst size the
    guest stack hands to virtio. *)
-let run_ablation_batch ~quick ~seed =
+let run_ablation_batch ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let pps batch =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, a, b = Testbed.bm_pair ~net_limits:(Bm_cloud.Limits.unlimited_net ()) tb in
     let r = Netperf.udp_pps tb.Testbed.sim ~src:a ~dst:b ~senders:8 ~batch ~duration () in
     r.Netperf.received_pps
@@ -826,13 +845,13 @@ let run_ablation_batch ~quick ~seed =
 (* S6's offload plan: with IO-Bond classifying flows, known traffic
    bypasses the bm-hypervisor's PMD entirely. Measure PPS and base-core
    utilization with and without it. *)
-let run_ablation_offload ~quick ~seed =
+let run_ablation_offload ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let run offload =
-    let tb = Testbed.make ~seed () in
+    let tb = Testbed.make ~seed ?trace ?metrics () in
     let server =
-      Bm_hyp.Bm_hypervisor.create_server tb.Testbed.sim tb.Testbed.rng ~fabric:tb.Testbed.fabric
-        ~storage:tb.Testbed.storage ()
+      Bm_hyp.Bm_hypervisor.create_server ~obs:tb.Testbed.obs tb.Testbed.sim tb.Testbed.rng
+        ~fabric:tb.Testbed.fabric ~storage:tb.Testbed.storage ()
     in
     let unlimited = Bm_cloud.Limits.unlimited_net () in
     let g name =
@@ -906,13 +925,13 @@ let all =
 let find id = List.find_opt (fun s -> s.id = id) all
 let ids () = List.map (fun s -> s.id) all
 
-let run_one ?(quick = false) ?(seed = 2020) id =
+let run_one ?(quick = false) ?(seed = 2020) ?trace ?metrics id =
   match find id with
   | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
-  | Some spec -> Ok (spec.run ~quick ~seed)
+  | Some spec -> Ok (spec.run ~trace ~metrics ~quick ~seed)
 
-let run_all ?(quick = false) ?(seed = 2020) () =
-  List.map (fun spec -> spec.run ~quick ~seed) all
+let run_all ?(quick = false) ?(seed = 2020) ?trace ?metrics () =
+  List.map (fun spec -> spec.run ~trace ~metrics ~quick ~seed) all
 
 let print_outcome (o : outcome) =
   print_endline "";

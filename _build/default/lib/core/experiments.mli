@@ -20,14 +20,35 @@ type spec = {
   id : string;
   title : string;
   paper_ref : string;  (** table/figure/section in the paper *)
-  run : quick:bool -> seed:int -> outcome;
+  run :
+    trace:Bm_engine.Trace.t option ->
+    metrics:Bm_engine.Metrics.t option ->
+    quick:bool ->
+    seed:int ->
+    outcome;
+      (** [trace]/[metrics] are threaded into every testbed the experiment
+          builds. Recording is pure observation: results are bit-identical
+          with and without sinks attached. *)
 }
 
 val all : spec list
 val find : string -> spec option
 val ids : unit -> string list
 
-val run_one : ?quick:bool -> ?seed:int -> string -> (outcome, string) result
-val run_all : ?quick:bool -> ?seed:int -> unit -> outcome list
+val run_one :
+  ?quick:bool ->
+  ?seed:int ->
+  ?trace:Bm_engine.Trace.t ->
+  ?metrics:Bm_engine.Metrics.t ->
+  string ->
+  (outcome, string) result
+
+val run_all :
+  ?quick:bool ->
+  ?seed:int ->
+  ?trace:Bm_engine.Trace.t ->
+  ?metrics:Bm_engine.Metrics.t ->
+  unit ->
+  outcome list
 
 val print_outcome : outcome -> unit

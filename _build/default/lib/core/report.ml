@@ -46,3 +46,6 @@ let si x =
 let pct x = Printf.sprintf "%.1f%%" (x *. 100.0)
 
 let check ~paper ~measured ~ok row = row @ [ paper; measured; (if ok then "ok" else "DIFF") ]
+
+let metrics_table ?(title = "metrics") m =
+  table ~title ~header:Bm_engine.Metrics.table_header (Bm_engine.Metrics.rows m)

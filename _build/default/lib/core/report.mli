@@ -17,3 +17,7 @@ val pct : float -> string
 
 val check : paper:string -> measured:string -> ok:bool -> string list -> string list
 (** Append paper-vs-measured columns and a ✓/✗ marker to a row. *)
+
+val metrics_table : ?title:string -> Bm_engine.Metrics.t -> string
+(** Render a metrics snapshot as an aligned table (one row per
+    registered counter/histogram/meter, sorted by name). *)

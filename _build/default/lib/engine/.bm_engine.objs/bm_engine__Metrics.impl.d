@@ -1,0 +1,1 @@
+lib/engine/metrics.ml: Float Hashtbl List Printf Stats Stdlib String

@@ -1,0 +1,1 @@
+lib/engine/obs.ml: Metrics Sim Trace

@@ -1,0 +1,1 @@
+lib/engine/obs.mli: Metrics Sim Trace

@@ -1,1 +1,1 @@
-lib/engine/trace.ml: Array Buffer List Printf
+lib/engine/trace.ml: Array Buffer Char Float Hashtbl List Printf String

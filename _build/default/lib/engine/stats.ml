@@ -137,6 +137,8 @@ module Histogram = struct
     merged.max <- Float.max a.max b.max;
     merged
 
+  let copy t = { t with buckets = Array.copy t.buckets }
+
   let pp fmt t =
     Format.fprintf fmt "n=%d mean=%.3g p50=%.3g p99=%.3g p99.9=%.3g" t.count (mean t)
       (percentile t 50.0) (percentile t 99.0) (percentile t 99.9)
@@ -158,4 +160,16 @@ module Meter = struct
   let rate t =
     let span = t.last -. t.first in
     if t.count < 2 || span <= 0.0 then nan else float_of_int t.count /. (span /. 1e9)
+
+  let copy t = { t with count = t.count }
+
+  let merge a b =
+    if a.count = 0 then copy b
+    else if b.count = 0 then copy a
+    else
+      {
+        count = a.count + b.count;
+        first = Float.min a.first b.first;
+        last = Float.max a.last b.last;
+      }
 end

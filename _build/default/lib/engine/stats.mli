@@ -50,6 +50,9 @@ module Histogram : sig
       value of the bucket containing the requested rank; [nan] when empty. *)
 
   val merge : t -> t -> t
+  val copy : t -> t
+  (** Independent histogram with the same geometry and contents. *)
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -64,4 +67,9 @@ module Meter : sig
   val rate : t -> float
   (** Events per simulated second over the observation span, i.e.
       [count / (last - first)]. [nan] with fewer than two marks. *)
+
+  val copy : t -> t
+
+  val merge : t -> t -> t
+  (** Counts add; the observation span covers both inputs. *)
 end

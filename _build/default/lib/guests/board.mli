@@ -11,6 +11,7 @@ type power = Off | On
 type t
 
 val create :
+  ?obs:Bm_engine.Obs.t ->
   Bm_engine.Sim.t ->
   id:int ->
   spec:Bm_hw.Cpu_spec.t ->
@@ -19,6 +20,7 @@ val create :
   ?dma_gbit_s:float ->
   unit ->
   t
+(** [obs] is threaded into the board's IO-Bond. *)
 
 val id : t -> int
 val spec : t -> Bm_hw.Cpu_spec.t

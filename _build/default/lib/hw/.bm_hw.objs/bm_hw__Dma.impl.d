@@ -1,1 +1,1 @@
-lib/hw/dma.ml: Bm_engine Float Pcie Sim
+lib/hw/dma.ml: Bm_engine Float Metrics Obs Pcie Sim Trace

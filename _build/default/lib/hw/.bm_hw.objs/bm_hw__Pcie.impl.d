@@ -1,1 +1,1 @@
-lib/hw/pcie.ml: Bm_engine Sim
+lib/hw/pcie.ml: Bm_engine Metrics Obs Sim Trace

@@ -7,9 +7,10 @@ type t = {
   engine : Sim.Resource.resource;
   mutable copies : int;
   mutable bytes_copied : float;
+  obs : Obs.t;
 }
 
-let create sim ?(gbit_s = 50.0) ?(setup_ns = 300.0) () =
+let create ?(obs = Obs.none) sim ?(gbit_s = 50.0) ?(setup_ns = 300.0) () =
   assert (gbit_s > 0.0 && setup_ns >= 0.0);
   {
     sim;
@@ -18,6 +19,7 @@ let create sim ?(gbit_s = 50.0) ?(setup_ns = 300.0) () =
     engine = Sim.Resource.create ~capacity:1;
     copies = 0;
     bytes_copied = 0.0;
+    obs;
   }
 
 let gbit_s t = t.gbit_s
@@ -29,6 +31,8 @@ let gbit_s t = t.gbit_s
    throughput is around 50Gbps" cap on a guest's combined x4 links. *)
 let copy t ~src ~dst ~bytes_ =
   assert (bytes_ >= 0);
+  let t0 = Sim.now t.sim in
+  Trace.begin_span_opt (Obs.trace t.obs) ~track:"hw.dma" "copy" ~now:t0;
   Sim.delay t.setup_ns;
   let bottleneck = Float.min t.gbit_s (Float.min (Pcie.gbit_s src) (Pcie.gbit_s dst)) in
   Sim.Resource.with_resource t.engine (fun () ->
@@ -36,7 +40,11 @@ let copy t ~src ~dst ~bytes_ =
   Pcie.account src ~bytes_;
   Pcie.account dst ~bytes_;
   t.copies <- t.copies + 1;
-  t.bytes_copied <- t.bytes_copied +. float_of_int bytes_
+  t.bytes_copied <- t.bytes_copied +. float_of_int bytes_;
+  let t1 = Sim.now t.sim in
+  Trace.end_span_opt (Obs.trace t.obs) ~track:"hw.dma" "copy" ~now:t1;
+  Metrics.observe_opt (Obs.metrics t.obs) "hw.dma.copy_ns" (t1 -. t0);
+  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int bytes_) "hw.dma.bytes"
 
 let copies t = t.copies
 let bytes_copied t = t.bytes_copied

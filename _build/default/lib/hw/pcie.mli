@@ -11,17 +11,27 @@
 
 type t
 
-val create : Bm_engine.Sim.t -> gbit_s:float -> ?register_ns:float -> ?mtu_bytes:int -> unit -> t
+val create :
+  ?obs:Bm_engine.Obs.t ->
+  Bm_engine.Sim.t ->
+  gbit_s:float ->
+  ?register_ns:float ->
+  ?mtu_bytes:int ->
+  unit ->
+  t
 (** [create sim ~gbit_s ()] is a link with [gbit_s] usable bandwidth.
     [register_ns] (default 800 — the paper's FPGA) is the latency of one
     non-posted register read/write crossing this link. [mtu_bytes]
     (default 256, a typical max-payload TLP) bounds the transfer quantum
-    so small transfers are not unfairly delayed behind huge ones. *)
+    so small transfers are not unfairly delayed behind huge ones. With
+    [obs], register accesses count to ["hw.pcie.register_accesses"] and
+    transfer latencies (including wire queueing) feed
+    ["hw.pcie.transfer_ns"], with spans on the ["hw.pcie"] track. *)
 
-val x4 : Bm_engine.Sim.t -> register_ns:float -> t
+val x4 : ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> register_ns:float -> t
 (** 32 Gbit/s, per the paper's virtio device links. *)
 
-val x8 : Bm_engine.Sim.t -> register_ns:float -> t
+val x8 : ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> register_ns:float -> t
 (** 64 Gbit/s, the IO-Bond uplink to the bm-hypervisor. *)
 
 val gbit_s : t -> float

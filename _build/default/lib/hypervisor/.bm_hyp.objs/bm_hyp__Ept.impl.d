@@ -1,1 +1,1 @@
-lib/hypervisor/ept.ml: Bm_hw
+lib/hypervisor/ept.ml: Bm_engine Bm_hw Metrics Obs

@@ -1,1 +1,1 @@
-lib/hypervisor/ept.mli: Bm_hw
+lib/hypervisor/ept.mli: Bm_engine Bm_hw

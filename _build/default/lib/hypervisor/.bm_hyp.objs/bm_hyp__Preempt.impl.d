@@ -1,1 +1,1 @@
-lib/hypervisor/preempt.ml: Bm_engine Float Rng Sim
+lib/hypervisor/preempt.ml: Bm_engine Float Metrics Obs Rng Sim Trace

@@ -1,1 +1,1 @@
-lib/hypervisor/vmexit.ml: Array Format List
+lib/hypervisor/vmexit.ml: Array Bm_engine Format List Metrics Obs Trace

@@ -1,1 +1,1 @@
-lib/hypervisor/vmexit.mli: Format
+lib/hypervisor/vmexit.mli: Bm_engine Format

@@ -29,10 +29,11 @@ type server = {
   vswitch : Vswitch.t;
   storage : Blockstore.t;
   board_pool : Board.t array;
+  obs : Obs.t;
   mutable guests : (string * guest_state) list;
 }
 
-let create_server sim rng ~fabric ~storage ?(profile = Profile.Fpga)
+let create_server ?(obs = Obs.none) sim rng ~fabric ~storage ?(profile = Profile.Fpga)
     ?(board_spec = Cpu_spec.xeon_e5_2682_v4) ?(board_mem_gb = 64) ?(boards = 8) ?dma_gbit_s
     ?(params = default_params) () =
   if boards < 1 || boards > 16 then invalid_arg "Bm_hypervisor: 1..16 boards per server (§3.3)";
@@ -43,11 +44,12 @@ let create_server sim rng ~fabric ~storage ?(profile = Profile.Fpga)
     params;
     profile;
     base_cores;
-    vswitch = Vswitch.create sim ~fabric ~cores:base_cores ();
+    vswitch = Vswitch.create ~obs sim ~fabric ~cores:base_cores ();
     storage;
     board_pool =
       Array.init boards (fun id ->
-          Board.create sim ~id ~spec:board_spec ~mem_gb:board_mem_gb ~profile ?dma_gbit_s ());
+          Board.create ~obs sim ~id ~spec:board_spec ~mem_gb:board_mem_gb ~profile ?dma_gbit_s ());
+    obs;
     guests = [];
   }
 
@@ -142,11 +144,15 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
                       Option.map (fun ot -> (ot, Offload.classify ot pkt)) offload_table
                     with
                     | Some (_, `Offloaded) ->
+                      Metrics.incr_opt (Obs.metrics t.obs) "hyp.bm.offload_hits";
                       Sim.delay (Offload.fpga_forward_ns *. float_of_int pkt.Packet.count);
                       Queue_bridge.complete net_port.Iobond.net_tx req ~written:0 ();
                       Queue_bridge.flush net_port.Iobond.net_tx;
                       Vswitch.forward_hw t.vswitch pkt
                     | Some (ot, `Slow_path) ->
+                      Metrics.incr_opt (Obs.metrics t.obs) "hyp.bm.offload_misses";
+                      Metrics.mark_opt (Obs.metrics t.obs) ~n:pkt.Packet.count "hyp.bm.pmd_pkts"
+                        ~now:(Sim.now sim);
                       Cores.execute_ns t.base_cores
                         (p.pmd_pkt_ns *. float_of_int pkt.Packet.count);
                       Offload.install ot pkt;
@@ -154,6 +160,8 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
                       Queue_bridge.flush net_port.Iobond.net_tx;
                       Vswitch.send t.vswitch pkt
                     | None ->
+                      Metrics.mark_opt (Obs.metrics t.obs) ~n:pkt.Packet.count "hyp.bm.pmd_pkts"
+                        ~now:(Sim.now sim);
                       Cores.execute_ns t.base_cores
                         (p.pmd_pkt_ns *. float_of_int pkt.Packet.count);
                       Queue_bridge.complete net_port.Iobond.net_tx req ~written:0 ();
@@ -182,7 +190,10 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
                   Queue_bridge.complete net_port.Iobond.net_rx req ~payload:pkt
                     ~written:pkt.Packet.size ();
                   Queue_bridge.flush net_port.Iobond.net_rx
-                | None -> rx_drops := !rx_drops + pkt.Packet.count);
+                | None ->
+                  rx_drops := !rx_drops + pkt.Packet.count;
+                  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count)
+                    "hyp.bm.rx_drops");
             loop ()
           in
           loop ());
@@ -199,6 +210,8 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
               | Some req ->
                 Sim.fork (fun () ->
                     let vreq = req.Queue_bridge.payload in
+                    Trace.begin_span_opt (Obs.trace t.obs) ~track:"hyp.bm" "blk_request"
+                      ~now:(Sim.now sim);
                     Cores.execute_ns t.base_cores p.pmd_blk_ns;
                     let op =
                       match vreq.Virtio_blk.op with
@@ -207,6 +220,8 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
                       | Virtio_blk.Flush -> `Flush
                     in
                     Blockstore.serve t.storage ~op ~bytes_:vreq.Virtio_blk.bytes;
+                    Trace.end_span_opt (Obs.trace t.obs) ~track:"hyp.bm" "blk_request"
+                      ~now:(Sim.now sim);
                     let written =
                       match vreq.Virtio_blk.op with
                       | Virtio_blk.Read -> vreq.Virtio_blk.bytes + 1
@@ -350,8 +365,11 @@ let live_upgrade t ~name ?(handover_ns = 200_000.0) () =
   match List.assoc_opt name t.guests with
   | None -> Error (name ^ " not provisioned")
   | Some state ->
+    Trace.begin_span_opt (Obs.trace t.obs) ~track:"hyp.bm" "live_upgrade" ~now:(Sim.now t.sim);
     List.iter (fun b -> b.bridge_pause ()) state.bridges;
     Sim.delay handover_ns;
     state.backend_version <- state.backend_version + 1;
     List.iter (fun b -> b.bridge_resume ()) state.bridges;
+    Trace.end_span_opt (Obs.trace t.obs) ~track:"hyp.bm" "live_upgrade" ~now:(Sim.now t.sim);
+    Metrics.incr_opt (Obs.metrics t.obs) "hyp.bm.live_upgrades";
     Ok state.backend_version

@@ -21,6 +21,7 @@ type params = {
 val default_params : params
 
 val create_server :
+  ?obs:Bm_engine.Obs.t ->
   Bm_engine.Sim.t ->
   Bm_engine.Rng.t ->
   fabric:Bm_cloud.Vswitch.fabric ->
@@ -35,7 +36,9 @@ val create_server :
   server
 (** Default server: FPGA IO-Bond, 8 Xeon E5-2682 v4 boards with 64 GB
     (the head-to-head configuration of §4; a server takes up to 16
-    boards, §3.3). *)
+    boards, §3.3). [obs] is threaded into the vswitch, every board's
+    IO-Bond, and the backend loops (["hyp.bm"] track; offload, PMD and
+    rx-drop metrics). *)
 
 val vswitch : server -> Bm_cloud.Vswitch.t
 val base_cores : server -> Bm_hw.Cores.t

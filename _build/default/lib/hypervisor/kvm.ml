@@ -59,14 +59,15 @@ type host = {
   vswitch : Vswitch.t;
   storage : Blockstore.t;
   total_threads : int;
+  obs : Obs.t;
   mutable provisioned_threads : int;
   mutable vms : (string * vm) list;
 }
 
 let reserved_threads = 8
 
-let create_host sim rng ~fabric ~storage ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(sockets = 2)
-    ?(params = default_params) () =
+let create_host ?(obs = Obs.none) sim rng ~fabric ~storage ?(spec = Cpu_spec.xeon_e5_2682_v4)
+    ?(sockets = 2) ?(params = default_params) () =
   let total = sockets * spec.Cpu_spec.threads in
   let service_cores = Cores.create sim ~spec ~threads:reserved_threads () in
   {
@@ -75,9 +76,10 @@ let create_host sim rng ~fabric ~storage ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(so
     spec;
     params;
     service_cores;
-    vswitch = Vswitch.create sim ~fabric ~cores:service_cores ();
+    vswitch = Vswitch.create ~obs sim ~fabric ~cores:service_cores ();
     storage;
     total_threads = total - reserved_threads;
+    obs;
     provisioned_threads = 0;
     vms = [];
   }
@@ -119,9 +121,12 @@ let create_vm host config =
   let p = host.params in
   let os = Guest_os.default in
   let spec = host.spec in
-  let exits = Vmexit.create_counters () in
+  let exits =
+    Vmexit.create_counters ~obs:host.obs ~track:("hyp.vmexit." ^ config.name) ()
+  in
   let preempt =
-    Preempt.create sim (Rng.split host.rng) ~mode:config.pinning ~host_load:config.host_load ()
+    Preempt.create ~obs:host.obs sim (Rng.split host.rng) ~mode:config.pinning
+      ~host_load:config.host_load ()
   in
   let vm_rng = Rng.split host.rng in
   let poll_mode = ref false in
@@ -135,8 +140,8 @@ let create_vm host config =
     Sim.delay (Vmexit.handle_ns Vmexit.Io_instruction)
   in
   (* Net rings sized like a multiqueue device (8 queues x 256). *)
-  let net = Virtio_net.create ~queue_size:2048 ~on_access () in
-  let blkdev = Virtio_blk.create ~on_access () in
+  let net = Virtio_net.create ~obs:host.obs ~queue_size:2048 ~on_access () in
+  let blkdev = Virtio_blk.create ~obs:host.obs ~on_access () in
   (* The vhost-user backends come up through the real control protocol
      before any descriptor moves (§3.4.2). *)
   let bring_up features =
@@ -310,7 +315,7 @@ let create_vm host config =
   in
   let exec_mem_ns ~working_set ~locality natural =
     Preempt.maybe_steal preempt;
-    let factor = Ept.dilation_factor tlb ~virtualized:true ~working_set ~locality in
+    let factor = Ept.dilation_factor ~obs:host.obs tlb ~virtualized:true ~working_set ~locality in
     Cores.execute_ns guest_cores (natural *. cpu_factor *. factor *. cache_noise ())
   in
   let send pkt =

@@ -28,6 +28,7 @@ type params = {
 val default_params : params
 
 val create_host :
+  ?obs:Bm_engine.Obs.t ->
   Bm_engine.Sim.t ->
   Bm_engine.Rng.t ->
   fabric:Bm_cloud.Vswitch.fabric ->

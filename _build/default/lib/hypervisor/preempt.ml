@@ -11,6 +11,7 @@ type t = {
   slice_ns : float; (* mean stolen slice *)
   mutable stolen_ns : float;
   mutable steals : int;
+  obs : Obs.t;
 }
 
 (* A shareable vCPU at 50% host load is preempted at boundaries with
@@ -22,10 +23,10 @@ let params_of ~mode ~host_load =
   | Shared -> (0.008 *. host_load, 30_000.0)
   | Exclusive -> (0.0008 *. host_load, 15_000.0)
 
-let create sim rng ~mode ?(host_load = 0.5) () =
+let create ?(obs = Obs.none) sim rng ~mode ?(host_load = 0.5) () =
   assert (host_load >= 0.0 && host_load <= 1.0);
   let steal_p, slice_ns = params_of ~mode ~host_load in
-  { sim; rng; mode; host_load; steal_p; slice_ns; stolen_ns = 0.0; steals = 0 }
+  { sim; rng; mode; host_load; steal_p; slice_ns; stolen_ns = 0.0; steals = 0; obs }
 
 let mode t = t.mode
 
@@ -40,7 +41,10 @@ let maybe_steal t =
     let pause = body +. tail in
     t.stolen_ns <- t.stolen_ns +. pause;
     t.steals <- t.steals + 1;
-    Sim.delay pause
+    Metrics.observe_opt (Obs.metrics t.obs) "hyp.preempt.stolen_ns" pause;
+    Trace.begin_span_opt (Obs.trace t.obs) ~track:"hyp.preempt" "steal" ~now:(Sim.now t.sim);
+    Sim.delay pause;
+    Trace.end_span_opt (Obs.trace t.obs) ~track:"hyp.preempt" "steal" ~now:(Sim.now t.sim)
   end
 
 let stolen_ns t = t.stolen_ns

@@ -18,9 +18,17 @@ type mode = Shared | Exclusive
 type t
 
 val create :
-  Bm_engine.Sim.t -> Bm_engine.Rng.t -> mode:mode -> ?host_load:float -> unit -> t
+  ?obs:Bm_engine.Obs.t ->
+  Bm_engine.Sim.t ->
+  Bm_engine.Rng.t ->
+  mode:mode ->
+  ?host_load:float ->
+  unit ->
+  t
 (** [host_load] ∈ [\[0, 1\]] (default 0.5) scales interference: the
-    fraction of the reserved host cores kept busy serving I/O. *)
+    fraction of the reserved host cores kept busy serving I/O. With
+    [obs], each steal spans the ["hyp.preempt"] track and feeds the
+    ["hyp.preempt.stolen_ns"] histogram. *)
 
 val mode : t -> mode
 

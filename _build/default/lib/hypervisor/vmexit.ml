@@ -1,3 +1,5 @@
+open Bm_engine
+
 type reason =
   | Ept_violation
   | Msr_access
@@ -33,20 +35,6 @@ let index = function
   | Interrupt_window -> 6
   | Cpuid -> 7
 
-type counters = { counts : int array; mutable time_ns : float }
-
-let create_counters () = { counts = Array.make (List.length all) 0; time_ns = 0.0 }
-
-let record t reason =
-  t.counts.(index reason) <- t.counts.(index reason) + 1;
-  t.time_ns <- t.time_ns +. handle_ns reason
-
-let count t reason = t.counts.(index reason)
-let total t = Array.fold_left ( + ) 0 t.counts
-let total_time_ns t = t.time_ns
-
-let rate_per_s t ~elapsed_ns = if elapsed_ns <= 0.0 then nan else float_of_int (total t) /. (elapsed_ns /. 1e9)
-
 let name = function
   | Ept_violation -> "ept"
   | Msr_access -> "msr"
@@ -56,6 +44,23 @@ let name = function
   | External_interrupt -> "extint"
   | Interrupt_window -> "injection"
   | Cpuid -> "cpuid"
+
+type counters = { counts : int array; mutable time_ns : float; obs : Obs.t; track : string }
+
+let create_counters ?(obs = Obs.none) ?(track = "hyp.vmexit") () =
+  { counts = Array.make (List.length all) 0; time_ns = 0.0; obs; track }
+
+let record t reason =
+  t.counts.(index reason) <- t.counts.(index reason) + 1;
+  t.time_ns <- t.time_ns +. handle_ns reason;
+  Trace.instant_opt (Obs.trace t.obs) ~track:t.track (name reason) ~now:(Obs.now t.obs);
+  Metrics.incr_opt (Obs.metrics t.obs) ("hyp.vmexit." ^ name reason)
+
+let count t reason = t.counts.(index reason)
+let total t = Array.fold_left ( + ) 0 t.counts
+let total_time_ns t = t.time_ns
+
+let rate_per_s t ~elapsed_ns = if elapsed_ns <= 0.0 then nan else float_of_int (total t) /. (elapsed_ns /. 1e9)
 
 let pp fmt t =
   Format.fprintf fmt "exits=%d time=%.1fus" (total t) (t.time_ns /. 1e3);

@@ -1,1 +1,1 @@
-lib/iobond/iobond.ml: Bm_engine Bm_hw Bm_virtio Dma Mailbox Option Packet Pcie Profile Queue_bridge Sim Virtio_blk Virtio_net Virtio_pci
+lib/iobond/iobond.ml: Bm_engine Bm_hw Bm_virtio Dma Mailbox Metrics Obs Option Packet Pcie Profile Queue_bridge Sim Trace Virtio_blk Virtio_net Virtio_pci

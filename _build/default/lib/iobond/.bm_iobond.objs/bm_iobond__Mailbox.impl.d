@@ -1,1 +1,1 @@
-lib/iobond/mailbox.ml: Array Bm_engine Bm_hw Pcie Sim
+lib/iobond/mailbox.ml: Array Bm_engine Bm_hw Metrics Obs Pcie Sim Trace

@@ -1,1 +1,1 @@
-lib/iobond/queue_bridge.ml: Bm_engine Bm_hw Bm_virtio Dma List Mailbox Pcie Sim Vring
+lib/iobond/queue_bridge.ml: Bm_engine Bm_hw Bm_virtio Dma List Mailbox Metrics Obs Pcie Sim Trace Vring

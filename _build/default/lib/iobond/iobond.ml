@@ -10,6 +10,7 @@ type t = {
   blk_link : Pcie.t;
   dma : Dma.t;
   mailbox : Mailbox.t;
+  obs : Obs.t;
 }
 
 type net_port = {
@@ -20,18 +21,19 @@ type net_port = {
 
 type blk_port = { blk_device : Virtio_blk.t; blk_queue : Virtio_blk.req Queue_bridge.t }
 
-let create sim ~profile ?dma_gbit_s () =
+let create ?(obs = Obs.none) sim ~profile ?dma_gbit_s () =
   let register_ns = Profile.register_ns profile in
-  let base_link = Pcie.x8 sim ~register_ns in
+  let base_link = Pcie.x8 ~obs sim ~register_ns in
   let gbit_s = Option.value dma_gbit_s ~default:(Profile.dma_gbit_s profile) in
   {
     sim;
     profile;
     base_link;
-    net_link = Pcie.x4 sim ~register_ns;
-    blk_link = Pcie.x4 sim ~register_ns;
-    dma = Dma.create sim ~gbit_s ~setup_ns:(Profile.dma_setup_ns profile) ();
-    mailbox = Mailbox.create sim ~base_link;
+    net_link = Pcie.x4 ~obs sim ~register_ns;
+    blk_link = Pcie.x4 ~obs sim ~register_ns;
+    dma = Dma.create ~obs sim ~gbit_s ~setup_ns:(Profile.dma_setup_ns profile) ();
+    mailbox = Mailbox.create ~obs sim ~base_link;
+    obs;
   }
 
 let profile t = t.profile
@@ -47,12 +49,15 @@ let pci_access_ns t = Profile.pci_emulation_ns t.profile
    the access is signalled through the mailbox pair. *)
 let on_pci_access t () =
   Mailbox.notify_pci_access t.mailbox;
-  Sim.delay (pci_access_ns t)
+  Metrics.incr_opt (Obs.metrics t.obs) "iobond.pci_emulations";
+  Trace.span_opt (Obs.trace t.obs) ~track:"iobond.cfg" "pci_emulation"
+    ~clock:(fun () -> Sim.now t.sim)
+    (fun () -> Sim.delay (pci_access_ns t))
 
 let attach_net t ?queue_size () =
-  let device = Virtio_net.create ?queue_size ~on_access:(on_pci_access t) () in
+  let device = Virtio_net.create ~obs:t.obs ?queue_size ~on_access:(on_pci_access t) () in
   let bridge name guest =
-    Queue_bridge.create t.sim ~name ~guest ~dma:t.dma ~guest_link:t.net_link
+    Queue_bridge.create ~obs:t.obs t.sim ~name ~guest ~dma:t.dma ~guest_link:t.net_link
       ~base_link:t.base_link ~mailbox:t.mailbox
   in
   let net_tx = bridge "net-tx" (Virtio_net.tx_ring device) in
@@ -65,9 +70,9 @@ let attach_net t ?queue_size () =
   { net_device = device; net_tx; net_rx }
 
 let attach_blk t ?queue_size () =
-  let device = Virtio_blk.create ?queue_size ~on_access:(on_pci_access t) () in
+  let device = Virtio_blk.create ~obs:t.obs ?queue_size ~on_access:(on_pci_access t) () in
   let blk_queue =
-    Queue_bridge.create t.sim ~name:"blk" ~guest:(Virtio_blk.ring device) ~dma:t.dma
+    Queue_bridge.create ~obs:t.obs t.sim ~name:"blk" ~guest:(Virtio_blk.ring device) ~dma:t.dma
       ~guest_link:t.blk_link ~base_link:t.base_link ~mailbox:t.mailbox
   in
   Virtio_blk.set_notify device (fun () -> Queue_bridge.guest_notify blk_queue);

@@ -25,9 +25,12 @@ type blk_port = {
   blk_queue : Bm_virtio.Virtio_blk.req Queue_bridge.t;
 }
 
-val create : Bm_engine.Sim.t -> profile:Profile.t -> ?dma_gbit_s:float -> unit -> t
+val create :
+  ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> profile:Profile.t -> ?dma_gbit_s:float -> unit -> t
 (** [dma_gbit_s] overrides the profile's 50 Gbit/s engine — used by the
-    DMA-sizing ablation. *)
+    DMA-sizing ablation. [obs] is threaded into the links, DMA engine,
+    mailbox, bridges and attached virtio devices; emulated PCI config
+    accesses additionally span on the ["iobond.cfg"] track. *)
 
 val profile : t -> Profile.t
 val mailbox : t -> Mailbox.t

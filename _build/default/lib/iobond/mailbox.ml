@@ -9,10 +9,20 @@ type t = {
   mutable rings : int;
   mutable pci_accesses : int;
   mutable tail_writes : int;
+  obs : Obs.t;
 }
 
-let create sim ~base_link =
-  { sim; base_link; heads = Array.make 8 0; tails = Array.make 8 0; rings = 0; pci_accesses = 0; tail_writes = 0 }
+let create ?(obs = Obs.none) sim ~base_link =
+  {
+    sim;
+    base_link;
+    heads = Array.make 8 0;
+    tails = Array.make 8 0;
+    rings = 0;
+    pci_accesses = 0;
+    tail_writes = 0;
+    obs;
+  }
 
 let ring_count t = t.rings
 
@@ -41,11 +51,15 @@ let tail t i =
 
 let write_tail t i v =
   check t i;
+  Trace.instant_opt (Obs.trace t.obs) ~track:"iobond.mailbox" "tail_write" ~now:(Sim.now t.sim);
+  Metrics.incr_opt (Obs.metrics t.obs) "iobond.mailbox.tail_writes";
   Pcie.register_access t.base_link;
   t.tails.(i) <- v;
   t.tail_writes <- t.tail_writes + 1
 
-let notify_pci_access t = t.pci_accesses <- t.pci_accesses + 1
+let notify_pci_access t =
+  Metrics.incr_opt (Obs.metrics t.obs) "iobond.mailbox.pci_accesses";
+  t.pci_accesses <- t.pci_accesses + 1
 
 let pci_access_count t = t.pci_accesses
 let tail_writes t = t.tail_writes

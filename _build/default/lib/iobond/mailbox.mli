@@ -10,7 +10,9 @@
 
 type t
 
-val create : Bm_engine.Sim.t -> base_link:Bm_hw.Pcie.t -> t
+val create : ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> base_link:Bm_hw.Pcie.t -> t
+(** With [obs], tail writes trace on ["iobond.mailbox"] and tail
+    writes / forwarded PCI accesses are counted. *)
 
 val ring_count : t -> int
 val alloc_ring : t -> int

@@ -25,14 +25,19 @@ type 'a t = {
   mutable forwarded : int;
   mutable completed : int;
   mutable interrupts : int;
+  obs : Obs.t;
+  track : string;
 }
 
-let create sim ~name ~guest ~dma ~guest_link ~base_link ~mailbox =
+let create ?(obs = Obs.none) sim ~name ~guest ~dma ~guest_link ~base_link ~mailbox =
+  let track = "iobond." ^ name in
+  let shadow = Vring.create ~size:(Vring.size guest) in
+  Vring.set_obs shadow ~track:(track ^ ".shadow") obs;
   {
     sim;
     name;
     guest;
-    shadow = Vring.create ~size:(Vring.size guest);
+    shadow;
     dma;
     guest_link;
     base_link;
@@ -46,6 +51,8 @@ let create sim ~name ~guest ~dma ~guest_link ~base_link ~mailbox =
     forwarded = 0;
     completed = 0;
     interrupts = 0;
+    obs;
+    track;
   }
 
 let name t = t.name
@@ -61,6 +68,7 @@ let rec pump_forward t =
   match Vring.pop_avail t.guest with
   | None -> t.forward_running <- false
   | Some chain ->
+    Trace.begin_span_opt (Obs.trace t.obs) ~track:t.track "forward" ~now:(Sim.now t.sim);
     let bytes_ = (desc_bytes * chain_nsegs chain) + Vring.total_out_bytes chain in
     Dma.copy t.dma ~src:t.guest_link ~dst:t.base_link ~bytes_;
     let out = List.map snd chain.Vring.out in
@@ -71,12 +79,16 @@ let rec pump_forward t =
      with
     | Some _ ->
       t.forwarded <- t.forwarded + 1;
+      Metrics.mark_opt (Obs.metrics t.obs) "iobond.forwarded" ~now:(Sim.now t.sim);
       Mailbox.set_head t.mailbox t.ring_index (Vring.avail_idx t.shadow);
+      Trace.counter_opt (Obs.trace t.obs) ~track:t.track "pending" ~now:(Sim.now t.sim)
+        (float_of_int (Vring.avail_pending t.shadow));
       if Vring.avail_pending t.shadow = 1 then t.work_hint ()
     | None ->
       (* Cannot happen while the guest ring bounds outstanding requests,
          but stay safe: retry after a poll interval. *)
       Sim.delay 1_000.0);
+    Trace.end_span_opt (Obs.trace t.obs) ~track:t.track "forward" ~now:(Sim.now t.sim);
     pump_forward t
 
 let start_forward t =
@@ -86,6 +98,8 @@ let start_forward t =
   end
 
 let guest_notify t =
+  Trace.instant_opt (Obs.trace t.obs) ~track:t.track "doorbell" ~now:(Sim.now t.sim);
+  Metrics.incr_opt (Obs.metrics t.obs) "iobond.doorbells";
   (* Posted doorbell: the guest is not stalled; the FPGA sees it one
      register hop later. *)
   Sim.schedule t.sim ~delay:(Pcie.register_ns t.guest_link) (fun () -> start_forward t)
@@ -130,6 +144,8 @@ let rec pump_backward t completed_any =
     t.backward_running <- false;
     if completed_any then begin
       t.interrupts <- t.interrupts + 1;
+      Trace.instant_opt (Obs.trace t.obs) ~track:t.track "guest_irq" ~now:(Sim.now t.sim);
+      Metrics.incr_opt (Obs.metrics t.obs) "iobond.guest_irqs";
       t.guest_irq ()
     end
   | Some ((guest_head, payload), written) ->
@@ -138,6 +154,7 @@ let rec pump_backward t completed_any =
     Vring.set_payload t.guest ~head:guest_head payload;
     Vring.push_used t.guest ~head:guest_head ~written;
     t.completed <- t.completed + 1;
+    Metrics.mark_opt (Obs.metrics t.obs) "iobond.completed" ~now:(Sim.now t.sim);
     pump_backward t true
 
 let flush t =

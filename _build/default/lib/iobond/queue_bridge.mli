@@ -21,6 +21,7 @@ type 'a request = {
 }
 
 val create :
+  ?obs:Bm_engine.Obs.t ->
   Bm_engine.Sim.t ->
   name:string ->
   guest:'a Bm_virtio.Vring.t ->
@@ -29,6 +30,11 @@ val create :
   base_link:Bm_hw.Pcie.t ->
   mailbox:Mailbox.t ->
   'a t
+(** With [obs], the bridge traces on track ["iobond.<name>"]: doorbell
+    instants, per-chain [forward] spans, shadow [pending] counter
+    samples, and [guest_irq] instants, plus the ["iobond.doorbells"],
+    ["iobond.forwarded"], ["iobond.completed"] and ["iobond.guest_irqs"]
+    metrics. *)
 
 val name : _ t -> string
 val ring_index : _ t -> int

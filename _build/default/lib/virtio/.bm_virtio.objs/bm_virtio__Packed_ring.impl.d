@@ -1,1 +1,1 @@
-lib/virtio/packed_ring.ml: Array List Printf
+lib/virtio/packed_ring.ml: Array Bm_engine List Metrics Obs Printf Trace

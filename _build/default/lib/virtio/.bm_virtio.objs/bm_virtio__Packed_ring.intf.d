@@ -1,1 +1,1 @@
-lib/virtio/packed_ring.mli:
+lib/virtio/packed_ring.mli: Bm_engine

@@ -1,1 +1,1 @@
-lib/virtio/virtio_blk.ml: Bm_engine Feature Sim Virtio_pci Vring
+lib/virtio/virtio_blk.ml: Bm_engine Feature Metrics Obs Sim Trace Virtio_pci Vring

@@ -1,1 +1,1 @@
-lib/virtio/virtio_net.ml: Feature List Packet Virtio_pci Vring
+lib/virtio/virtio_net.ml: Bm_engine Feature List Metrics Obs Packet Trace Virtio_pci Vring

@@ -1,1 +1,1 @@
-lib/virtio/virtio_net.mli: Packet Virtio_pci Vring
+lib/virtio/virtio_net.mli: Bm_engine Packet Virtio_pci Vring

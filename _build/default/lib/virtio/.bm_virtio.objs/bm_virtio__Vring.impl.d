@@ -1,1 +1,1 @@
-lib/virtio/vring.ml: Array List Printf
+lib/virtio/vring.ml: Array Bm_engine List Metrics Obs Printf Trace

@@ -1,1 +1,1 @@
-lib/virtio/vring.mli:
+lib/virtio/vring.mli: Bm_engine

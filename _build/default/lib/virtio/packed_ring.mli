@@ -24,6 +24,10 @@ type 'a chain = {
 val create : size:int -> 'a t
 (** [size] descriptors, a power of two in [\[2, 32768\]]. *)
 
+val set_obs : 'a t -> track:string -> Bm_engine.Obs.t -> unit
+(** As {!Vring.set_obs}: instants on [track], counters
+    ["virtio.packed.add"]/["virtio.packed.used"]. *)
+
 val size : 'a t -> int
 val num_free : 'a t -> int
 (** Free descriptor slots. *)

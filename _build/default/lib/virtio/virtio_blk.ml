@@ -21,16 +21,20 @@ type t = {
   mutable interrupt : unit -> unit;
   mutable submitted : int;
   mutable completed : int;
+  obs : Obs.t;
 }
 
-let create ?(queue_size = 128) ~on_access () =
+let create ?(obs = Obs.none) ?(queue_size = 128) ~on_access () =
+  let ring = Vring.create ~size:queue_size in
+  Vring.set_obs ring ~track:"virtio.blk" obs;
   {
     pci = Virtio_pci.create ~kind:Virtio_pci.Blk ~num_queues:1 ~queue_size ~on_access;
-    ring = Vring.create ~size:queue_size;
+    ring;
     notify = ignore;
     interrupt = ignore;
     submitted = 0;
     completed = 0;
+    obs;
   }
 
 let pci t = t.pci
@@ -58,6 +62,8 @@ let submit t ?(indirect = false) req =
   match Vring.add t.ring ~indirect ~out ~in_ req with
   | Some _ ->
     t.submitted <- t.submitted + 1;
+    Trace.instant_opt (Obs.trace t.obs) ~track:"virtio.blk" "kick" ~now:(Obs.now t.obs);
+    Metrics.incr_opt (Obs.metrics t.obs) "virtio.blk.submitted";
     t.notify ();
     true
   | None -> false
@@ -71,7 +77,12 @@ let reap t =
       go (n + 1)
     | None -> n
   in
-  go 0
+  let n = go 0 in
+  if n > 0 then begin
+    Trace.instant_opt (Obs.trace t.obs) ~track:"virtio.blk" "reap" ~now:(Obs.now t.obs);
+    Metrics.mark_opt (Obs.metrics t.obs) ~n "virtio.blk.reaped" ~now:(Obs.now t.obs)
+  end;
+  n
 
 let submitted t = t.submitted
 let completed t = t.completed

@@ -20,8 +20,10 @@ type t
 
 val sector_bytes : int
 
-val create : ?queue_size:int -> on_access:(unit -> unit) -> unit -> t
-(** [queue_size] defaults to 128, virtio-blk's classic depth. *)
+val create : ?obs:Bm_engine.Obs.t -> ?queue_size:int -> on_access:(unit -> unit) -> unit -> t
+(** [queue_size] defaults to 128, virtio-blk's classic depth. With
+    [obs], the ring traces on ["virtio.blk"] and submissions/reaps are
+    counted and metered. *)
 
 val pci : t -> Virtio_pci.t
 val ring : t -> req Vring.t

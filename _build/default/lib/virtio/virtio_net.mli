@@ -12,10 +12,13 @@ type t
 
 val header_bytes : int
 
-val create : ?queue_size:int -> on_access:(unit -> unit) -> unit -> t
+val create : ?obs:Bm_engine.Obs.t -> ?queue_size:int -> on_access:(unit -> unit) -> unit -> t
 (** [create ~on_access ()] — [queue_size] defaults to 256 entries per
     ring, the paper-era default for virtio-net. [on_access] prices one
-    PCI register access (see {!Virtio_pci.create}). *)
+    PCI register access (see {!Virtio_pci.create}). With [obs], the
+    rings trace on ["virtio.net.tx"]/["virtio.net.rx"], kicks and drops
+    are recorded, and received packets feed the ["virtio.net.rx_pkts"]
+    meter. *)
 
 val pci : t -> Virtio_pci.t
 val tx_ring : t -> Packet.t Vring.t

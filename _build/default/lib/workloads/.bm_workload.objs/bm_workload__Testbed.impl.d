@@ -1,1 +1,1 @@
-lib/workloads/testbed.ml: Blockstore Bm_cloud Bm_engine Bm_guest Bm_hw Bm_hyp Bm_hypervisor Kvm Option Physical Preempt Rng Sim Vswitch
+lib/workloads/testbed.ml: Blockstore Bm_cloud Bm_engine Bm_guest Bm_hw Bm_hyp Bm_hypervisor Kvm Obs Option Physical Preempt Rng Sim Vswitch

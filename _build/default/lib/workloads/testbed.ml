@@ -8,18 +8,20 @@ type t = {
   rng : Rng.t;
   fabric : Vswitch.fabric;
   storage : Blockstore.t;
+  obs : Obs.t;
 }
 
-let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) () =
+let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) ?trace ?metrics () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed in
+  let obs = Obs.of_sim ?trace ?metrics sim in
   let fabric = Vswitch.create_fabric sim () in
-  let storage = Blockstore.create sim (Rng.split rng) ~kind:storage_kind () in
-  { sim; rng; fabric; storage }
+  let storage = Blockstore.create ~obs sim (Rng.split rng) ~kind:storage_kind () in
+  { sim; rng; fabric; storage; obs }
 
 let bm_server ?profile ?boards t =
-  Bm_hypervisor.create_server t.sim (Rng.split t.rng) ~fabric:t.fabric ~storage:t.storage
-    ?profile ?boards ()
+  Bm_hypervisor.create_server ~obs:t.obs t.sim (Rng.split t.rng) ~fabric:t.fabric
+    ~storage:t.storage ?profile ?boards ()
 
 let bm_guest ?profile ?net_limits ?blk_limits ?(name = "bm0") t =
   let server = bm_server ?profile t in
@@ -38,7 +40,8 @@ let bm_pair ?profile ?net_limits t =
   in
   (server, provision "bm0", provision "bm1")
 
-let vm_host t = Kvm.create_host t.sim (Rng.split t.rng) ~fabric:t.fabric ~storage:t.storage ()
+let vm_host t =
+  Kvm.create_host ~obs:t.obs t.sim (Rng.split t.rng) ~fabric:t.fabric ~storage:t.storage ()
 
 let vm_guest ?net_limits ?blk_limits ?(vcpus = 32) ?(host_load = 0.5)
     ?(pinning = Preempt.Exclusive) ?(name = "vm0") t =
@@ -81,7 +84,7 @@ let physical ?(name = "phys0") ?sockets t =
    contend with the system under test. *)
 let client_box ?(name = "client") t =
   let cores = Bm_hw.Cores.create t.sim ~spec:Bm_hw.Cpu_spec.xeon_platinum_8163 ~threads:96 () in
-  let vswitch = Vswitch.create t.sim ~fabric:t.fabric ~cores () in
+  let vswitch = Vswitch.create ~obs:t.obs t.sim ~fabric:t.fabric ~cores () in
   Physical.create t.sim ~name ~spec:Bm_hw.Cpu_spec.xeon_platinum_8163 ~sockets:2 ~vswitch
     ~storage:t.storage ()
 

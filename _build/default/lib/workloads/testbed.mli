@@ -11,9 +11,19 @@ type t = {
   rng : Bm_engine.Rng.t;
   fabric : Bm_cloud.Vswitch.fabric;
   storage : Bm_cloud.Blockstore.t;
+  obs : Bm_engine.Obs.t;
 }
 
-val make : ?seed:int -> ?storage_kind:Bm_cloud.Blockstore.kind -> unit -> t
+val make :
+  ?seed:int ->
+  ?storage_kind:Bm_cloud.Blockstore.kind ->
+  ?trace:Bm_engine.Trace.t ->
+  ?metrics:Bm_engine.Metrics.t ->
+  unit ->
+  t
+(** [trace]/[metrics] become the testbed's observability context [obs],
+    threaded into every component the builders below create. Omitting
+    both keeps the datapath sink-free (zero recording cost). *)
 
 val bm_server :
   ?profile:Bm_iobond.Profile.t -> ?boards:int -> t -> Bm_hyp.Bm_hypervisor.server

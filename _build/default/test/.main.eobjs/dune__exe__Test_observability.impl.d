@@ -1,0 +1,1 @@
+test/test_observability.ml: Alcotest Astring Bm_engine Bm_guest Bm_workload Bmhive Buffer Float Gen Hashtbl List Metrics Option Printf QCheck QCheck_alcotest Sim Stats String Testbed Trace

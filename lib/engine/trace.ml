@@ -34,6 +34,24 @@ let span t ~track name ~clock f =
     end_span t ~track name ~now:(clock ());
     raise e
 
+(* Option-sink variants: exact no-ops when no trace is installed, so
+   instrumented call sites cost one branch on the disabled path. *)
+
+let instant_opt o ~track name ~now =
+  match o with Some t -> instant t ~track name ~now | None -> ()
+
+let begin_span_opt o ~track name ~now =
+  match o with Some t -> begin_span t ~track name ~now | None -> ()
+
+let end_span_opt o ~track name ~now =
+  match o with Some t -> end_span t ~track name ~now | None -> ()
+
+let counter_opt o ~track name ~now v =
+  match o with Some t -> counter t ~track name ~now v | None -> ()
+
+let span_opt o ~track name ~clock f =
+  match o with Some t -> span t ~track name ~clock f | None -> f ()
+
 let events t =
   let n = min t.next t.capacity in
   let start = t.next - n in
@@ -91,3 +109,67 @@ let render t =
 let clear t =
   Array.fill t.buffer 0 t.capacity None;
   t.next <- 0
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_number v = if Float.is_finite v then Printf.sprintf "%.17g" v else "0"
+
+let export_json t =
+  (* Chrome trace_event "JSON Array Format" wrapped in an object, one
+     numeric tid per track (first-seen order) named via "M" metadata
+     records. Timestamps are microseconds, as the format requires. *)
+  let buf = Buffer.create 4096 in
+  let tids = Hashtbl.create 16 in
+  let tracks_in_order = ref [] in
+  let tid track =
+    match Hashtbl.find_opt tids track with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length tids + 1 in
+      Hashtbl.replace tids track i;
+      tracks_in_order := track :: !tracks_in_order;
+      i
+  in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  List.iter
+    (fun e ->
+      let ph, extra =
+        match e.kind with
+        | `Instant -> ("i", ",\"s\":\"t\"")
+        | `Begin -> ("B", "")
+        | `End -> ("E", "")
+        | `Counter v -> ("C", Printf.sprintf ",\"args\":{\"value\":%s}" (json_number v))
+      in
+      emit
+        (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"sim\",\"ph\":\"%s\",\"ts\":%s,\"pid\":1,\"tid\":%d%s}"
+           (json_escape e.name) ph
+           (json_number (e.at /. 1e3))
+           (tid e.track) extra))
+    (events t);
+  List.iter
+    (fun track ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           (Hashtbl.find tids track) (json_escape track)))
+    (List.rev !tracks_in_order);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ns\"}";
+  Buffer.contents buf

@@ -28,6 +28,17 @@ val span : t -> track:string -> string -> clock:(unit -> float) -> (unit -> 'a) 
 (** [span t ~track name ~clock f] wraps [f] in a begin/end pair (the end
     is emitted even when [f] raises). *)
 
+(** {2 Option-sink variants}
+
+    Instrumented components hold a [t option]; these are exact no-ops on
+    [None], so the datapath pays one branch when tracing is off. *)
+
+val instant_opt : t option -> track:string -> string -> now:float -> unit
+val begin_span_opt : t option -> track:string -> string -> now:float -> unit
+val end_span_opt : t option -> track:string -> string -> now:float -> unit
+val counter_opt : t option -> track:string -> string -> now:float -> float -> unit
+val span_opt : t option -> track:string -> string -> clock:(unit -> float) -> (unit -> 'a) -> 'a
+
 val events : t -> event list
 (** Oldest first; at most [capacity]. *)
 
@@ -42,5 +53,11 @@ val span_durations : t -> track:string -> string -> float list
 
 val render : t -> string
 (** Human-readable timeline. *)
+
+val export_json : t -> string
+(** Chrome [trace_event] JSON ({{:https://ui.perfetto.dev}Perfetto} /
+    chrome://tracing): one thread per track, [B]/[E] for spans, [i] for
+    instants, [C] for counters, timestamps in µs. The output is a
+    deterministic function of the recorded events. *)
 
 val clear : t -> unit

@@ -11,10 +11,17 @@ val accesses_per_ns : float
     (~one access every 2 ns for integer server code). *)
 
 val dilation_factor :
-  Bm_hw.Tlb.t -> virtualized:bool -> working_set:float -> locality:float -> float
+  ?obs:Bm_engine.Obs.t ->
+  Bm_hw.Tlb.t ->
+  virtualized:bool ->
+  working_set:float ->
+  locality:float ->
+  float
 (** Multiplicative execution-time factor (≥ 1). For [virtualized:false]
     this is the native page-walk cost, already part of baseline
-    performance; the vm overhead is the ratio of the two factors. *)
+    performance; the vm overhead is the ratio of the two factors. With
+    [obs], virtualized factors feed the ["hyp.ept.dilation"]
+    histogram. *)
 
 val vm_overhead :
   Bm_hw.Tlb.t -> working_set:float -> locality:float -> float

@@ -25,7 +25,11 @@ val observable_threshold_per_s : float
 
 type counters
 
-val create_counters : unit -> counters
+val create_counters : ?obs:Bm_engine.Obs.t -> ?track:string -> unit -> counters
+(** With [obs], each {!record} emits a per-reason instant on [track]
+    (default ["hyp.vmexit"]) and bumps the ["hyp.vmexit.<reason>"]
+    counter. *)
+
 val record : counters -> reason -> unit
 val count : counters -> reason -> int
 val total : counters -> int

@@ -1,3 +1,5 @@
+open Bm_engine
+
 (* Flag bits from the virtio 1.1 spec. *)
 let f_next = 0x1
 let f_write = 0x2
@@ -39,6 +41,8 @@ type 'a t = {
   mutable completed : int;
   mutable reclaimed : int;
   mutable next_addr : int;
+  mutable obs : Obs.t;
+  mutable track : string;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -67,7 +71,13 @@ let create ~size =
     completed = 0;
     reclaimed = 0;
     next_addr = 0x1000;
+    obs = Obs.none;
+    track = "virtio.packed";
   }
+
+let set_obs t ~track obs =
+  t.obs <- obs;
+  t.track <- track
 
 let size t = t.size
 let num_free t = t.free_slots
@@ -134,6 +144,8 @@ let add t ~out ~in_ payload =
       t.next_avail <- next;
       t.avail_wrap <- wrap;
       t.added <- t.added + 1;
+      Trace.instant_opt (Obs.trace t.obs) ~track:t.track "add" ~now:(Obs.now t.obs);
+      Metrics.incr_opt (Obs.metrics t.obs) "virtio.packed.add";
       Some id
 
 let pop_avail t =
@@ -172,7 +184,9 @@ let push_used t ~id ~written =
   let next, wrap = advance t t.next_used_write t.used_write_wrap slot.s_ndesc in
   t.next_used_write <- next;
   t.used_write_wrap <- wrap;
-  t.completed <- t.completed + 1
+  t.completed <- t.completed + 1;
+  Trace.instant_opt (Obs.trace t.obs) ~track:t.track "used" ~now:(Obs.now t.obs);
+  Metrics.incr_opt (Obs.metrics t.obs) "virtio.packed.used"
 
 let pop_used t =
   let d = t.ring.(t.next_used_read) in

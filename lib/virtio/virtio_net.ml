@@ -1,3 +1,5 @@
+open Bm_engine
+
 let header_bytes = 12
 let rx_buf_bytes = 1536
 
@@ -15,19 +17,25 @@ type t = {
   mutable tx_sent : int;
   mutable rx_received : int;
   mutable tx_dropped : int;
+  obs : Obs.t;
 }
 
-let create ?(queue_size = 256) ~on_access () =
+let create ?(obs = Obs.none) ?(queue_size = 256) ~on_access () =
+  let tx = Vring.create ~size:queue_size in
+  let rx = Vring.create ~size:queue_size in
+  Vring.set_obs tx ~track:"virtio.net.tx" obs;
+  Vring.set_obs rx ~track:"virtio.net.rx" obs;
   {
     pci = Virtio_pci.create ~kind:Virtio_pci.Net ~num_queues:2 ~queue_size ~on_access;
-    tx = Vring.create ~size:queue_size;
-    rx = Vring.create ~size:queue_size;
+    tx;
+    rx;
     notify_tx = ignore;
     notify_rx = ignore;
     interrupt = ignore;
     tx_sent = 0;
     rx_received = 0;
     tx_dropped = 0;
+    obs;
   }
 
 let pci t = t.pci
@@ -50,10 +58,12 @@ let xmit t ?(indirect = false) pkt =
   match Vring.add t.tx ~indirect ~out:[ header_bytes; pkt.Packet.size ] ~in_:[] pkt with
   | Some _head ->
     t.tx_sent <- t.tx_sent + 1;
+    Trace.instant_opt (Obs.trace t.obs) ~track:"virtio.net.tx" "kick" ~now:(Obs.now t.obs);
     t.notify_tx ();
     true
   | None ->
     t.tx_dropped <- t.tx_dropped + 1;
+    Metrics.incr_opt (Obs.metrics t.obs) "virtio.net.tx_dropped";
     false
 
 let refill_rx t ~target =
@@ -79,7 +89,13 @@ let reap_rx t =
       go (pkt :: acc)
     | None -> List.rev acc
   in
-  go []
+  let pkts = go [] in
+  (match pkts with
+  | [] -> ()
+  | _ :: _ ->
+    Metrics.mark_opt (Obs.metrics t.obs) ~n:(List.length pkts) "virtio.net.rx_pkts"
+      ~now:(Obs.now t.obs));
+  pkts
 
 let tx_sent t = t.tx_sent
 let rx_received t = t.rx_received

@@ -1,3 +1,5 @@
+open Bm_engine
+
 let wrap16 = 0xFFFF
 
 (* Descriptor flags from the virtio spec. *)
@@ -41,6 +43,8 @@ type 'a t = {
   mutable used_event : int option; (* driver-written: interrupt threshold *)
   mutable avail_event : int option; (* device-written: notify threshold *)
   mutable interrupt_pending : bool;
+  mutable obs : Obs.t;
+  mutable track : string;
 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -70,7 +74,13 @@ let create ~size =
     used_event = None;
     avail_event = None;
     interrupt_pending = false;
+    obs = Obs.none;
+    track = "virtio.vring";
   }
+
+let set_obs t ~track obs =
+  t.obs <- obs;
+  t.track <- track
 
 let size t = t.size
 let num_free t = t.num_free
@@ -153,6 +163,8 @@ let add t ?(indirect = false) ~out ~in_ payload =
     t.avail.(t.avail_idx land (t.size - 1)) <- head;
     t.avail_idx <- (t.avail_idx + 1) land wrap16;
     t.requests <- t.requests + 1;
+    Trace.instant_opt (Obs.trace t.obs) ~track:t.track "add" ~now:(Obs.now t.obs);
+    Metrics.incr_opt (Obs.metrics t.obs) "virtio.vring.add";
     Some head
   end
 
@@ -211,6 +223,8 @@ let push_used t ~head ~written =
   t.used.(t.used_idx land (t.size - 1)) <- (head, written);
   let old_idx = t.used_idx in
   t.used_idx <- (t.used_idx + 1) land wrap16;
+  Trace.instant_opt (Obs.trace t.obs) ~track:t.track "used" ~now:(Obs.now t.obs);
+  Metrics.incr_opt (Obs.metrics t.obs) "virtio.vring.used";
   (match t.used_event with
   | None -> t.interrupt_pending <- true
   | Some event ->

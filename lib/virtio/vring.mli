@@ -27,6 +27,11 @@ val create : size:int -> 'a t
 (** [create ~size] — [size] must be a power of two (spec requirement),
     between 2 and 32768. *)
 
+val set_obs : 'a t -> track:string -> Bm_engine.Obs.t -> unit
+(** Install an observability context: {!add} and {!push_used} then emit
+    instants on [track] and bump the ["virtio.vring.add"]/["virtio.vring.used"]
+    counters. Off (and free) by default. *)
+
 val size : 'a t -> int
 val num_free : 'a t -> int
 (** Free descriptors in the table. *)
