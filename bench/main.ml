@@ -7,20 +7,23 @@
      bench/main.exe --seed N        deterministic seed (default 2020)
      bench/main.exe --trace FILE    write a Chrome trace_event JSON of the run
      bench/main.exe --metrics       print the datapath metrics table afterwards
+     bench/main.exe --faults S:SPEC deterministic fault plan, e.g. 42:default
+                                    or 7:link_down=2,firmware_wedge=1
      bench/main.exe --list          list experiment ids
      bench/main.exe --bechamel      bechamel micro-benchmarks of the
                                     (quick-scale) experiment runs *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--list] [--bechamel] \
-     [experiment ids...]"
+    "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--faults SEED:SPEC] \
+     [--list] [--bechamel] [experiment ids...]"
 
 type options = {
   quick : bool;
   seed : int;
   trace_file : string option;
   metrics : bool;
+  faults : Bm_engine.Fault.plan option;
   list : bool;
   bechamel : bool;
   help : bool;
@@ -33,6 +36,7 @@ let default_options =
     seed = 2020;
     trace_file = None;
     metrics = false;
+    faults = None;
     list = false;
     bechamel = false;
     help = false;
@@ -58,6 +62,11 @@ let rec parse opts = function
   | [ "--seed" ] -> fail "--seed expects a value"
   | "--trace" :: file :: rest -> parse { opts with trace_file = Some file } rest
   | [ "--trace" ] -> fail "--trace expects a file name"
+  | "--faults" :: spec :: rest -> (
+    match Bm_engine.Fault.parse_spec spec with
+    | Ok plan -> parse { opts with faults = Some plan } rest
+    | Error e -> fail "--faults: %s" e)
+  | [ "--faults" ] -> fail "--faults expects <seed>:<spec>"
   | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> fail "unknown flag %S" arg
   | id :: rest -> parse { opts with targets = id :: opts.targets } rest
 
@@ -72,7 +81,8 @@ let bechamel_suite seed =
         Test.make ~name:spec.Bmhive.Experiments.id
           (Staged.stage (fun () ->
                ignore
-                 (spec.Bmhive.Experiments.run ~trace:None ~metrics:None ~quick:true ~seed))))
+                 (spec.Bmhive.Experiments.run ~faults:None ~trace:None ~metrics:None ~quick:true
+                    ~seed))))
       Bmhive.Experiments.all
   in
   Test.make_grouped ~name:"experiments" tests
@@ -109,7 +119,10 @@ let () =
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun id ->
-        match Bmhive.Experiments.run_one ~quick:opts.quick ~seed:opts.seed ?trace ?metrics id with
+        match
+          Bmhive.Experiments.run_one ~quick:opts.quick ~seed:opts.seed ?faults:opts.faults
+            ?trace ?metrics id
+        with
         | Ok outcome -> Bmhive.Experiments.print_outcome outcome
         | Error e ->
           prerr_endline e;

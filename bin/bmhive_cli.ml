@@ -28,6 +28,20 @@ let metrics_arg =
   let doc = "Collect datapath metrics and print the summary table after the run." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let faults_arg =
+  let doc =
+    "Arm a deterministic fault plan in every testbed, as $(i,SEED):$(i,SPEC) where SPEC is \
+     $(b,default) or comma-separated $(i,kind)=$(i,count) pairs (kinds: link_down, dma_stall, \
+     mailbox_drop, firmware_wedge, pmd_crash, server_failure), optionally with \
+     horizon=$(i,NS). Example: 42:link_down=2,firmware_wedge=1."
+  in
+  let fault_conv =
+    Arg.conv ~docv:"SEED:SPEC"
+      ( (fun s -> match Bm_engine.Fault.parse_spec s with Ok p -> Ok p | Error e -> Error (`Msg e)),
+        fun ppf p -> Format.pp_print_string ppf (Bm_engine.Fault.render_plan p) )
+  in
+  Arg.(value & opt (some fault_conv) None & info [ "faults" ] ~docv:"SEED:SPEC" ~doc)
+
 (* --- list ----------------------------------------------------------- *)
 
 let list_cmd =
@@ -48,7 +62,7 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,list)); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed trace_file metrics_wanted ids =
+  let run quick seed faults trace_file metrics_wanted ids =
     let trace = Option.map (fun _ -> Bm_engine.Trace.create ()) trace_file in
     let metrics = if metrics_wanted then Some (Bm_engine.Metrics.create ()) else None in
     let targets = if ids = [] then Bmhive.Experiments.ids () else ids in
@@ -73,7 +87,7 @@ let run_cmd =
         finish ();
         `Ok ()
       | id :: rest -> (
-        match Bmhive.Experiments.run_one ~quick ~seed ?trace ?metrics id with
+        match Bmhive.Experiments.run_one ~quick ~seed ?faults ?trace ?metrics id with
         | Ok outcome ->
           Bmhive.Experiments.print_outcome outcome;
           go rest
@@ -83,7 +97,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures from the simulation.")
-    Term.(ret (const run $ quick_arg $ seed_arg $ trace_arg $ metrics_arg $ ids_arg))
+    Term.(ret (const run $ quick_arg $ seed_arg $ faults_arg $ trace_arg $ metrics_arg $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

@@ -8,7 +8,13 @@ type placement = { server : int; substrate : substrate; threads : int }
 
 type strategy = First_fit | Best_fit | Spread
 
-type server = { id : int; kind : server_kind; mutable used_boards : int; mutable used_threads : int }
+type server = {
+  id : int;
+  kind : server_kind;
+  mutable used_boards : int;
+  mutable used_threads : int;
+  mutable failed : bool;
+}
 
 type record = { placement : placement; vcpus : int; image : Image.t }
 
@@ -23,19 +29,32 @@ let create () = { servers = []; next_id = 0; instances = Hashtbl.create 32 }
 let add_server t kind =
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.servers <- t.servers @ [ { id; kind; used_boards = 0; used_threads = 0 } ];
+  t.servers <- t.servers @ [ { id; kind; used_boards = 0; used_threads = 0; failed = false } ];
   id
 
+let find_server t id = List.find_opt (fun s -> s.id = id) t.servers
+
+let fail_server t id =
+  match find_server t id with
+  | None -> invalid_arg "Control_plane.fail_server: unknown server"
+  | Some s -> s.failed <- true
+
+let server_failed t id = match find_server t id with Some s -> s.failed | None -> false
+
 (* Remaining capacity in the unit the strategy compares: free boards for
-   bare metal, free threads for virtual. *)
+   bare metal, free threads for virtual. Failed servers offer none. *)
 let headroom server ~substrate =
-  match (server.kind, substrate) with
-  | Bm_server { boards; _ }, Bare_metal -> boards - server.used_boards
-  | Vm_server { sellable_threads }, Virtual -> sellable_threads - server.used_threads
-  | Bm_server _, Virtual | Vm_server _, Bare_metal -> 0
+  if server.failed then 0
+  else
+    match (server.kind, substrate) with
+    | Bm_server { boards; _ }, Bare_metal -> boards - server.used_boards
+    | Vm_server { sellable_threads }, Virtual -> sellable_threads - server.used_threads
+    | Bm_server _, Virtual | Vm_server _, Bare_metal -> 0
 
 let try_place_on server ~vcpus ~substrate =
-  match (server.kind, substrate) with
+  if server.failed then None
+  else
+    match (server.kind, substrate) with
   | Bm_server { boards; board_threads }, Bare_metal
     when server.used_boards < boards && board_threads >= vcpus ->
     server.used_boards <- server.used_boards + 1;
@@ -125,11 +144,41 @@ let cold_migrate t ~name ~to_ =
         Error e
     end
 
+(* Re-place every instance of a failed server, in name order so the
+   outcome is deterministic. Each victim tries its own substrate first
+   (a bm-guest whose board survived can live-migrate within the bm
+   fleet; a vm restarts warm on another virtualization server), then
+   falls back to the other substrate — the cold-migration path. *)
+let evacuate t ~server ?(strategy = First_fit) () =
+  fail_server t server;
+  let victims =
+    Hashtbl.fold
+      (fun name r acc -> if r.placement.server = server then (name, r) :: acc else acc)
+      t.instances []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.map
+    (fun (name, { placement; vcpus; image }) ->
+      release t name;
+      let try_sub sub = place t ~name ~vcpus ~prefer:sub ~strategy ~image () in
+      let result =
+        match try_sub placement.substrate with
+        | Ok p -> Ok p
+        | Error _ ->
+          let other =
+            match placement.substrate with Bare_metal -> Virtual | Virtual -> Bare_metal
+          in
+          try_sub other
+      in
+      (name, result))
+    victims
+
 let capacity_of = function
   | Bm_server { boards; board_threads } -> boards * board_threads
   | Vm_server { sellable_threads } -> sellable_threads
 
-let sellable_threads t = List.fold_left (fun acc s -> acc + capacity_of s.kind) 0 t.servers
+let sellable_threads t =
+  List.fold_left (fun acc s -> if s.failed then acc else acc + capacity_of s.kind) 0 t.servers
 let used_threads t = List.fold_left (fun acc s -> acc + s.used_threads) 0 t.servers
 
 let placements t =

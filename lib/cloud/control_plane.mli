@@ -50,8 +50,24 @@ val cold_migrate : t -> name:string -> to_:substrate -> (placement, string) resu
     image (§3.1: "a prerequisite of cold migration is that bm-guests must
     be able to connect to the cloud storage and network"). *)
 
+val fail_server : t -> int -> unit
+(** Mark a server failed: it offers no further capacity and is skipped
+    by every placement. Raises [Invalid_argument] on an unknown id. *)
+
+val server_failed : t -> int -> bool
+
+val evacuate :
+  t -> server:int -> ?strategy:strategy -> unit -> (string * (placement, string) result) list
+(** Mark [server] failed and re-place each of its instances (victims
+    handled in name order, so the outcome is deterministic for a given
+    fleet). A victim tries its own substrate first — a bm-guest whose
+    board survived can be live-migrated inside the bm fleet, a vm-guest
+    restarts on another virtualization server — then falls back to the
+    other substrate, the cold-migration path. Per victim, the new
+    placement or the placement error (fleet full). *)
+
 val sellable_threads : t -> int
-(** Total thread capacity across the fleet. *)
+(** Total thread capacity across the fleet (failed servers excluded). *)
 
 val used_threads : t -> int
 val placements : t -> (string * placement) list

@@ -15,7 +15,13 @@ type spec = {
   id : string;
   title : string;
   paper_ref : string;
-  run : trace:Trace.t option -> metrics:Metrics.t option -> quick:bool -> seed:int -> outcome;
+  run :
+    faults:Fault.plan option ->
+    trace:Trace.t option ->
+    metrics:Metrics.t option ->
+    quick:bool ->
+    seed:int ->
+    outcome;
 }
 
 let within ~tolerance ~target value =
@@ -24,7 +30,7 @@ let within ~tolerance ~target value =
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
 
-let run_table1 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
+let run_table1 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
   {
     id = "table1";
     title = "Table 1: comparison of three cloud services";
@@ -36,7 +42,7 @@ let run_table1 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* Table 2 *)
 
-let run_table2 ~trace:_ ~metrics:_ ~quick ~seed =
+let run_table2 ~faults:_ ~trace:_ ~metrics:_ ~quick ~seed =
   let vms = if quick then 30_000 else 300_000 in
   let rng = Rng.create ~seed in
   let s = Fleet.survey_exits rng ~vms in
@@ -63,7 +69,7 @@ let run_table2 ~trace:_ ~metrics:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 1 *)
 
-let run_fig1 ~trace:_ ~metrics:_ ~quick ~seed =
+let run_fig1 ~faults:_ ~trace:_ ~metrics:_ ~quick ~seed =
   let vms = if quick then 2_000 else 20_000 in
   let hours = if quick then 8 else 24 in
   let rng = Rng.create ~seed in
@@ -105,7 +111,7 @@ let run_fig1 ~trace:_ ~metrics:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let run_table3 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
+let run_table3 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
   let rows =
     List.map
       (fun i ->
@@ -131,7 +137,7 @@ let run_table3 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: SPEC CINT2006 *)
 
-let run_fig7 ~trace ~metrics ~quick:_ ~seed =
+let run_fig7 ~faults:_ ~trace ~metrics ~quick:_ ~seed =
   let spec_on make =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let inst = make tb in
@@ -165,7 +171,7 @@ let run_fig7 ~trace ~metrics ~quick:_ ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: STREAM *)
 
-let run_fig8 ~trace ~metrics ~quick ~seed =
+let run_fig8 ~faults:_ ~trace ~metrics ~quick ~seed =
   let elements = if quick then 20_000_000 else 200_000_000 in
   let runs = if quick then 3 else 10 in
   let stream_on make =
@@ -202,7 +208,7 @@ let run_fig8 ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: UDP PPS *)
 
-let run_fig9 ~trace ~metrics ~quick ~seed =
+let run_fig9 ~faults:_ ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 40.0 else Simtime.ms 400.0 in
   let pps_of pair =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -235,7 +241,7 @@ let run_fig9 ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: latency *)
 
-let run_fig10 ~trace ~metrics ~quick ~seed =
+let run_fig10 ~faults:_ ~trace ~metrics ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let lat pair path =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -274,7 +280,7 @@ let run_fig10 ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: storage latency *)
 
-let run_fig11 ~trace ~metrics ~quick ~seed =
+let run_fig11 ~faults:_ ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 300.0 else Simtime.sec 4.0 in
   let fio_on make pattern =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -317,7 +323,7 @@ let nginx_rps_at tb ~server ~concurrency ~requests =
   Nginx.serve server ();
   Nginx.ab tb.Testbed.sim ~client ~server ~concurrency ~requests
 
-let run_fig12 ~trace ~metrics ~quick ~seed =
+let run_fig12 ~faults:_ ~trace ~metrics ~quick ~seed =
   let concurrencies = if quick then [ 100; 400 ] else [ 50; 100; 200; 400; 800 ] in
   let per_level = if quick then 60 else 150 in
   let run_level make concurrency =
@@ -359,7 +365,7 @@ let sysbench_on ?trace ?metrics ~seed ~pattern ~duration make =
   Mariadb.serve tb.Testbed.sim (Rng.create ~seed:(seed + 13)) server ();
   Mariadb.sysbench tb.Testbed.sim ~client ~server ~pattern ~duration ()
 
-let run_mariadb ~id ~title ~patterns ~paper_notes ~trace ~metrics ~quick ~seed =
+let run_mariadb ~id ~title ~patterns ~paper_notes ~faults:_ ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 200.0 else Simtime.sec 2.0 in
   let rows =
     List.map
@@ -409,7 +415,7 @@ let redis_on ?trace ?metrics ~seed make ~clients ~value_bytes ~requests =
   Redis_bench.serve tb.Testbed.sim server ();
   Redis_bench.benchmark tb.Testbed.sim ~client ~server ~clients ~value_bytes ~requests ()
 
-let run_fig15 ~trace ~metrics ~quick ~seed =
+let run_fig15 ~faults:_ ~trace ~metrics ~quick ~seed =
   let clients_list = if quick then [ 1000; 4000 ] else [ 1000; 2000; 4000; 7000; 10000 ] in
   let requests = if quick then 8_000 else 40_000 in
   let rows =
@@ -441,7 +447,7 @@ let run_fig15 ~trace ~metrics ~quick ~seed =
     notes = [ "Paper: bm 20-40% more requests/s across 1K..10K clients." ];
   }
 
-let run_fig16 ~trace ~metrics ~quick ~seed =
+let run_fig16 ~faults:_ ~trace ~metrics ~quick ~seed =
   let sizes = if quick then [ 4; 1024 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
   let requests = if quick then 8_000 else 40_000 in
   let results =
@@ -501,7 +507,7 @@ let run_fig16 ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §2.3: nested virtualization *)
 
-let run_sec2_3 ~trace ~metrics ~quick ~seed =
+let run_sec2_3 ~faults:_ ~trace ~metrics ~quick ~seed =
   let exec_time nested =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let host = Testbed.vm_host tb in
@@ -560,7 +566,7 @@ let run_sec2_3 ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §3.5: cost efficiency *)
 
-let run_sec3_5 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
+let run_sec3_5 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
   let d = Cost_model.density () in
   let vm_w = Cost_model.vm_watts_per_vcpu () in
   let bm_w = Cost_model.bm_single_board_watts_per_vcpu () in
@@ -588,7 +594,7 @@ let run_sec3_5 ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* §4.3 network: TCP throughput + unrestricted PPS *)
 
-let run_sec4_3net ~trace ~metrics ~quick ~seed =
+let run_sec4_3net ~faults:_ ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   (* Cross-server throughput at the 10 Gbit/s cap. *)
   let tcp make =
@@ -646,7 +652,7 @@ let run_sec4_3net ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §4.3 storage: unrestricted local SSD *)
 
-let run_sec4_3blk ~trace ~metrics ~quick ~seed =
+let run_sec4_3blk ~faults:_ ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 100.0 else Simtime.ms 800.0 in
   let unlimited () = Bm_cloud.Limits.unlimited_blk () in
   let small make =
@@ -694,7 +700,7 @@ let run_sec4_3blk ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §6: ASIC IO-Bond ablation *)
 
-let run_sec6 ~trace ~metrics ~quick ~seed =
+let run_sec6 ~faults:_ ~trace ~metrics ~quick ~seed =
   let probe profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, inst = Testbed.bm_guest ~profile tb in
@@ -742,7 +748,7 @@ let run_sec6 ~trace ~metrics ~quick ~seed =
 (* How much does IO-Bond's register latency matter? Sweep the per-hop
    cost (the FPGA -> ASIC axis, extended) against the two things it
    touches: the emulated config path and end-to-end message latency. *)
-let run_ablation_reg ~trace ~metrics ~quick ~seed =
+let run_ablation_reg ~faults:_ ~trace ~metrics ~quick ~seed =
   let count = if quick then 200 else 1000 in
   let probe_and_lat profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -779,7 +785,7 @@ let run_ablation_reg ~trace ~metrics ~quick ~seed =
 
 (* How big must the DMA engine be? The paper picked 50 Gbit/s; sweep it
    against unrestricted guest throughput. *)
-let run_ablation_dma ~trace ~metrics ~quick ~seed =
+let run_ablation_dma ~faults:_ ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let tput dma_gbit_s =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -819,7 +825,7 @@ let run_ablation_dma ~trace ~metrics ~quick ~seed =
 
 (* How much do batched doorbells/PMD bursts buy? Sweep the burst size the
    guest stack hands to virtio. *)
-let run_ablation_batch ~trace ~metrics ~quick ~seed =
+let run_ablation_batch ~faults:_ ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let pps batch =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -845,7 +851,7 @@ let run_ablation_batch ~trace ~metrics ~quick ~seed =
 (* S6's offload plan: with IO-Bond classifying flows, known traffic
    bypasses the bm-hypervisor's PMD entirely. Measure PPS and base-core
    utilization with and without it. *)
-let run_ablation_offload ~trace ~metrics ~quick ~seed =
+let run_ablation_offload ~faults:_ ~trace ~metrics ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let run offload =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -894,6 +900,244 @@ let run_ablation_offload ~trace ~metrics ~quick ~seed =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Availability under injected faults *)
+
+(* [workers] guest fibers issue sequential 4 KiB reads until the plan
+   horizon, then the run drains to quiescence, so every request issued
+   before the horizon completes. Completion times, ascending. *)
+let read_stream tb inst ~workers ~horizon_ns =
+  let completions = ref [] in
+  for _ = 1 to workers do
+    Sim.spawn tb.Testbed.sim (fun () ->
+        while Sim.clock () < horizon_ns do
+          ignore (inst.Instance.blk ~op:`Read ~bytes_:4096);
+          completions := Sim.clock () :: !completions
+        done)
+  done;
+  Testbed.run tb;
+  List.sort compare !completions
+
+let gaps_of = function
+  | [] | [ _ ] -> []
+  | first :: rest ->
+    let rec go prev acc = function
+      | [] -> List.rev acc
+      | x :: tl -> go x ((x -. prev) :: acc) tl
+    in
+    go first [] rest
+
+let percentile xs p =
+  match xs with
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Time to recover from one fault event: the delay from the window
+   opening to the next completion the guest observes. *)
+let mttr_of (plan : Fault.plan) completions =
+  List.filter_map
+    (fun (e : Fault.event) ->
+      List.find_opt (fun c -> c >= e.Fault.at) completions
+      |> Option.map (fun c -> c -. e.Fault.at))
+    plan.Fault.events
+
+let run_availability ~faults ~trace ~metrics ~quick ~seed =
+  let workers = if quick then 2 else 4 in
+  let plan =
+    match faults with
+    | Some p -> p
+    | None ->
+      (* The recoverable kinds; Server_failure is the control plane's
+         problem and is covered by the evacuation table below. *)
+      Fault.make_plan ~seed
+        [
+          (Fault.Link_down, 2);
+          (Fault.Dma_stall, 2);
+          (Fault.Mailbox_drop, 2);
+          (Fault.Firmware_wedge, 1);
+          (Fault.Pmd_crash, 1);
+        ]
+  in
+  let horizon = plan.Fault.horizon_ns in
+  let run_bm ?faults () =
+    let tb = Testbed.make ~seed ?trace ?metrics ?faults () in
+    let _server, inst = Testbed.bm_guest tb in
+    read_stream tb inst ~workers ~horizon_ns:horizon
+  in
+  let run_vm ?faults () =
+    let tb = Testbed.make ~seed ?trace ?metrics ?faults () in
+    let _host, inst = Testbed.vm_guest tb in
+    read_stream tb inst ~workers ~horizon_ns:horizon
+  in
+  let clean_bm = run_bm () in
+  let clean_vm = run_vm () in
+  let goodput fault clean =
+    float_of_int (List.length fault) /. float_of_int (max 1 (List.length clean))
+  in
+  (* One row per fault kind present in the plan: a fresh testbed runs
+     the same workload under just that kind's events, so the recovery
+     cost of each mechanism is visible in isolation. *)
+  let kinds =
+    List.filter
+      (fun k -> List.exists (fun (e : Fault.event) -> e.Fault.kind = k) plan.Fault.events)
+      Fault.all_kinds
+  in
+  let kind_rows =
+    List.map
+      (fun kind ->
+        let sub =
+          {
+            plan with
+            Fault.events =
+              List.filter (fun (e : Fault.event) -> e.Fault.kind = kind) plan.Fault.events;
+          }
+        in
+        let completions = run_bm ~faults:sub () in
+        let gaps = gaps_of completions in
+        [
+          Fault.kind_name kind;
+          string_of_int (List.length sub.Fault.events);
+          Report.f1 (mean (mttr_of sub completions) /. 1e3);
+          Report.f1 (percentile gaps 0.99 /. 1e3);
+          Report.f1 (percentile gaps 1.0 /. 1e3);
+          Report.pct (goodput completions clean_bm);
+        ])
+      kinds
+  in
+  (* The full plan at once, bm vs vm: the paper's density argument only
+     holds if a board full of faults degrades no worse than a host. *)
+  let fault_bm = run_bm ~faults:plan () in
+  let fault_vm = run_vm ~faults:plan () in
+  let combined_row name fault clean =
+    let gaps = gaps_of fault in
+    [
+      name;
+      string_of_int (List.length plan.Fault.events);
+      Report.f1 (mean (mttr_of plan fault) /. 1e3);
+      Report.f1 (percentile gaps 0.99 /. 1e3);
+      Report.f1 (percentile gaps 1.0 /. 1e3);
+      Report.pct (goodput fault clean);
+    ]
+  in
+  (* Base-server failure: measure the blackout a surviving board's
+     live migration would pay, for the notes below. *)
+  let live_blackout_ns =
+    let tb = Testbed.make ~seed ?trace ?metrics () in
+    let _server, inst = Testbed.bm_guest tb in
+    let stats = ref None in
+    Sim.spawn tb.Testbed.sim (fun () ->
+        match Live_migration.inject tb.Testbed.sim (Rng.split tb.Testbed.rng) inst with
+        | Error _ -> ()
+        | Ok injected -> (
+          match Live_migration.migrate injected ~dirty_rate_gb_s:1.0 ~mem_gb:16 () with
+          | Error _ -> ()
+          | Ok s -> stats := Some s.Live_migration.blackout_ns));
+    Testbed.run tb;
+    !stats
+  in
+  {
+    id = "availability";
+    title = "Availability: MTTR, blackout and goodput under injected faults";
+    header = [ "fault plan"; "events"; "avg MTTR (us)"; "p99 gap (us)"; "max gap (us)"; "goodput" ];
+    rows =
+      kind_rows
+      @ [
+          combined_row "all faults (bm-guest)" fault_bm clean_bm;
+          combined_row "all faults (vm-guest)" fault_vm clean_vm;
+        ];
+    notes =
+      [
+        Printf.sprintf "plan: %d events over %.1f ms (seed %d); goodput = completions vs clean run"
+          (List.length plan.Fault.events) (horizon /. 1e6) plan.Fault.seed;
+        (match live_blackout_ns with
+        | Some b ->
+          Printf.sprintf
+            "server failure: surviving boards live-migrate with %.1f ms blackout (S6 prototype);"
+            (b /. 1e6)
+        | None -> "server failure: live migration unavailable;");
+        "dead boards evacuate via the control plane -- see the evacuation experiment.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Evacuation after a base-server failure *)
+
+let run_evacuation ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
+  let open Bm_cloud in
+  let strategies =
+    [
+      (Control_plane.First_fit, "first-fit");
+      (Control_plane.Best_fit, "best-fit");
+      (Control_plane.Spread, "spread");
+    ]
+  in
+  let rows =
+    List.map
+      (fun (strategy, label) ->
+        (* A small mixed fleet: the failed base holds four bm-guests;
+           the rest of the fleet has two spare boards and one
+           virtualization server, so evacuation must split victims
+           across the bm fleet and the cold-migration path. *)
+        let cp = Control_plane.create () in
+        let victim_server =
+          Control_plane.add_server cp (Control_plane.Bm_server { boards = 4; board_threads = 16 })
+        in
+        let _spare =
+          Control_plane.add_server cp (Control_plane.Bm_server { boards = 2; board_threads = 16 })
+        in
+        let _vm =
+          Control_plane.add_server cp (Control_plane.Vm_server { sellable_threads = 88 })
+        in
+        let image = Image.centos7 in
+        for i = 0 to 3 do
+          match
+            Control_plane.place cp
+              ~name:(Printf.sprintf "bm%d" i)
+              ~vcpus:16 ~prefer:Control_plane.Bare_metal ~image ()
+          with
+          | Ok _ -> ()
+          | Error e -> failwith e
+        done;
+        let outcomes = Control_plane.evacuate cp ~server:victim_server ~strategy () in
+        let count p = List.length (List.filter p outcomes) in
+        let to_bm =
+          count (function
+            | _, Ok { Control_plane.substrate = Control_plane.Bare_metal; _ } -> true
+            | _ -> false)
+        and to_vm =
+          count (function
+            | _, Ok { Control_plane.substrate = Control_plane.Virtual; _ } -> true
+            | _ -> false)
+        and stranded = count (function _, Error _ -> true | _ -> false) in
+        [
+          label;
+          string_of_int (List.length outcomes);
+          string_of_int to_bm;
+          string_of_int to_vm;
+          string_of_int stranded;
+        ])
+      strategies
+  in
+  {
+    id = "evacuation";
+    title = "Evacuation: re-placing victims of a base-server failure";
+    header = [ "strategy"; "victims"; "-> bm board"; "-> vm (cold)"; "stranded" ];
+    rows;
+    notes =
+      [
+        "Fleet: failed base (4 boards, all sold) + spare base (2 boards) + 1 vm server.";
+        "Victims re-place bare-metal first; overflow cold-migrates to the vm substrate (S3.1).";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -920,18 +1164,20 @@ let all =
     { id = "ablation_dma"; title = "DMA sizing ablation"; paper_ref = "design"; run = run_ablation_dma };
     { id = "ablation_batch"; title = "Burst-size ablation"; paper_ref = "design"; run = run_ablation_batch };
     { id = "ablation_offload"; title = "Flow-offload ablation"; paper_ref = "S6"; run = run_ablation_offload };
+    { id = "availability"; title = "Goodput under faults"; paper_ref = "robustness"; run = run_availability };
+    { id = "evacuation"; title = "Server-failure evacuation"; paper_ref = "S3.1"; run = run_evacuation };
   ]
 
 let find id = List.find_opt (fun s -> s.id = id) all
 let ids () = List.map (fun s -> s.id) all
 
-let run_one ?(quick = false) ?(seed = 2020) ?trace ?metrics id =
+let run_one ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics id =
   match find id with
   | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
-  | Some spec -> Ok (spec.run ~trace ~metrics ~quick ~seed)
+  | Some spec -> Ok (spec.run ~faults ~trace ~metrics ~quick ~seed)
 
-let run_all ?(quick = false) ?(seed = 2020) ?trace ?metrics () =
-  List.map (fun spec -> spec.run ~trace ~metrics ~quick ~seed) all
+let run_all ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics () =
+  List.map (fun spec -> spec.run ~faults ~trace ~metrics ~quick ~seed) all
 
 let print_outcome (o : outcome) =
   print_endline "";

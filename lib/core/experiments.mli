@@ -21,6 +21,7 @@ type spec = {
   title : string;
   paper_ref : string;  (** table/figure/section in the paper *)
   run :
+    faults:Bm_engine.Fault.plan option ->
     trace:Bm_engine.Trace.t option ->
     metrics:Bm_engine.Metrics.t option ->
     quick:bool ->
@@ -28,7 +29,9 @@ type spec = {
     outcome;
       (** [trace]/[metrics] are threaded into every testbed the experiment
           builds. Recording is pure observation: results are bit-identical
-          with and without sinks attached. *)
+          with and without sinks attached. [faults] arms a fault plan in
+          those testbeds; experiments that model no failure semantics
+          ignore it. Same seed + same plan ⇒ bit-identical outcome. *)
 }
 
 val all : spec list
@@ -38,6 +41,7 @@ val ids : unit -> string list
 val run_one :
   ?quick:bool ->
   ?seed:int ->
+  ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
   string ->
@@ -46,6 +50,7 @@ val run_one :
 val run_all :
   ?quick:bool ->
   ?seed:int ->
+  ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
   unit ->

@@ -1,0 +1,327 @@
+type kind =
+  | Link_down
+  | Dma_stall
+  | Mailbox_drop
+  | Firmware_wedge
+  | Pmd_crash
+  | Server_failure
+
+let all_kinds =
+  [ Link_down; Dma_stall; Mailbox_drop; Firmware_wedge; Pmd_crash; Server_failure ]
+
+let kind_index = function
+  | Link_down -> 0
+  | Dma_stall -> 1
+  | Mailbox_drop -> 2
+  | Firmware_wedge -> 3
+  | Pmd_crash -> 4
+  | Server_failure -> 5
+
+let nkinds = 6
+
+let kind_name = function
+  | Link_down -> "link_down"
+  | Dma_stall -> "dma_stall"
+  | Mailbox_drop -> "mailbox_drop"
+  | Firmware_wedge -> "firmware_wedge"
+  | Pmd_crash -> "pmd_crash"
+  | Server_failure -> "server_failure"
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+(* Window lengths chosen to sit in the regimes the hardware exhibits:
+   a PCIe retrain is tens of µs, a DMA hiccup shorter, a firmware
+   reload longer, a process respawn longer still. *)
+let default_duration_ns = function
+  | Link_down -> 50_000.0
+  | Dma_stall -> 20_000.0
+  | Mailbox_drop -> 10_000.0
+  | Firmware_wedge -> 100_000.0
+  | Pmd_crash -> 200_000.0
+  | Server_failure -> infinity
+
+type event = { kind : kind; at : float; duration_ns : float }
+
+type plan = { seed : int; horizon_ns : float; events : event list }
+
+let no_faults = { seed = 0; horizon_ns = 0.0; events = [] }
+
+let sort_events events =
+  List.stable_sort
+    (fun a b ->
+      match compare a.at b.at with 0 -> compare (kind_index a.kind) (kind_index b.kind) | c -> c)
+    events
+
+let make_plan ~seed ?(horizon_ns = 2e6) counts =
+  if horizon_ns <= 0.0 then invalid_arg "Fault.make_plan: horizon must be positive";
+  let rng = Rng.create ~seed in
+  (* One split per kind, in kind order, so adding events of one kind
+     never moves another kind's times. *)
+  let streams = Array.init nkinds (fun _ -> Rng.split rng) in
+  let events =
+    List.concat_map
+      (fun (kind, count) ->
+        if count < 0 then invalid_arg "Fault.make_plan: negative count";
+        let stream = streams.(kind_index kind) in
+        List.init count (fun _ ->
+            { kind; at = Rng.float stream horizon_ns; duration_ns = default_duration_ns kind }))
+      counts
+  in
+  { seed; horizon_ns; events = sort_events events }
+
+let default_counts =
+  [
+    (Link_down, 2);
+    (Dma_stall, 2);
+    (Mailbox_drop, 2);
+    (Firmware_wedge, 1);
+    (Pmd_crash, 1);
+  ]
+
+let parse_spec s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "fault spec %S: expected <seed>:<spec>" s)
+  | Some i -> (
+    let seed_s = String.sub s 0 i in
+    let body = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt seed_s with
+    | None -> Error (Printf.sprintf "fault spec %S: seed %S is not an integer" s seed_s)
+    | Some seed ->
+      let parts =
+        String.split_on_char ',' body |> List.map String.trim
+        |> List.filter (fun p -> p <> "")
+      in
+      let rec go horizon counts = function
+        | [] -> Ok (make_plan ~seed ?horizon_ns:horizon (List.rev counts))
+        | "default" :: rest -> go horizon (List.rev_append default_counts counts) rest
+        | part :: rest -> (
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "fault spec: %S is not kind=count" part)
+          | Some j -> (
+            let key = String.sub part 0 j in
+            let v = String.sub part (j + 1) (String.length part - j - 1) in
+            match (key, kind_of_name key, int_of_string_opt v, float_of_string_opt v) with
+            | "horizon", _, _, Some h when h > 0.0 -> go (Some h) counts rest
+            | "horizon", _, _, _ ->
+              Error (Printf.sprintf "fault spec: horizon %S is not a positive number" v)
+            | _, Some kind, Some count, _ when count >= 0 -> go horizon ((kind, count) :: counts) rest
+            | _, Some _, _, _ ->
+              Error (Printf.sprintf "fault spec: count %S is not a non-negative integer" v)
+            | _, None, _, _ ->
+              Error
+                (Printf.sprintf "fault spec: unknown kind %S (expected one of %s)" key
+                   (String.concat ", " (List.map kind_name all_kinds)))))
+      in
+      if parts = [] then Error "fault spec: empty (try \"default\")" else go None [] parts)
+
+let render_plan plan =
+  let line e =
+    Printf.sprintf "%-14s at %12.1f ns for %s" (kind_name e.kind) e.at
+      (if Float.is_finite e.duration_ns then Printf.sprintf "%.1f ns" e.duration_ns
+       else "ever")
+  in
+  Printf.sprintf "plan seed=%d horizon=%.0fns events=%d\n%s" plan.seed plan.horizon_ns
+    (List.length plan.events)
+    (String.concat "\n" (List.map line plan.events))
+
+(* ------------------------------------------------------------------ *)
+(* Injector *)
+
+type t = {
+  sim : Sim.t option; (* None for the null injector *)
+  the_plan : plan;
+  until : float array; (* per-kind end of the open window *)
+  mutable subs : (kind * (event -> unit)) list; (* reversed *)
+  mutable armed : bool;
+  mutable opened : int;
+  obs : Obs.t;
+}
+
+let none =
+  {
+    sim = None;
+    the_plan = no_faults;
+    until = Array.make nkinds neg_infinity;
+    subs = [];
+    armed = false;
+    opened = 0;
+    obs = Obs.none;
+  }
+
+let create ?(obs = Obs.none) sim plan =
+  {
+    sim = Some sim;
+    the_plan = plan;
+    until = Array.make nkinds neg_infinity;
+    subs = [];
+    armed = false;
+    opened = 0;
+    obs;
+  }
+
+let plan_of t = t.the_plan
+let injected t = t.opened
+
+let subscribe t kind f = if t.sim <> None then t.subs <- (kind, f) :: t.subs
+
+let open_window t sim e =
+  t.opened <- t.opened + 1;
+  let k = kind_index e.kind in
+  t.until.(k) <- Float.max t.until.(k) (Sim.now sim +. e.duration_ns);
+  Trace.instant_opt (Obs.trace t.obs) ~track:"fault" (kind_name e.kind) ~now:(Sim.now sim);
+  Metrics.incr_opt (Obs.metrics t.obs) ("fault.injected." ^ kind_name e.kind);
+  List.iter (fun (kind, f) -> if kind = e.kind then f e) (List.rev t.subs)
+
+let arm t =
+  match t.sim with
+  | None -> ()
+  | Some sim ->
+    if not t.armed then begin
+      t.armed <- true;
+      List.iter
+        (fun e -> Sim.schedule sim ~delay:e.at (fun () -> open_window t sim e))
+        t.the_plan.events
+    end
+
+let active_until t kind = t.until.(kind_index kind)
+
+let is_active t kind =
+  match t.sim with None -> false | Some sim -> Sim.now sim < t.until.(kind_index kind)
+
+let block_until_clear t kind =
+  match t.sim with
+  | None -> ()
+  | Some sim ->
+    let k = kind_index kind in
+    (* Loop: a longer window may have opened while we slept. *)
+    let rec wait () =
+      let u = t.until.(k) in
+      if Sim.now sim < u then begin
+        Sim.delay (u -. Sim.now sim);
+        wait ()
+      end
+    in
+    wait ()
+
+(* ------------------------------------------------------------------ *)
+(* Guard *)
+
+module Guard = struct
+  type policy = {
+    timeout_ns : float;
+    max_attempts : int;
+    backoff_ns : float;
+    backoff_mult : float;
+    backoff_max_ns : float;
+    circuit_threshold : int;
+    circuit_cooldown_ns : float;
+  }
+
+  let default_policy =
+    {
+      timeout_ns = infinity;
+      max_attempts = 4;
+      backoff_ns = 500.0;
+      backoff_mult = 2.0;
+      backoff_max_ns = 8_000.0;
+      circuit_threshold = 0;
+      circuit_cooldown_ns = 1e6;
+    }
+
+  type g = {
+    sim : Sim.t;
+    name : string;
+    policy : policy;
+    mutable consecutive_failures : int;
+    mutable open_until : float; (* breaker rejects while now < open_until *)
+    mutable retries : int;
+    mutable timeouts : int;
+    mutable circuit_opens : int;
+    obs : Obs.t;
+  }
+
+  let create ?(obs = Obs.none) ?(policy = default_policy) sim ~name =
+    if policy.max_attempts < 1 then invalid_arg "Fault.Guard: max_attempts must be >= 1";
+    {
+      sim;
+      name;
+      policy;
+      consecutive_failures = 0;
+      open_until = neg_infinity;
+      retries = 0;
+      timeouts = 0;
+      circuit_opens = 0;
+      obs;
+    }
+
+  let retries g = g.retries
+  let timeouts g = g.timeouts
+  let circuit_opens g = g.circuit_opens
+  let circuit_open g = Sim.now g.sim < g.open_until
+
+  let metric g what = "fault.guard." ^ g.name ^ "." ^ what
+
+  let with_timeout sim ~timeout_ns op =
+    if not (Float.is_finite timeout_ns) then Ok (op ())
+    else begin
+      (* Race the operation against the deadline. First settle wins;
+         the loser is abandoned (the simulator cannot preempt it). *)
+      let result = ref None in
+      let waiter = ref None in
+      let settle v =
+        if !result = None then begin
+          result := Some v;
+          match !waiter with Some resume -> resume v | None -> ()
+        end
+      in
+      Sim.fork (fun () ->
+          let v = op () in
+          settle (Ok v));
+      Sim.schedule sim ~delay:timeout_ns (fun () -> settle (Error `Timeout));
+      match !result with
+      | Some v -> v
+      | None ->
+        Sim.suspend (fun resume ->
+            match !result with Some v -> resume v | None -> waiter := Some resume)
+    end
+
+  let run g op =
+    let p = g.policy in
+    if circuit_open g then begin
+      Metrics.incr_opt (Obs.metrics g.obs) (metric g "rejected");
+      Error (g.name ^ ": circuit open")
+    end
+    else begin
+      let once () =
+        match with_timeout g.sim ~timeout_ns:p.timeout_ns op with
+        | Ok r -> r
+        | Error `Timeout ->
+          g.timeouts <- g.timeouts + 1;
+          Metrics.incr_opt (Obs.metrics g.obs) (metric g "timeouts");
+          Error (g.name ^ ": timeout")
+      in
+      let rec attempt i backoff =
+        match once () with
+        | Ok v ->
+          g.consecutive_failures <- 0;
+          Ok v
+        | Error e ->
+          if i >= p.max_attempts then begin
+            g.consecutive_failures <- g.consecutive_failures + 1;
+            if p.circuit_threshold > 0 && g.consecutive_failures >= p.circuit_threshold then begin
+              g.open_until <- Sim.now g.sim +. p.circuit_cooldown_ns;
+              g.circuit_opens <- g.circuit_opens + 1;
+              Metrics.incr_opt (Obs.metrics g.obs) (metric g "circuit_opens")
+            end;
+            Error e
+          end
+          else begin
+            g.retries <- g.retries + 1;
+            Metrics.incr_opt (Obs.metrics g.obs) (metric g "retries");
+            Sim.delay backoff;
+            attempt (i + 1) (Float.min (backoff *. p.backoff_mult) p.backoff_max_ns)
+          end
+      in
+      attempt 1 p.backoff_ns
+    end
+end

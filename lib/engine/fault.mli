@@ -1,0 +1,156 @@
+(** Deterministic fault injection and recovery combinators.
+
+    Production BM-Hive stays sellable because its failure modes are
+    bounded: boards, FPGAs and base servers fail, and §3.4's shadow-ring
+    machinery plus the control plane's migrations exist to recover from
+    them. This module makes those failures first-class in the
+    simulation: a {!plan} schedules typed fault events at simulated
+    times, an injector ({!t}) opens/closes fault windows on the agenda
+    and notifies subscribers, and {!Guard} provides the
+    timeout/retry-with-backoff/circuit-breaker semantics the datapath
+    wraps its fallible operations in.
+
+    Everything is a pure function of the plan's seed: same seed + same
+    spec ⇒ the same events at the same times ⇒ bit-identical recovery
+    behaviour, so MTTR and blackout numbers are regression-testable. *)
+
+(** {2 Fault taxonomy} *)
+
+type kind =
+  | Link_down  (** PCIe link drops and retrains; traffic stalls *)
+  | Dma_stall  (** IO-Bond's internal DMA engine stops streaming *)
+  | Mailbox_drop  (** mailbox register writes are lost in the window *)
+  | Firmware_wedge
+      (** the IO-Bond firmware wedges; a device reset replays the
+          virtio status dance and resumes from the shadow rings *)
+  | Pmd_crash  (** a bm-hypervisor backend process dies and respawns *)
+  | Server_failure  (** the base server fails; victims must evacuate *)
+
+val all_kinds : kind list
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+
+val default_duration_ns : kind -> float
+(** How long a window of this kind stays open unless the plan says
+    otherwise. [Server_failure] is permanent ([infinity]). *)
+
+(** {2 Fault plans} *)
+
+type event = { kind : kind; at : float; duration_ns : float }
+
+type plan = { seed : int; horizon_ns : float; events : event list }
+(** [events] sorted by time (ties broken by kind order), all within
+    [\[0, horizon_ns)]. *)
+
+val no_faults : plan
+
+val make_plan : seed:int -> ?horizon_ns:float -> (kind * int) list -> plan
+(** [make_plan ~seed counts] draws [count] event start times per kind,
+    uniformly over [horizon_ns] (default 2 ms of simulated time), from a
+    SplitMix64 stream seeded with [seed]. Durations are the per-kind
+    defaults. Deterministic: equal inputs give equal plans. *)
+
+val parse_spec : string -> (plan, string) result
+(** Parse a ["<seed>:<spec>"] command-line fault plan, where <spec> is a
+    comma-separated list of [kind=count] pairs (kind names as printed by
+    {!kind_name}), optionally including [horizon=<ns>]. The word
+    [default] stands for one or two events of every recoverable kind.
+    Examples: ["42:link_down=2,firmware_wedge=1"], ["7:default"]. *)
+
+val render_plan : plan -> string
+(** One line per event — used by tests and the determinism smoke. *)
+
+(** {2 Injector} *)
+
+type t
+(** A per-run injector: owns the plan's windows and subscriber lists.
+    Components hold a [t] (default {!none}) and either poll
+    {!is_active}/{!block_until_clear} at their injection points or
+    {!subscribe} to crash-style events. *)
+
+val none : t
+(** The null injector: never active, subscriptions are dropped,
+    {!block_until_clear} returns immediately. Keeping it the default
+    means a fault-free run is bit-identical to the seed behaviour. *)
+
+val create : ?obs:Obs.t -> Sim.t -> plan -> t
+(** With [obs], every injected event emits an instant on the ["fault"]
+    track and bumps ["fault.injected.<kind>"]. *)
+
+val arm : t -> unit
+(** Schedule every event of the plan on the simulation agenda: at
+    [event.at] the window opens (subscribers fire, in subscription
+    order); it closes [duration_ns] later. Idempotent. *)
+
+val subscribe : t -> kind -> (event -> unit) -> unit
+(** Called from scheduler context when a window of [kind] opens. *)
+
+val is_active : t -> kind -> bool
+(** Is a window of [kind] open at the current simulated time? *)
+
+val active_until : t -> kind -> float
+(** End of the currently open window ([neg_infinity] when closed). *)
+
+val block_until_clear : t -> kind -> unit
+(** From a process: if a window of [kind] is open, sleep until it
+    closes (windows opening meanwhile extend the wait). No-op when
+    clear — the fault-free fast path costs one array read. *)
+
+val injected : t -> int
+(** Events whose windows have opened so far. *)
+
+val plan_of : t -> plan
+
+(** {2 Guarded operations}
+
+    Timeout, bounded retry with exponential backoff, and a circuit
+    breaker over simulated fallible operations. *)
+
+module Guard : sig
+  type policy = {
+    timeout_ns : float;  (** per-attempt timeout; [infinity] disables *)
+    max_attempts : int;  (** total tries per {!run} (≥ 1) *)
+    backoff_ns : float;  (** sleep before the first retry *)
+    backoff_mult : float;  (** exponential growth per retry *)
+    backoff_max_ns : float;  (** backoff cap *)
+    circuit_threshold : int;
+        (** consecutive exhausted {!run}s that open the circuit;
+            [0] disables the breaker *)
+    circuit_cooldown_ns : float;  (** open-state duration *)
+  }
+
+  val default_policy : policy
+  (** No timeout, 4 attempts, 500 ns backoff doubling to 8 µs cap,
+      breaker off. *)
+
+  type g
+
+  val create : ?obs:Obs.t -> ?policy:policy -> Sim.t -> name:string -> g
+  (** With [obs], retries/timeouts/rejections count under
+      ["fault.guard.<name>."]. *)
+
+  val run : g -> (unit -> ('a, string) result) -> ('a, string) result
+  (** Run the operation under the policy, from process context. Each
+      attempt is bounded by [timeout_ns]; failed attempts back off
+      exponentially; after [max_attempts] failures the error is
+      returned and (once [circuit_threshold] consecutive runs have
+      failed) the circuit opens, rejecting immediately until the
+      cooldown elapses. A success on the first attempt performs no
+      simulation operations at all, so guarding a healthy path leaves
+      its timing untouched.
+
+      A timed-out attempt is {e not} cancelled — the simulator has no
+      preemption — so its side effects may still land later; guarded
+      operations must therefore be idempotent (register writes of
+      absolute values, exactly-once completion publication). *)
+
+  val with_timeout : Sim.t -> timeout_ns:float -> (unit -> 'a) -> ('a, [ `Timeout ]) result
+  (** Race the operation against a deadline, from process context. The
+      loser is abandoned, not cancelled. *)
+
+  val retries : g -> int
+  val timeouts : g -> int
+  val circuit_opens : g -> int
+  val circuit_open : g -> bool
+  (** Is the breaker currently rejecting? *)
+end

@@ -16,12 +16,12 @@ type t = {
   mutable power : power;
 }
 
-let create ?obs sim ~id ~spec ~mem_gb ~profile ?dma_gbit_s () =
+let create ?obs ?fault sim ~id ~spec ~mem_gb ~profile ?dma_gbit_s () =
   {
     id;
     spec;
     mem_gb;
-    iobond = Iobond.create ?obs sim ~profile ?dma_gbit_s ();
+    iobond = Iobond.create ?obs ?fault sim ~profile ?dma_gbit_s ();
     firmware = Firmware.create ~vendor_key ~version:"1.0.0";
     cores = Cores.create sim ~spec ();
     memory = Memory.of_spec sim spec;

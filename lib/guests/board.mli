@@ -12,6 +12,7 @@ type t
 
 val create :
   ?obs:Bm_engine.Obs.t ->
+  ?fault:Bm_engine.Fault.t ->
   Bm_engine.Sim.t ->
   id:int ->
   spec:Bm_hw.Cpu_spec.t ->
@@ -20,7 +21,7 @@ val create :
   ?dma_gbit_s:float ->
   unit ->
   t
-(** [obs] is threaded into the board's IO-Bond. *)
+(** [obs] and [fault] are threaded into the board's IO-Bond. *)
 
 val id : t -> int
 val spec : t -> Bm_hw.Cpu_spec.t

@@ -8,9 +8,10 @@ type t = {
   mutable copies : int;
   mutable bytes_copied : float;
   obs : Obs.t;
+  fault : Fault.t;
 }
 
-let create ?(obs = Obs.none) sim ?(gbit_s = 50.0) ?(setup_ns = 300.0) () =
+let create ?(obs = Obs.none) ?(fault = Fault.none) sim ?(gbit_s = 50.0) ?(setup_ns = 300.0) () =
   assert (gbit_s > 0.0 && setup_ns >= 0.0);
   {
     sim;
@@ -20,6 +21,7 @@ let create ?(obs = Obs.none) sim ?(gbit_s = 50.0) ?(setup_ns = 300.0) () =
     copies = 0;
     bytes_copied = 0.0;
     obs;
+    fault;
   }
 
 let gbit_s t = t.gbit_s
@@ -31,6 +33,12 @@ let gbit_s t = t.gbit_s
    throughput is around 50Gbps" cap on a guest's combined x4 links. *)
 let copy t ~src ~dst ~bytes_ =
   assert (bytes_ >= 0);
+  (* A stalled engine holds new descriptors at the doorbell; the copy
+     proceeds once the engine resumes streaming. *)
+  if Fault.is_active t.fault Fault.Dma_stall then begin
+    Metrics.incr_opt (Obs.metrics t.obs) "hw.dma.stalls";
+    Fault.block_until_clear t.fault Fault.Dma_stall
+  end;
   let t0 = Sim.now t.sim in
   Trace.begin_span_opt (Obs.trace t.obs) ~track:"hw.dma" "copy" ~now:t0;
   Sim.delay t.setup_ns;

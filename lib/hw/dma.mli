@@ -9,11 +9,20 @@
 
 type t
 
-val create : ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> ?gbit_s:float -> ?setup_ns:float -> unit -> t
+val create :
+  ?obs:Bm_engine.Obs.t ->
+  ?fault:Bm_engine.Fault.t ->
+  Bm_engine.Sim.t ->
+  ?gbit_s:float ->
+  ?setup_ns:float ->
+  unit ->
+  t
 (** Default [gbit_s] 50 (paper), [setup_ns] 300 (descriptor fetch and
     doorbell processing per copy). With [obs], copies emit spans on the
     ["hw.dma"] track and feed the ["hw.dma.copy_ns"] latency histogram
-    and ["hw.dma.bytes"] counter. *)
+    and ["hw.dma.bytes"] counter. With [fault], a [Dma_stall] window
+    holds new copies at the doorbell until the engine resumes
+    (["hw.dma.stalls"]). *)
 
 val gbit_s : t -> float
 

@@ -8,9 +8,11 @@ type t = {
   wire : Sim.Resource.resource;
   mutable bytes_moved : float;
   obs : Obs.t;
+  fault : Fault.t;
 }
 
-let create ?(obs = Obs.none) sim ~gbit_s ?(register_ns = 800.0) ?(mtu_bytes = 256) () =
+let create ?(obs = Obs.none) ?(fault = Fault.none) sim ~gbit_s ?(register_ns = 800.0)
+    ?(mtu_bytes = 256) () =
   assert (gbit_s > 0.0 && register_ns >= 0.0 && mtu_bytes > 0);
   {
     sim;
@@ -20,15 +22,25 @@ let create ?(obs = Obs.none) sim ~gbit_s ?(register_ns = 800.0) ?(mtu_bytes = 25
     wire = Sim.Resource.create ~capacity:1;
     bytes_moved = 0.0;
     obs;
+    fault;
   }
 
-let x4 ?obs sim ~register_ns = create ?obs sim ~gbit_s:32.0 ~register_ns ()
-let x8 ?obs sim ~register_ns = create ?obs sim ~gbit_s:64.0 ~register_ns ()
+let x4 ?obs ?fault sim ~register_ns = create ?obs ?fault sim ~gbit_s:32.0 ~register_ns ()
+let x8 ?obs ?fault sim ~register_ns = create ?obs ?fault sim ~gbit_s:64.0 ~register_ns ()
 
 let gbit_s t = t.gbit_s
 let register_ns t = t.register_ns
 
+(* A link-down window stalls TLPs at the port until the retrain
+   completes; nothing is lost, the transaction just waits. *)
+let stall_if_link_down t =
+  if Fault.is_active t.fault Fault.Link_down then begin
+    Metrics.incr_opt (Obs.metrics t.obs) "hw.pcie.link_stalls";
+    Fault.block_until_clear t.fault Fault.Link_down
+  end
+
 let register_access t =
+  stall_if_link_down t;
   Metrics.incr_opt (Obs.metrics t.obs) "hw.pcie.register_accesses";
   Trace.instant_opt (Obs.trace t.obs) ~track:"hw.pcie" "register_access" ~now:(Sim.now t.sim);
   Sim.delay t.register_ns
@@ -41,6 +53,7 @@ let transfer t ~bytes_ =
   Trace.begin_span_opt (Obs.trace t.obs) ~track:"hw.pcie" "transfer" ~now:t0;
   let rec chunks remaining =
     if remaining > 0 then begin
+      stall_if_link_down t;
       let n = min remaining t.mtu_bytes in
       Sim.Resource.with_resource t.wire (fun () -> Sim.delay (transfer_time_ns t ~bytes_:n));
       t.bytes_moved <- t.bytes_moved +. float_of_int n;

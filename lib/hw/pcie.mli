@@ -13,6 +13,7 @@ type t
 
 val create :
   ?obs:Bm_engine.Obs.t ->
+  ?fault:Bm_engine.Fault.t ->
   Bm_engine.Sim.t ->
   gbit_s:float ->
   ?register_ns:float ->
@@ -26,12 +27,15 @@ val create :
     so small transfers are not unfairly delayed behind huge ones. With
     [obs], register accesses count to ["hw.pcie.register_accesses"] and
     transfer latencies (including wire queueing) feed
-    ["hw.pcie.transfer_ns"], with spans on the ["hw.pcie"] track. *)
+    ["hw.pcie.transfer_ns"], with spans on the ["hw.pcie"] track. With
+    [fault], a [Link_down] window stalls register accesses and transfer
+    chunks until the link retrains (counted in ["hw.pcie.link_stalls"]);
+    nothing in flight is lost. *)
 
-val x4 : ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> register_ns:float -> t
+val x4 : ?obs:Bm_engine.Obs.t -> ?fault:Bm_engine.Fault.t -> Bm_engine.Sim.t -> register_ns:float -> t
 (** 32 Gbit/s, per the paper's virtio device links. *)
 
-val x8 : ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> register_ns:float -> t
+val x8 : ?obs:Bm_engine.Obs.t -> ?fault:Bm_engine.Fault.t -> Bm_engine.Sim.t -> register_ns:float -> t
 (** 64 Gbit/s, the IO-Bond uplink to the bm-hypervisor. *)
 
 val gbit_s : t -> float

@@ -17,6 +17,7 @@ type guest_state = {
   rx_drops : int ref;
   bridges : bridge_controls list;
   offload : Offload.t option;
+  rekick : unit -> unit; (* re-arm backend work hints after a respawn *)
   mutable backend_version : int;
 }
 
@@ -30,28 +31,55 @@ type server = {
   storage : Blockstore.t;
   board_pool : Board.t array;
   obs : Obs.t;
+  fault : Fault.t;
+  pmd_alive : bool ref;
+  mutable pmd_crashes : int;
   mutable guests : (string * guest_state) list;
 }
 
-let create_server ?(obs = Obs.none) sim rng ~fabric ~storage ?(profile = Profile.Fpga)
-    ?(board_spec = Cpu_spec.xeon_e5_2682_v4) ?(board_mem_gb = 64) ?(boards = 8) ?dma_gbit_s
-    ?(params = default_params) () =
+let create_server ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~storage
+    ?(profile = Profile.Fpga) ?(board_spec = Cpu_spec.xeon_e5_2682_v4) ?(board_mem_gb = 64)
+    ?(boards = 8) ?dma_gbit_s ?(params = default_params) () =
   if boards < 1 || boards > 16 then invalid_arg "Bm_hypervisor: 1..16 boards per server (§3.3)";
   let base_cores = Cores.create sim ~spec:Cpu_spec.base_server_e5 () in
-  {
-    sim;
-    rng;
-    params;
-    profile;
-    base_cores;
-    vswitch = Vswitch.create ~obs sim ~fabric ~cores:base_cores ();
-    storage;
-    board_pool =
-      Array.init boards (fun id ->
-          Board.create ~obs sim ~id ~spec:board_spec ~mem_gb:board_mem_gb ~profile ?dma_gbit_s ());
-    obs;
-    guests = [];
-  }
+  let t =
+    {
+      sim;
+      rng;
+      params;
+      profile;
+      base_cores;
+      vswitch = Vswitch.create ~obs sim ~fabric ~cores:base_cores ();
+      storage;
+      board_pool =
+        Array.init boards (fun id ->
+            Board.create ~obs ~fault sim ~id ~spec:board_spec ~mem_gb:board_mem_gb ~profile
+              ?dma_gbit_s ());
+      obs;
+      fault;
+      pmd_alive = ref true;
+      pmd_crashes = 0;
+      guests = [];
+    }
+  in
+  (* The per-guest backend processes are ordinary user-space processes:
+     a crash kills them and the supervisor respawns them after the
+     event's dead-time. Queue state lives in the shadow vrings, so the
+     respawned process drains from exactly where its predecessor
+     stopped; the rekick replays each guest's work hints. *)
+  Fault.subscribe fault Fault.Pmd_crash (fun ev ->
+      if !(t.pmd_alive) then begin
+        t.pmd_alive := false;
+        t.pmd_crashes <- t.pmd_crashes + 1;
+        Metrics.incr_opt (Obs.metrics obs) "hyp.bm.pmd_crashes";
+        Trace.instant_opt (Obs.trace obs) ~track:"hyp.bm" "pmd_crash" ~now:(Sim.now sim);
+        Sim.schedule sim ~delay:ev.Fault.duration_ns (fun () ->
+            t.pmd_alive := true;
+            Metrics.incr_opt (Obs.metrics obs) "hyp.bm.pmd_respawns";
+            Trace.instant_opt (Obs.trace obs) ~track:"hyp.bm" "pmd_respawn" ~now:(Sim.now sim);
+            List.iter (fun (_, g) -> g.rekick ()) t.guests)
+      end);
+  t
 
 let vswitch t = t.vswitch
 let base_cores t = t.base_cores
@@ -64,6 +92,13 @@ let free_boards t =
 (* Net rings sized like a multiqueue device (8 queues x 256). *)
 let net_queue_size = 2048
 let rx_buffer_target = 1536
+
+(* Backend fibers park here while their process is dead; the poll
+   period only costs anything during a crash window. *)
+let wait_pmd_alive t =
+  while not !(t.pmd_alive) do
+    Sim.delay 10_000.0
+  done
 
 let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.cloud_blk ())
     ?(offload = false) () =
@@ -132,6 +167,7 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
       Sim.spawn sim (fun () ->
           let rec loop () =
             Sim.Channel.recv tx_hint;
+            wait_pmd_alive t;
             let rec drain any =
               match Queue_bridge.pop net_port.Iobond.net_tx with
               | Some req ->
@@ -183,6 +219,7 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
       Sim.spawn sim (fun () ->
           let rec loop () =
             let pkt = Sim.Channel.recv rx_chan in
+            wait_pmd_alive t;
             Sim.fork (fun () ->
                 Cores.execute_ns t.base_cores (p.pmd_pkt_ns *. float_of_int pkt.Packet.count);
                 match Queue_bridge.pop net_port.Iobond.net_rx with
@@ -205,6 +242,7 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
       Sim.spawn sim (fun () ->
           let rec loop () =
             Sim.Channel.recv blk_hint;
+            wait_pmd_alive t;
             let rec drain () =
               match Queue_bridge.pop blk_port.Iobond.blk_queue with
               | Some req ->
@@ -327,8 +365,21 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
             bridge_resume = (fun () -> Queue_bridge.resume blk_port.Iobond.blk_queue) };
         ]
       in
+      let rekick () =
+        if Queue_bridge.pending net_port.Iobond.net_tx > 0 then Sim.Channel.send tx_hint ();
+        if Queue_bridge.pending blk_port.Iobond.blk_queue > 0 then Sim.Channel.send blk_hint ()
+      in
       t.guests <-
-        (name, { instance; board; rx_drops; bridges; offload = offload_table; backend_version = 1 })
+        ( name,
+          {
+            instance;
+            board;
+            rx_drops;
+            bridges;
+            offload = offload_table;
+            rekick;
+            backend_version = 1;
+          } )
         :: t.guests;
       (* Post the initial rx buffers and mirror them into the shadow ring. *)
       Sim.spawn sim (fun () ->
@@ -353,6 +404,9 @@ let offload_table t ~name =
 
 let backend_version t ~name =
   match List.assoc_opt name t.guests with Some s -> s.backend_version | None -> 0
+
+let pmd_alive t = !(t.pmd_alive)
+let pmd_crashes t = t.pmd_crashes
 
 (* Orthus-style live upgrade (§6): the bm-hypervisor is an ordinary
    user-space process per guest and all queue state lives in the shared

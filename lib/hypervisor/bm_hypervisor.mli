@@ -22,6 +22,7 @@ val default_params : params
 
 val create_server :
   ?obs:Bm_engine.Obs.t ->
+  ?fault:Bm_engine.Fault.t ->
   Bm_engine.Sim.t ->
   Bm_engine.Rng.t ->
   fabric:Bm_cloud.Vswitch.fabric ->
@@ -38,7 +39,11 @@ val create_server :
     (the head-to-head configuration of §4; a server takes up to 16
     boards, §3.3). [obs] is threaded into the vswitch, every board's
     IO-Bond, and the backend loops (["hyp.bm"] track; offload, PMD and
-    rx-drop metrics). *)
+    rx-drop metrics). [fault] is threaded into every board's IO-Bond;
+    additionally the server subscribes to [Pmd_crash]: the per-guest
+    backend processes die for the event's dead-time, then respawn and
+    drain from where the shadow vrings left off (["hyp.bm.pmd_crashes"]
+    / ["hyp.bm.pmd_respawns"]). *)
 
 val vswitch : server -> Bm_cloud.Vswitch.t
 val base_cores : server -> Bm_hw.Cores.t
@@ -74,6 +79,13 @@ val rx_no_buffer_drops : server -> name:string -> int
 val backend_version : server -> name:string -> int
 (** Version of the guest's bm-hypervisor backend process (1 at
     provisioning; bumped by {!live_upgrade}). 0 if unknown. *)
+
+val pmd_alive : server -> bool
+(** Are the per-guest backend processes currently running? [false] only
+    inside an injected [Pmd_crash] dead-time. *)
+
+val pmd_crashes : server -> int
+(** Injected backend-process crashes handled so far. *)
 
 val live_upgrade : server -> name:string -> ?handover_ns:float -> unit -> (int, string) result
 (** Orthus-style live upgrade of a guest's bm-hypervisor process (§6):

@@ -48,6 +48,7 @@ type vm = {
   instance : Instance.t;
   exits : Vmexit.counters;
   preempt : Preempt.t;
+  rekick : unit -> unit; (* re-arm backend work hints after a respawn *)
 }
 
 type host = {
@@ -60,29 +61,52 @@ type host = {
   storage : Blockstore.t;
   total_threads : int;
   obs : Obs.t;
+  vhost_alive : bool ref;
   mutable provisioned_threads : int;
   mutable vms : (string * vm) list;
 }
 
 let reserved_threads = 8
 
-let create_host ?(obs = Obs.none) sim rng ~fabric ~storage ?(spec = Cpu_spec.xeon_e5_2682_v4)
-    ?(sockets = 2) ?(params = default_params) () =
+let create_host ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~storage
+    ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(sockets = 2) ?(params = default_params) () =
   let total = sockets * spec.Cpu_spec.threads in
   let service_cores = Cores.create sim ~spec ~threads:reserved_threads () in
-  {
-    sim;
-    rng;
-    spec;
-    params;
-    service_cores;
-    vswitch = Vswitch.create ~obs sim ~fabric ~cores:service_cores ();
-    storage;
-    total_threads = total - reserved_threads;
-    obs;
-    provisioned_threads = 0;
-    vms = [];
-  }
+  let host =
+    {
+      sim;
+      rng;
+      spec;
+      params;
+      service_cores;
+      vswitch = Vswitch.create ~obs sim ~fabric ~cores:service_cores ();
+      storage;
+      total_threads = total - reserved_threads;
+      obs;
+      vhost_alive = ref true;
+      provisioned_threads = 0;
+      vms = [];
+    }
+  in
+  (* The vhost worker threads die and respawn just like the bm path's
+     PMD processes, so goodput-under-faults compares like with like.
+     Ring state is shared memory; the respawned workers drain from where
+     the rings left off. *)
+  Fault.subscribe fault Fault.Pmd_crash (fun ev ->
+      if !(host.vhost_alive) then begin
+        host.vhost_alive := false;
+        Metrics.incr_opt (Obs.metrics obs) "hyp.vm.vhost_crashes";
+        Sim.schedule sim ~delay:ev.Fault.duration_ns (fun () ->
+            host.vhost_alive := true;
+            Metrics.incr_opt (Obs.metrics obs) "hyp.vm.vhost_respawns";
+            List.iter (fun (_, vm) -> vm.rekick ()) host.vms)
+      end);
+  host
+
+let wait_vhost_alive host =
+  while not !(host.vhost_alive) do
+    Sim.delay 10_000.0
+  done
 
 let vswitch host = host.vswitch
 let sellable_threads host = host.total_threads
@@ -212,6 +236,7 @@ let create_vm host config =
   Sim.spawn sim (fun () ->
       let rec loop () =
         Sim.Channel.recv tx_hint;
+        wait_vhost_alive host;
         let rec drain () =
           match Vring.pop_avail (Virtio_net.tx_ring net) with
           | Some chain ->
@@ -237,6 +262,7 @@ let create_vm host config =
   Sim.spawn sim (fun () ->
       let rec loop () =
         let pkt = Sim.Channel.recv rx_chan in
+        wait_vhost_alive host;
         Sim.fork (fun () ->
             Cores.execute_ns host.service_cores (p.vhost_pkt_ns *. float_of_int pkt.Packet.count);
             match Vring.pop_avail (Virtio_net.rx_ring net) with
@@ -258,6 +284,7 @@ let create_vm host config =
   Sim.spawn sim (fun () ->
       let rec loop () =
         Sim.Channel.recv blk_hint;
+        wait_vhost_alive host;
         let rec drain () =
           match Vring.pop_avail (Virtio_blk.ring blkdev) with
           | Some chain ->
@@ -386,7 +413,11 @@ let create_vm host config =
           Cores.execute_ns guest_cores (100.0 +. Vmexit.handle_ns Vmexit.Msr_access));
     }
   in
-  host.vms <- (config.name, { instance; exits; preempt }) :: host.vms;
+  let rekick () =
+    if Vring.avail_pending (Virtio_net.tx_ring net) > 0 then Sim.Channel.send tx_hint ();
+    if Vring.avail_pending (Virtio_blk.ring blkdev) > 0 then Sim.Channel.send blk_hint ()
+  in
+  host.vms <- (config.name, { instance; exits; preempt; rekick }) :: host.vms;
   instance
 
 let exit_counters host ~name =

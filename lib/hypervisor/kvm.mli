@@ -29,6 +29,7 @@ val default_params : params
 
 val create_host :
   ?obs:Bm_engine.Obs.t ->
+  ?fault:Bm_engine.Fault.t ->
   Bm_engine.Sim.t ->
   Bm_engine.Rng.t ->
   fabric:Bm_cloud.Vswitch.fabric ->
@@ -39,7 +40,10 @@ val create_host :
   unit ->
   host
 (** Default host: two sockets of Xeon E5-2682 v4 (the §4.2 comparison
-    server), 8 HT reserved for the hypervisor. *)
+    server), 8 HT reserved for the hypervisor. With [fault], a
+    [Pmd_crash] event kills the vhost worker threads for its dead-time;
+    they respawn and drain the shared-memory rings from where they left
+    off (["hyp.vm.vhost_crashes"] / ["hyp.vm.vhost_respawns"]). *)
 
 val vswitch : host -> Bm_cloud.Vswitch.t
 val sellable_threads : host -> int

@@ -26,11 +26,23 @@ type blk_port = {
 }
 
 val create :
-  ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> profile:Profile.t -> ?dma_gbit_s:float -> unit -> t
+  ?obs:Bm_engine.Obs.t ->
+  ?fault:Bm_engine.Fault.t ->
+  Bm_engine.Sim.t ->
+  profile:Profile.t ->
+  ?dma_gbit_s:float ->
+  unit ->
+  t
 (** [dma_gbit_s] overrides the profile's 50 Gbit/s engine — used by the
     DMA-sizing ablation. [obs] is threaded into the links, DMA engine,
     mailbox, bridges and attached virtio devices; emulated PCI config
-    accesses additionally span on the ["iobond.cfg"] track. *)
+    accesses additionally span on the ["iobond.cfg"] track. [fault] is
+    threaded the same way; additionally the IO-Bond subscribes to
+    [Firmware_wedge]: when the wedge window clears, it performs a device
+    reset — every attached virtio device replays the initialisation
+    status dance and its bridges {!Queue_bridge.resync} from the shadow
+    rings (which live in base-server memory and survive), so in-flight
+    requests are re-posted exactly once (["iobond.resets"]). *)
 
 val profile : t -> Profile.t
 val mailbox : t -> Mailbox.t
@@ -56,3 +68,6 @@ val pci_access_ns : t -> float
 val max_guest_gbit_s : t -> float
 (** Upper bound of a guest's combined I/O bandwidth: the DMA engine's
     50 Gbit/s (§3.4.3). *)
+
+val resets : t -> int
+(** Device resets performed after firmware wedges. *)

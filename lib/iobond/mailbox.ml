@@ -9,10 +9,25 @@ type t = {
   mutable rings : int;
   mutable pci_accesses : int;
   mutable tail_writes : int;
+  mutable lost_tail_writes : int;
   obs : Obs.t;
+  fault : Fault.t;
+  guard : Fault.Guard.g;
 }
 
-let create ?(obs = Obs.none) sim ~base_link =
+(* Retry budget sized against the Mailbox_drop window: the cumulative
+   backoff (2+4+8+16 µs) outlasts the default 10 µs drop, so a lone
+   window never loses a tail write. *)
+let tail_policy =
+  {
+    Fault.Guard.default_policy with
+    max_attempts = 5;
+    backoff_ns = 2_000.0;
+    backoff_mult = 2.0;
+    backoff_max_ns = 16_000.0;
+  }
+
+let create ?(obs = Obs.none) ?(fault = Fault.none) sim ~base_link =
   {
     sim;
     base_link;
@@ -21,7 +36,10 @@ let create ?(obs = Obs.none) sim ~base_link =
     rings = 0;
     pci_accesses = 0;
     tail_writes = 0;
+    lost_tail_writes = 0;
     obs;
+    fault;
+    guard = Fault.Guard.create ~obs ~policy:tail_policy sim ~name:"mailbox.tail";
   }
 
 let ring_count t = t.rings
@@ -53,9 +71,26 @@ let write_tail t i v =
   check t i;
   Trace.instant_opt (Obs.trace t.obs) ~track:"iobond.mailbox" "tail_write" ~now:(Sim.now t.sim);
   Metrics.incr_opt (Obs.metrics t.obs) "iobond.mailbox.tail_writes";
-  Pcie.register_access t.base_link;
-  t.tails.(i) <- v;
-  t.tail_writes <- t.tail_writes + 1
+  (* Each attempt pays the register hop; during a Mailbox_drop window
+     the write crosses the link but never latches. The value written is
+     absolute, so retries are idempotent. *)
+  let attempt () =
+    Pcie.register_access t.base_link;
+    if Fault.is_active t.fault Fault.Mailbox_drop then begin
+      Metrics.incr_opt (Obs.metrics t.obs) "iobond.mailbox.dropped_tail_writes";
+      Error "mailbox: tail write dropped"
+    end
+    else begin
+      t.tails.(i) <- v;
+      t.tail_writes <- t.tail_writes + 1;
+      Ok ()
+    end
+  in
+  match Fault.Guard.run t.guard attempt with
+  | Ok () -> ()
+  | Error _ ->
+    t.lost_tail_writes <- t.lost_tail_writes + 1;
+    Metrics.incr_opt (Obs.metrics t.obs) "iobond.mailbox.lost_tail_writes"
 
 let notify_pci_access t =
   Metrics.incr_opt (Obs.metrics t.obs) "iobond.mailbox.pci_accesses";
@@ -63,3 +98,4 @@ let notify_pci_access t =
 
 let pci_access_count t = t.pci_accesses
 let tail_writes t = t.tail_writes
+let lost_tail_writes t = t.lost_tail_writes

@@ -10,9 +10,20 @@
 
 type t
 
-val create : ?obs:Bm_engine.Obs.t -> Bm_engine.Sim.t -> base_link:Bm_hw.Pcie.t -> t
+val create :
+  ?obs:Bm_engine.Obs.t ->
+  ?fault:Bm_engine.Fault.t ->
+  Bm_engine.Sim.t ->
+  base_link:Bm_hw.Pcie.t ->
+  t
 (** With [obs], tail writes trace on ["iobond.mailbox"] and tail
-    writes / forwarded PCI accesses are counted. *)
+    writes / forwarded PCI accesses are counted. With [fault], a
+    [Mailbox_drop] window makes tail writes cross the link but fail to
+    latch; the mailbox retries with exponential backoff (budgeted to
+    outlast a default drop window) and counts
+    ["iobond.mailbox.dropped_tail_writes"] per lost attempt and
+    ["iobond.mailbox.lost_tail_writes"] per write abandoned after the
+    retry budget. *)
 
 val ring_count : t -> int
 val alloc_ring : t -> int
@@ -30,10 +41,15 @@ val tail : t -> int -> int
 
 val write_tail : t -> int -> int -> unit
 (** Hypervisor side: posted register write across the base link —
-    delays the calling process by the link's register latency. *)
+    delays the calling process by the link's register latency (per
+    attempt, when fault injection forces retries). Tail values are
+    absolute, so a retried or even lost write never corrupts state. *)
 
 val notify_pci_access : t -> unit
 (** Count one guest PCI access forwarded through the mailbox pair. *)
 
 val pci_access_count : t -> int
 val tail_writes : t -> int
+
+val lost_tail_writes : t -> int
+(** Tail writes abandoned after exhausting the retry budget. *)

@@ -27,9 +27,24 @@ type 'a t = {
   mutable interrupts : int;
   obs : Obs.t;
   track : string;
+  fault : Fault.t;
+  add_guard : Fault.Guard.g;
 }
 
-let create ?(obs = Obs.none) sim ~name ~guest ~dma ~guest_link ~base_link ~mailbox =
+(* The shadow ring is sized to the guest ring, so [Vring.add] can only
+   transiently fail; a generous retry budget with short backoff keeps
+   the no-loss property without spinning every poll interval. *)
+let add_policy =
+  {
+    Fault.Guard.default_policy with
+    max_attempts = 64;
+    backoff_ns = 1_000.0;
+    backoff_mult = 2.0;
+    backoff_max_ns = 16_000.0;
+  }
+
+let create ?(obs = Obs.none) ?(fault = Fault.none) sim ~name ~guest ~dma ~guest_link ~base_link
+    ~mailbox =
   let track = "iobond." ^ name in
   let shadow = Vring.create ~size:(Vring.size guest) in
   Vring.set_obs shadow ~track:(track ^ ".shadow") obs;
@@ -53,6 +68,8 @@ let create ?(obs = Obs.none) sim ~name ~guest ~dma ~guest_link ~base_link ~mailb
     interrupts = 0;
     obs;
     track;
+    fault;
+    add_guard = Fault.Guard.create ~obs ~policy:add_policy sim ~name:(name ^ ".shadow_add");
   }
 
 let name t = t.name
@@ -65,6 +82,9 @@ let chain_nsegs chain = List.length chain.Vring.out + List.length chain.Vring.in
 (* Forward mirror engine: drain new guest avail entries into the shadow
    ring, one DMA per chain (descriptors + driver->device payload). *)
 let rec pump_forward t =
+  (* A wedged FPGA moves no data; the pump resumes where it left off
+     once the device reset completes. *)
+  Fault.block_until_clear t.fault Fault.Firmware_wedge;
   match Vring.pop_avail t.guest with
   | None -> t.forward_running <- false
   | Some chain ->
@@ -73,21 +93,26 @@ let rec pump_forward t =
     Dma.copy t.dma ~src:t.guest_link ~dst:t.base_link ~bytes_;
     let out = List.map snd chain.Vring.out in
     let in_ = List.map snd chain.Vring.in_ in
-    (match
-       Vring.add t.shadow ~indirect:chain.Vring.indirect ~out ~in_
-         (chain.Vring.head, chain.Vring.payload)
-     with
-    | Some _ ->
+    let add () =
+      match
+        Vring.add t.shadow ~indirect:chain.Vring.indirect ~out ~in_
+          (chain.Vring.head, chain.Vring.payload)
+      with
+      | Some _ -> Ok ()
+      | None -> Error (t.name ^ ": shadow ring full")
+    in
+    (* Cannot fail while the guest ring bounds outstanding requests, but
+       stay safe: retry under the backoff policy instead of dropping the
+       popped chain on the floor. *)
+    (match Fault.Guard.run t.add_guard add with
+    | Ok () ->
       t.forwarded <- t.forwarded + 1;
       Metrics.mark_opt (Obs.metrics t.obs) "iobond.forwarded" ~now:(Sim.now t.sim);
       Mailbox.set_head t.mailbox t.ring_index (Vring.avail_idx t.shadow);
       Trace.counter_opt (Obs.trace t.obs) ~track:t.track "pending" ~now:(Sim.now t.sim)
         (float_of_int (Vring.avail_pending t.shadow));
       if Vring.avail_pending t.shadow = 1 then t.work_hint ()
-    | None ->
-      (* Cannot happen while the guest ring bounds outstanding requests,
-         but stay safe: retry after a poll interval. *)
-      Sim.delay 1_000.0);
+    | Error _ -> Metrics.incr_opt (Obs.metrics t.obs) "iobond.dropped_chains");
     Trace.end_span_opt (Obs.trace t.obs) ~track:t.track "forward" ~now:(Sim.now t.sim);
     pump_forward t
 
@@ -139,6 +164,7 @@ let complete t req ?payload ~written () =
 
 (* Backward mirror engine: completions flow shadow -> guest. *)
 let rec pump_backward t completed_any =
+  Fault.block_until_clear t.fault Fault.Firmware_wedge;
   match Vring.pop_used t.shadow with
   | None ->
     t.backward_running <- false;
@@ -159,6 +185,20 @@ let rec pump_backward t completed_any =
 
 let flush t =
   Mailbox.write_tail t.mailbox t.ring_index (Vring.used_idx t.shadow);
+  if not t.backward_running then begin
+    t.backward_running <- true;
+    Sim.spawn t.sim (fun () -> pump_backward t false)
+  end
+
+(* Post-reset resynchronisation. The shadow ring lives in base-server
+   memory and survives an FPGA wedge, so nothing is re-posted: the head
+   register is re-published (an absolute value — idempotent), the
+   backend's work hint is re-armed, and both mirror engines restart to
+   drain whatever accumulated while the device was down. *)
+let resync t =
+  Mailbox.set_head t.mailbox t.ring_index (Vring.avail_idx t.shadow);
+  if Vring.avail_pending t.shadow > 0 then t.work_hint ();
+  start_forward t;
   if not t.backward_running then begin
     t.backward_running <- true;
     Sim.spawn t.sim (fun () -> pump_backward t false)

@@ -22,6 +22,7 @@ type 'a request = {
 
 val create :
   ?obs:Bm_engine.Obs.t ->
+  ?fault:Bm_engine.Fault.t ->
   Bm_engine.Sim.t ->
   name:string ->
   guest:'a Bm_virtio.Vring.t ->
@@ -34,7 +35,9 @@ val create :
     instants, per-chain [forward] spans, shadow [pending] counter
     samples, and [guest_irq] instants, plus the ["iobond.doorbells"],
     ["iobond.forwarded"], ["iobond.completed"] and ["iobond.guest_irqs"]
-    metrics. *)
+    metrics. With [fault], both mirror engines stall while a
+    [Firmware_wedge] window is open (use {!resync} after the reset), and
+    a full shadow ring is retried under a backoff policy. *)
 
 val name : _ t -> string
 val ring_index : _ t -> int
@@ -83,6 +86,14 @@ val complete : 'a t -> 'a request -> ?payload:'a -> written:int -> unit -> unit
 val flush : 'a t -> unit
 (** Tail-register write (one base-link register hop, charged to the
     calling hypervisor process) starting the completion mirror engine. *)
+
+val resync : 'a t -> unit
+(** Post-reset recovery (process or scheduler context): re-publish the
+    head register from the shadow ring's avail index, re-arm the work
+    hint, and restart both mirror engines. The shadow ring lives in
+    base-server memory and survives an IO-Bond wedge, so every in-flight
+    request is preserved and re-posted exactly once — head/tail values
+    are absolute indices, making the republication idempotent. *)
 
 (** {2 Statistics} *)
 

@@ -9,18 +9,29 @@ type t = {
   fabric : Vswitch.fabric;
   storage : Blockstore.t;
   obs : Obs.t;
+  fault : Fault.t;
 }
 
-let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) ?trace ?metrics () =
+let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) ?trace ?metrics ?faults () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed in
   let obs = Obs.of_sim ?trace ?metrics sim in
   let fabric = Vswitch.create_fabric sim () in
   let storage = Blockstore.create ~obs sim (Rng.split rng) ~kind:storage_kind () in
-  { sim; rng; fabric; storage; obs }
+  let fault =
+    match faults with
+    | None -> Fault.none
+    | Some plan ->
+      let f = Fault.create ~obs sim plan in
+      (* Arm now: the windows open on the agenda as the run reaches
+         them; components built below subscribe before time advances. *)
+      Fault.arm f;
+      f
+  in
+  { sim; rng; fabric; storage; obs; fault }
 
 let bm_server ?profile ?boards t =
-  Bm_hypervisor.create_server ~obs:t.obs t.sim (Rng.split t.rng) ~fabric:t.fabric
+  Bm_hypervisor.create_server ~obs:t.obs ~fault:t.fault t.sim (Rng.split t.rng) ~fabric:t.fabric
     ~storage:t.storage ?profile ?boards ()
 
 let bm_guest ?profile ?net_limits ?blk_limits ?(name = "bm0") t =
@@ -41,7 +52,8 @@ let bm_pair ?profile ?net_limits t =
   (server, provision "bm0", provision "bm1")
 
 let vm_host t =
-  Kvm.create_host ~obs:t.obs t.sim (Rng.split t.rng) ~fabric:t.fabric ~storage:t.storage ()
+  Kvm.create_host ~obs:t.obs ~fault:t.fault t.sim (Rng.split t.rng) ~fabric:t.fabric
+    ~storage:t.storage ()
 
 let vm_guest ?net_limits ?blk_limits ?(vcpus = 32) ?(host_load = 0.5)
     ?(pinning = Preempt.Exclusive) ?(name = "vm0") t =

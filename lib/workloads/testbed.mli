@@ -12,6 +12,7 @@ type t = {
   fabric : Bm_cloud.Vswitch.fabric;
   storage : Bm_cloud.Blockstore.t;
   obs : Bm_engine.Obs.t;
+  fault : Bm_engine.Fault.t;
 }
 
 val make :
@@ -19,11 +20,15 @@ val make :
   ?storage_kind:Bm_cloud.Blockstore.kind ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
+  ?faults:Bm_engine.Fault.plan ->
   unit ->
   t
 (** [trace]/[metrics] become the testbed's observability context [obs],
     threaded into every component the builders below create. Omitting
-    both keeps the datapath sink-free (zero recording cost). *)
+    both keeps the datapath sink-free (zero recording cost). [faults]
+    builds and arms a fault injector from the plan, threaded the same
+    way; omitting it leaves the null injector, whose runs are
+    bit-identical to a fault-free build. *)
 
 val bm_server :
   ?profile:Bm_iobond.Profile.t -> ?boards:int -> t -> Bm_hyp.Bm_hypervisor.server

@@ -491,3 +491,127 @@ let vhost_suites =
   ]
 
 let suites = suites @ vhost_suites
+
+(* ------------------------------------------------------------------ *)
+(* Control-plane error paths and server-failure evacuation *)
+
+let mixed_fleet () =
+  let cp = Control_plane.create () in
+  let bm0 = Control_plane.add_server cp (Control_plane.Bm_server { boards = 2; board_threads = 16 }) in
+  let bm1 = Control_plane.add_server cp (Control_plane.Bm_server { boards = 2; board_threads = 16 }) in
+  let vm = Control_plane.add_server cp (Control_plane.Vm_server { sellable_threads = 32 }) in
+  (cp, bm0, bm1, vm)
+
+let test_fleet_full_placement_fails () =
+  let cp, _, _, _ = mixed_fleet () in
+  for i = 0 to 3 do
+    match Control_plane.place cp ~name:(Printf.sprintf "bm%d" i) ~vcpus:16
+            ~prefer:Control_plane.Bare_metal ~image:Image.centos7 () with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  (match Control_plane.place cp ~name:"overflow" ~vcpus:16 ~prefer:Control_plane.Bare_metal
+           ~image:Image.centos7 () with
+  | Ok _ -> Alcotest.fail "placed on a full bm fleet"
+  | Error _ -> ());
+  (* The error left no partial state behind: freeing one board admits it. *)
+  Control_plane.release cp "bm0";
+  match Control_plane.place cp ~name:"overflow" ~vcpus:16 ~prefer:Control_plane.Bare_metal
+          ~image:Image.centos7 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("fleet not recovered after release: " ^ e)
+
+let test_cold_migrate_unknown_instance () =
+  let cp, _, _, _ = mixed_fleet () in
+  match Control_plane.cold_migrate cp ~name:"ghost" ~to_:Control_plane.Virtual with
+  | Ok _ -> Alcotest.fail "migrated an instance that was never placed"
+  | Error _ -> check_int "no capacity consumed" 0 (Control_plane.used_threads cp)
+
+let test_release_idempotent () =
+  let cp, _, _, _ = mixed_fleet () in
+  (match Control_plane.place cp ~name:"g" ~vcpus:4 ~prefer:Control_plane.Virtual
+           ~image:Image.centos7 () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Control_plane.release cp "g";
+  check_int "freed" 0 (Control_plane.used_threads cp);
+  (* A second release of the same name, and of a never-placed name, must
+     not drive the accounting negative. *)
+  Control_plane.release cp "g";
+  Control_plane.release cp "never-placed";
+  check_int "still zero" 0 (Control_plane.used_threads cp)
+
+let test_fail_server_unknown () =
+  let cp, _, _, _ = mixed_fleet () in
+  match Control_plane.fail_server cp 99 with
+  | () -> Alcotest.fail "unknown server accepted"
+  | exception Invalid_argument _ -> ()
+
+let evacuate_with strategy =
+  let cp, bm0, bm1, vm = mixed_fleet () in
+  for i = 0 to 1 do
+    match Control_plane.place cp ~name:(Printf.sprintf "bm%d" i) ~vcpus:16
+            ~prefer:Control_plane.Bare_metal ~image:Image.centos7 () with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  let outcomes = Control_plane.evacuate cp ~server:bm0 ~strategy () in
+  check_int "both victims handled" 2 (List.length outcomes);
+  check_bool "server marked failed" true (Control_plane.server_failed cp bm0);
+  List.iter
+    (fun (name, result) ->
+      match result with
+      | Error e -> Alcotest.fail (name ^ " stranded: " ^ e)
+      | Ok p ->
+        check_bool (name ^ " left the failed server") true (p.Control_plane.server <> bm0);
+        check_bool (name ^ " stayed bare-metal") true
+          (p.Control_plane.substrate = Control_plane.Bare_metal))
+    outcomes;
+  (* The failed server sells nothing; the survivors sell everything. *)
+  check_int "capacity excludes the dead server" (2 * 16 + 32) (Control_plane.sellable_threads cp);
+  ignore bm1;
+  ignore vm
+
+let test_evacuate_first_fit () = evacuate_with Control_plane.First_fit
+let test_evacuate_best_fit () = evacuate_with Control_plane.Best_fit
+let test_evacuate_spread () = evacuate_with Control_plane.Spread
+
+let test_evacuate_overflow_cold_migrates () =
+  (* Four victims, two spare boards: two survive bare-metal, two take
+     the cold-migration path onto the vm substrate. *)
+  let cp = Control_plane.create () in
+  let victim = Control_plane.add_server cp (Control_plane.Bm_server { boards = 4; board_threads = 16 }) in
+  let _spare = Control_plane.add_server cp (Control_plane.Bm_server { boards = 2; board_threads = 16 }) in
+  let _vm = Control_plane.add_server cp (Control_plane.Vm_server { sellable_threads = 88 }) in
+  for i = 0 to 3 do
+    match Control_plane.place cp ~name:(Printf.sprintf "bm%d" i) ~vcpus:16
+            ~prefer:Control_plane.Bare_metal ~image:Image.centos7 () with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  let outcomes = Control_plane.evacuate cp ~server:victim () in
+  let on sub =
+    List.length
+      (List.filter (function _, Ok p -> p.Control_plane.substrate = sub | _, Error _ -> false)
+         outcomes)
+  in
+  check_int "two stay bare-metal" 2 (on Control_plane.Bare_metal);
+  check_int "two cold-migrate" 2 (on Control_plane.Virtual)
+
+let failure_suites =
+  [
+    ( "cloud.control_plane.failures",
+      [
+        Alcotest.test_case "fleet full" `Quick test_fleet_full_placement_fails;
+        Alcotest.test_case "cold_migrate unknown" `Quick test_cold_migrate_unknown_instance;
+        Alcotest.test_case "release idempotent" `Quick test_release_idempotent;
+        Alcotest.test_case "fail_server unknown" `Quick test_fail_server_unknown;
+        Alcotest.test_case "evacuate first-fit" `Quick test_evacuate_first_fit;
+        Alcotest.test_case "evacuate best-fit" `Quick test_evacuate_best_fit;
+        Alcotest.test_case "evacuate spread" `Quick test_evacuate_spread;
+        Alcotest.test_case "evacuate overflow cold-migrates" `Quick
+          test_evacuate_overflow_cold_migrates;
+      ] );
+  ]
+
+let suites = suites @ failure_suites
