@@ -43,23 +43,28 @@ type t = {
   kind : kind;
   params : params;
   servers : Sim.Resource.resource;
+  queue_capacity : int;
   mutable served : int;
+  mutable rejected : int;
   obs : Obs.t;
 }
 
-let create ?(obs = Obs.none) sim rng ~kind ?parallelism () =
+let create ?(obs = Obs.none) sim rng ~kind ?parallelism ?(queue_capacity = 512) () =
   let parallelism =
     match parallelism with
     | Some n -> n
     | None -> ( match kind with Cloud_ssd -> 128 | Local_ssd -> 16)
   in
+  assert (queue_capacity > 0);
   {
     sim;
     rng;
     kind;
     params = params_of kind;
     servers = Sim.Resource.create ~capacity:parallelism;
+    queue_capacity;
     served = 0;
+    rejected = 0;
     obs;
   }
 
@@ -81,13 +86,27 @@ let serve t ~op ~bytes_ =
   Trace.counter_opt (Obs.trace t.obs) ~track:"cloud.blockstore" "queue_depth" ~now:t0
     (float_of_int (Sim.Resource.in_use t.servers + Sim.Resource.waiting t.servers));
   Sim.delay (p.net_rtt_ns /. 2.0);
-  Sim.Resource.with_resource t.servers (fun () -> Sim.delay (media_time t ~op ~bytes_));
-  Sim.delay (p.net_rtt_ns /. 2.0);
-  t.served <- t.served + 1;
-  Metrics.incr_opt (Obs.metrics t.obs) "cloud.blockstore.served";
-  Metrics.observe_opt (Obs.metrics t.obs) "cloud.blockstore.serve_ns" (Sim.now t.sim -. t0)
+  if Sim.Resource.waiting t.servers >= t.queue_capacity then begin
+    (* The storage node's admission queue is full: fail the request after
+       the front half of the round trip, drawing no service randomness,
+       so the client sees a fast, deterministic EBUSY. *)
+    t.rejected <- t.rejected + 1;
+    Metrics.incr_opt (Obs.metrics t.obs) "cloud.blockstore.rejected";
+    Sim.delay (p.net_rtt_ns /. 2.0);
+    `Rejected
+  end
+  else begin
+    Sim.Resource.with_resource t.servers (fun () -> Sim.delay (media_time t ~op ~bytes_));
+    Sim.delay (p.net_rtt_ns /. 2.0);
+    t.served <- t.served + 1;
+    Metrics.incr_opt (Obs.metrics t.obs) "cloud.blockstore.served";
+    Metrics.observe_opt (Obs.metrics t.obs) "cloud.blockstore.serve_ns" (Sim.now t.sim -. t0);
+    `Served
+  end
 
 let served t = t.served
+let rejected t = t.rejected
+let queue_capacity t = t.queue_capacity
 
 let mean_service_ns t ~op =
   match op with

@@ -18,21 +18,32 @@ val create :
   Bm_engine.Rng.t ->
   kind:kind ->
   ?parallelism:int ->
+  ?queue_capacity:int ->
   unit ->
   t
 (** Defaults: [parallelism] 128 requests in service concurrently for
-    [Cloud_ssd] (a distributed backend), 16 for [Local_ssd]. With [obs],
-    each request samples server occupancy as a [queue_depth] counter on
-    the ["cloud.blockstore"] track and feeds the
-    ["cloud.blockstore.serve_ns"] latency histogram and
-    ["cloud.blockstore.served"] counter. *)
+    [Cloud_ssd] (a distributed backend), 16 for [Local_ssd];
+    [queue_capacity] 512 requests may wait for a server beyond those in
+    service — deep enough that well-behaved workloads never see it, small
+    enough that floods fail fast instead of queueing without bound. With
+    [obs], each request samples server occupancy as a [queue_depth]
+    counter on the ["cloud.blockstore"] track and feeds the
+    ["cloud.blockstore.serve_ns"] latency histogram and the
+    ["cloud.blockstore.served"] / ["cloud.blockstore.rejected"]
+    counters. *)
 
 val kind : t -> kind
 
-val serve : t -> op:[ `Read | `Write | `Flush ] -> bytes_:int -> unit
-(** Block the calling process for the whole storage round trip. *)
+val serve : t -> op:[ `Read | `Write | `Flush ] -> bytes_:int -> [ `Served | `Rejected ]
+(** Block the calling process for the whole storage round trip. When the
+    admission queue is full on arrival at the storage node, the request
+    is refused after the front half of the network round trip
+    ([`Rejected]) — the storage analogue of ECN/EBUSY, which clients
+    (e.g. {!Bm_workload.Fio}) may retry with backoff. *)
 
 val served : t -> int
+val rejected : t -> int
+val queue_capacity : t -> int
 
 val mean_service_ns : t -> op:[ `Read | `Write | `Flush ] -> float
 (** The configured median service time (excluding queueing/tail), for

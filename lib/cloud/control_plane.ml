@@ -22,9 +22,26 @@ type t = {
   mutable servers : server list;
   mutable next_id : int;
   instances : (string, record) Hashtbl.t;
+  mutable admission_ceiling : float;
+  mutable admission_rejections : int;
 }
 
-let create () = { servers = []; next_id = 0; instances = Hashtbl.create 32 }
+let create ?(admission_ceiling = 1.0) () =
+  assert (admission_ceiling > 0.0 && admission_ceiling <= 1.0);
+  {
+    servers = [];
+    next_id = 0;
+    instances = Hashtbl.create 32;
+    admission_ceiling;
+    admission_rejections = 0;
+  }
+
+let set_admission_ceiling t c =
+  assert (c > 0.0 && c <= 1.0);
+  t.admission_ceiling <- c
+
+let admission_ceiling t = t.admission_ceiling
+let admission_rejections t = t.admission_rejections
 
 let add_server t kind =
   let id = t.next_id in
@@ -65,10 +82,36 @@ let try_place_on server ~vcpus ~substrate =
     Some { server = server.id; substrate = Virtual; threads = vcpus }
   | (Bm_server _ | Vm_server _), (Bare_metal | Virtual) -> None
 
+let capacity_of = function
+  | Bm_server { boards; board_threads } -> boards * board_threads
+  | Vm_server { sellable_threads } -> sellable_threads
+
+let sellable_threads t =
+  List.fold_left (fun acc s -> if s.failed then acc else acc + capacity_of s.kind) 0 t.servers
+
+let used_threads t = List.fold_left (fun acc s -> acc + s.used_threads) 0 t.servers
+
+(* Headroom-based admission: a placement that would push fleet thread
+   utilization past the ceiling is refused even though the server could
+   physically host it — production control planes keep slack for failure
+   evacuation and load spikes rather than packing to 100%. *)
+let over_ceiling t =
+  t.admission_ceiling < 1.0
+  && float_of_int (used_threads t)
+     > (t.admission_ceiling *. float_of_int (sellable_threads t)) +. 1e-9
+
+let undo_placement server placement =
+  match placement.substrate with
+  | Bare_metal ->
+    server.used_boards <- server.used_boards - 1;
+    server.used_threads <- server.used_threads - placement.threads
+  | Virtual -> server.used_threads <- server.used_threads - placement.threads
+
 let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ~image () =
   if Hashtbl.mem t.instances name then Error (name ^ " already placed")
   else begin
     let substrates = match prefer with Some s -> [ s ] | None -> [ Bare_metal; Virtual ] in
+    let ceiling_hit = ref false in
     (* Order candidate servers by strategy: first-fit keeps declaration
        order; best-fit packs the fullest feasible server; spread
        balances onto the emptiest. *)
@@ -85,15 +128,28 @@ let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ~image () =
           t.servers
     in
     let rec scan = function
-      | [] -> Error "no capacity for request"
+      | [] ->
+        if !ceiling_hit then begin
+          t.admission_rejections <- t.admission_rejections + 1;
+          Error
+            (Printf.sprintf "admission ceiling %.0f%% reached" (t.admission_ceiling *. 100.0))
+        end
+        else Error "no capacity for request"
       | substrate :: rest ->
         let rec over_servers = function
           | [] -> scan rest
           | server :: others -> (
             match try_place_on server ~vcpus ~substrate with
             | Some placement ->
-              Hashtbl.replace t.instances name { placement; vcpus; image };
-              Ok placement
+              if over_ceiling t then begin
+                undo_placement server placement;
+                ceiling_hit := true;
+                over_servers others
+              end
+              else begin
+                Hashtbl.replace t.instances name { placement; vcpus; image };
+                Ok placement
+              end
             | None -> over_servers others)
         in
         over_servers (candidates substrate)
@@ -172,14 +228,6 @@ let evacuate t ~server ?(strategy = First_fit) () =
       in
       (name, result))
     victims
-
-let capacity_of = function
-  | Bm_server { boards; board_threads } -> boards * board_threads
-  | Vm_server { sellable_threads } -> sellable_threads
-
-let sellable_threads t =
-  List.fold_left (fun acc s -> if s.failed then acc else acc + capacity_of s.kind) 0 t.servers
-let used_threads t = List.fold_left (fun acc s -> acc + s.used_threads) 0 t.servers
 
 let placements t =
   Hashtbl.fold (fun name r acc -> (name, r.placement) :: acc) t.instances []

@@ -23,7 +23,19 @@ type strategy =
 
 type t
 
-val create : unit -> t
+val create : ?admission_ceiling:float -> unit -> t
+(** [admission_ceiling] (default 1.0, i.e. disabled) is the fraction of
+    fleet thread capacity the control plane will sell: a placement that
+    would push {!used_threads} past [ceiling × sellable_threads] is
+    refused even when a server could physically host it, keeping headroom
+    for failure evacuation and load spikes. Must be in (0, 1]. *)
+
+val set_admission_ceiling : t -> float -> unit
+
+val admission_ceiling : t -> float
+
+val admission_rejections : t -> int
+(** Placements refused by the ceiling (not by lack of physical space). *)
 
 val add_server : t -> server_kind -> int
 (** Returns the server id. *)

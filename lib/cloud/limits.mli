@@ -6,24 +6,47 @@
     (§4.3). Limits are token buckets with a small burst allowance, as
     production limiters behave. *)
 
-type net = { pps : Bm_engine.Token_bucket.t; net_bw : Bm_engine.Token_bucket.t }
+type policy =
+  | Block  (** Queue into token-bucket debt: admission always succeeds, late. *)
+  | Shed  (** Refuse bursts beyond the available tokens: fail fast, on time. *)
 
-type blk = { iops : Bm_engine.Token_bucket.t; blk_bw : Bm_engine.Token_bucket.t }
+type net = {
+  pps : Bm_engine.Token_bucket.t;
+  net_bw : Bm_engine.Token_bucket.t;
+  mutable net_policy : policy;
+  mutable net_shed : int;  (** Packets refused under [Shed]. *)
+}
 
-val cloud_net : unit -> net
-(** 4M PPS, 10 Gbit/s. *)
+type blk = {
+  iops : Bm_engine.Token_bucket.t;
+  blk_bw : Bm_engine.Token_bucket.t;
+  mutable blk_policy : policy;
+  mutable blk_shed : int;  (** Requests refused under [Shed]. *)
+}
 
-val cloud_blk : unit -> blk
-(** 25K IOPS, 300 MB/s. *)
+val cloud_net : ?policy:policy -> unit -> net
+(** 4M PPS, 10 Gbit/s. Default policy [Block]. *)
+
+val cloud_blk : ?policy:policy -> unit -> blk
+(** 25K IOPS, 300 MB/s. Default policy [Block]. *)
 
 val unlimited_net : unit -> net
 val unlimited_blk : unit -> blk
 
-val custom_net : pps:float -> gbit_s:float -> net
-val custom_blk : iops:float -> mb_s:float -> blk
+val custom_net : ?policy:policy -> pps:float -> gbit_s:float -> unit -> net
+val custom_blk : ?policy:policy -> iops:float -> mb_s:float -> unit -> blk
 
-val net_admit : net -> packets:int -> bytes_:int -> unit
-(** Block the calling process until the burst conforms to both limits. *)
+val set_net_policy : net -> policy -> unit
+val set_blk_policy : blk -> policy -> unit
 
-val blk_admit : blk -> bytes_:int -> unit
-(** Block until one request of [bytes_] conforms. *)
+val net_shed : net -> int
+val blk_shed : blk -> int
+
+val net_admit : net -> packets:int -> bytes_:int -> bool
+(** Under [Block]: suspend the calling process until the burst conforms to
+    both limits, then return [true]. Under [Shed]: never block — consume
+    from both buckets iff both can cover the burst right now, else refuse
+    the whole burst (neither bucket is charged) and return [false]. *)
+
+val blk_admit : blk -> bytes_:int -> bool
+(** As {!net_admit} for one storage request of [bytes_]. *)

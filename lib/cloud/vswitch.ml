@@ -2,7 +2,7 @@ open Bm_engine
 open Bm_hw
 open Bm_virtio
 
-type endpoint = { deliver : Packet.t -> unit }
+type endpoint = { deliver : Packet.t -> unit; mutable inflight : int }
 
 type t = {
   sim : Sim.t;
@@ -10,9 +10,12 @@ type t = {
   cores : Cores.t;
   per_packet_ns : float;
   hop_ns : float;
+  egress_capacity : int;
   local : (int, endpoint) Hashtbl.t;
   mutable forwarded : int;
   mutable dropped : int;
+  mutable egress_dropped : int;
+  mutable stale_dropped : int;
   mutable queued : int; (* bursts in flight between schedule and delivery *)
   obs : Obs.t;
 }
@@ -28,16 +31,21 @@ and fabric = {
 let create_fabric sim ?(gbit_s = 100.0) ?(rtt_ns = 10_000.0) () =
   { fsim = sim; nic_gbit_s = gbit_s; rtt_ns; routes = Hashtbl.create 64; next_endpoint = 1 }
 
-let create ?(obs = Obs.none) sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_ns = 5_000.0) () =
+let create ?(obs = Obs.none) sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_ns = 5_000.0)
+    ?(egress_capacity = 256) () =
+  assert (egress_capacity > 0);
   {
     sim;
     fabric;
     cores;
     per_packet_ns;
     hop_ns;
+    egress_capacity;
     local = Hashtbl.create 16;
     forwarded = 0;
     dropped = 0;
+    egress_dropped = 0;
+    stale_dropped = 0;
     queued = 0;
     obs;
   }
@@ -50,10 +58,22 @@ let note_drop t (pkt : Packet.t) =
   t.dropped <- t.dropped + pkt.Packet.count;
   Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count) "cloud.vswitch.dropped"
 
+let note_egress_drop t (pkt : Packet.t) =
+  t.dropped <- t.dropped + pkt.Packet.count;
+  t.egress_dropped <- t.egress_dropped + pkt.Packet.count;
+  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count)
+    "cloud.vswitch.egress_dropped"
+
+let note_stale_drop t (pkt : Packet.t) =
+  t.dropped <- t.dropped + pkt.Packet.count;
+  t.stale_dropped <- t.stale_dropped + pkt.Packet.count;
+  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count)
+    "cloud.vswitch.stale_dropped"
+
 let register t ~deliver =
   let addr = t.fabric.next_endpoint in
   t.fabric.next_endpoint <- addr + 1;
-  Hashtbl.replace t.local addr { deliver };
+  Hashtbl.replace t.local addr { deliver; inflight = 0 };
   Hashtbl.replace t.fabric.routes addr t;
   addr
 
@@ -64,20 +84,29 @@ let unregister t addr =
 let switch_cpu t (pkt : Packet.t) =
   Cores.execute_ns t.cores (t.per_packet_ns *. float_of_int pkt.Packet.count)
 
-(* Local delivery is asynchronous: the burst sits in switch queues for
-   [hop_ns] and the handler runs decoupled from the sender's process. *)
+(* Local delivery is asynchronous: the burst sits in the destination's
+   egress queue for [hop_ns] and the handler runs decoupled from the
+   sender's process. The per-destination queue is bounded (drop-tail),
+   and the endpoint is re-checked at delivery time: a burst in flight
+   towards an endpoint that unregisters before the hop completes is a
+   drop, not a delivery to the dead endpoint. *)
 let deliver_local t pkt =
   match Hashtbl.find_opt t.local pkt.Packet.dst with
+  | Some ep when ep.inflight >= t.egress_capacity -> note_egress_drop t pkt
   | Some ep ->
     t.forwarded <- t.forwarded + pkt.Packet.count;
     Metrics.mark_opt (Obs.metrics t.obs) ~n:pkt.Packet.count "cloud.vswitch.pps"
       ~now:(Sim.now t.sim);
+    ep.inflight <- ep.inflight + 1;
     t.queued <- t.queued + 1;
     note_queue_depth t;
     Sim.schedule t.sim ~delay:t.hop_ns (fun () ->
+        ep.inflight <- ep.inflight - 1;
         t.queued <- t.queued - 1;
         note_queue_depth t;
-        ep.deliver pkt)
+        match Hashtbl.find_opt t.local pkt.Packet.dst with
+        | Some ep' when ep' == ep -> ep.deliver pkt
+        | Some _ | None -> note_stale_drop t pkt)
   | None -> note_drop t pkt
 
 let send t pkt =
@@ -110,3 +139,5 @@ let forward_hw t pkt =
 
 let forwarded t = t.forwarded
 let dropped t = t.dropped
+let egress_dropped t = t.egress_dropped
+let stale_dropped t = t.stale_dropped

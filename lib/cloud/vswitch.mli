@@ -24,6 +24,7 @@ val create :
   cores:Bm_hw.Cores.t ->
   ?per_packet_ns:float ->
   ?hop_ns:float ->
+  ?egress_capacity:int ->
   unit ->
   t
 (** [create sim ~fabric ~cores ()] — [cores] are the server's service
@@ -31,10 +32,16 @@ val create :
     one packet (default 300 ns, a DPDK-class forwarding cost); [hop_ns]
     (default 5 µs) is the queueing/traversal latency of one switch hop,
     applied asynchronously so it adds latency, not sender backpressure.
-    With [obs], in-flight burst depth is sampled as a [queue_depth]
-    counter on the ["cloud.vswitch"] track, forwarded packets feed the
-    ["cloud.vswitch.pps"] meter and drops the ["cloud.vswitch.dropped"]
-    counter. *)
+    Each destination has a bounded egress queue of [egress_capacity]
+    bursts (default 256): a burst arriving for a destination whose queue
+    is full is dropped at the tail and counted in {!egress_dropped}. A
+    burst whose destination unregisters while the burst is in flight is
+    dropped at delivery time and counted in {!stale_dropped}; delivery
+    never reaches a dead endpoint. With [obs], in-flight burst depth is
+    sampled as a [queue_depth] counter on the ["cloud.vswitch"] track,
+    forwarded packets feed the ["cloud.vswitch.pps"] meter and drops the
+    ["cloud.vswitch.dropped"] / ["cloud.vswitch.egress_dropped"] /
+    ["cloud.vswitch.stale_dropped"] counters. *)
 
 val register : t -> deliver:(Bm_virtio.Packet.t -> unit) -> int
 (** Attach an endpoint; returns its address. [deliver] receives each
@@ -57,3 +64,10 @@ val forwarded : t -> int
 (** Total wire packets forwarded (burst-weighted). *)
 
 val dropped : t -> int
+(** All drops (unknown destination + egress overflow + stale delivery). *)
+
+val egress_dropped : t -> int
+(** Packets dropped at a full per-destination egress queue. *)
+
+val stale_dropped : t -> int
+(** Packets dropped because the destination unregistered mid-flight. *)

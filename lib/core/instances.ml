@@ -53,8 +53,8 @@ let catalogue =
 
 let find name = List.find_opt (fun i -> i.name = name) catalogue
 
-let net_limits t = Bm_cloud.Limits.custom_net ~pps:t.net_pps ~gbit_s:t.net_gbit_s
-let blk_limits t = Bm_cloud.Limits.custom_blk ~iops:t.storage_iops ~mb_s:t.storage_mb_s
+let net_limits t = Bm_cloud.Limits.custom_net ~pps:t.net_pps ~gbit_s:t.net_gbit_s ()
+let blk_limits t = Bm_cloud.Limits.custom_blk ~iops:t.storage_iops ~mb_s:t.storage_mb_s ()
 
 let pp fmt t =
   Format.fprintf fmt "%s: %s x%d, %d vCPU, %dGB, %.1fM pps/%.0fGbit, %.0fK IOPS/%.0fMB/s, <=%d/server"

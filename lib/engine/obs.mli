@@ -23,3 +23,9 @@ val metrics : t -> Metrics.t option
 
 val enabled : t -> bool
 (** At least one sink installed. *)
+
+val watch_bounded : t -> track:string -> 'a Sim.Bounded.bounded -> unit
+(** Install a {!Sim.Bounded.set_probe} hook that records the queue depth
+    as a trace counter on [track] and counts drops/rejects as metrics
+    ["<track>.dropped"] / ["<track>.rejected"]. A no-op when no sink is
+    installed, so the queue stays probe-free on unobserved runs. *)

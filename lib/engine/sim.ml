@@ -142,6 +142,126 @@ module Channel = struct
   let length ch = Queue.length ch.items
 end
 
+module Bounded = struct
+  type policy = Block | Drop_tail | Drop_head | Reject
+
+  type probe_event = [ `Enqueue | `Deliver | `Drop | `Reject ]
+
+  type 'a bounded = {
+    capacity : int;
+    policy : policy;
+    items : 'a Queue.t;
+    receivers : ('a -> unit) Queue.t;
+    (* Senders parked under [Block]; their value is not yet in [items]. *)
+    parked : ('a * (unit -> unit)) Queue.t;
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;
+    mutable rejected : int;
+    mutable probe : (probe_event -> depth:int -> unit) option;
+  }
+
+  let create ~capacity ~policy () =
+    if capacity <= 0 then invalid_arg "Sim.Bounded.create: capacity must be positive";
+    {
+      capacity;
+      policy;
+      items = Queue.create ();
+      receivers = Queue.create ();
+      parked = Queue.create ();
+      sent = 0;
+      delivered = 0;
+      rejected = 0;
+      dropped = 0;
+      probe = None;
+    }
+
+  let capacity q = q.capacity
+  let policy q = q.policy
+  let length q = Queue.length q.items
+  let sent q = q.sent
+  let delivered q = q.delivered
+  let dropped q = q.dropped
+  let rejected q = q.rejected
+  let waiting_senders q = Queue.length q.parked
+  let set_probe q f = q.probe <- Some f
+
+  let note q ev =
+    match q.probe with None -> () | Some f -> f ev ~depth:(Queue.length q.items)
+
+  let enqueue q v =
+    Queue.add v q.items;
+    note q `Enqueue
+
+  let note_delivered q =
+    q.delivered <- q.delivered + 1;
+    note q `Deliver
+
+  let send q v =
+    q.sent <- q.sent + 1;
+    match Queue.take_opt q.receivers with
+    | Some resume ->
+      (* Direct handoff: a receiver is parked, so the queue is empty. *)
+      note_delivered q;
+      resume v;
+      `Sent
+    | None ->
+      if Queue.length q.items < q.capacity then begin
+        enqueue q v;
+        `Sent
+      end
+      else begin
+        match q.policy with
+        | Block ->
+          (* Backpressure: park until a receiver frees a slot. The slot
+             transfer (enqueue) happens on the receiver side so FIFO
+             order is preserved. *)
+          suspend (fun resume -> Queue.add (v, fun () -> resume ()) q.parked);
+          `Sent
+        | Drop_tail ->
+          q.dropped <- q.dropped + 1;
+          note q `Drop;
+          `Dropped
+        | Drop_head ->
+          (* Evict the oldest queued item to make room for the newest. *)
+          ignore (Queue.take_opt q.items);
+          q.dropped <- q.dropped + 1;
+          note q `Drop;
+          enqueue q v;
+          `Sent
+        | Reject ->
+          q.rejected <- q.rejected + 1;
+          note q `Reject;
+          `Rejected
+      end
+
+  (* After a slot frees, move the oldest parked sender's item in and wake it. *)
+  let unpark q =
+    match Queue.take_opt q.parked with
+    | Some (v, wake) ->
+      enqueue q v;
+      wake ()
+    | None -> ()
+
+  let recv q =
+    match Queue.take_opt q.items with
+    | Some v ->
+      note_delivered q;
+      unpark q;
+      v
+    | None ->
+      (* items empty implies no parked senders (capacity > 0). *)
+      suspend (fun resume -> Queue.add resume q.receivers)
+
+  let try_recv q =
+    match Queue.take_opt q.items with
+    | Some v ->
+      note_delivered q;
+      unpark q;
+      Some v
+    | None -> None
+end
+
 module Resource = struct
   type waiter = { amount : int; resume : unit -> unit }
 

@@ -91,6 +91,61 @@ module Channel : sig
   val length : 'a channel -> int
 end
 
+(** {2 Bounded FIFO queues with a pluggable full-queue policy}
+
+    The overload-control primitive: unlike {!Channel}, a [Bounded.bounded]
+    has a fixed capacity and an explicit policy for what happens to a send
+    that finds the queue full. Every queue keeps conservation counters —
+    at any instant,
+
+    {[ sent = delivered + dropped + rejected + length + waiting_senders ]}
+
+    so lost work is always visible. *)
+
+module Bounded : sig
+  type policy =
+    | Block  (** Backpressure: the sender parks until a slot frees. *)
+    | Drop_tail  (** The new item is dropped; [send] returns [`Dropped]. *)
+    | Drop_head  (** The oldest queued item is evicted; the new one enters. *)
+    | Reject  (** Nothing changes; [send] returns [`Rejected]. *)
+
+  type probe_event = [ `Enqueue | `Deliver | `Drop | `Reject ]
+
+  type 'a bounded
+
+  val create : capacity:int -> policy:policy -> unit -> 'a bounded
+  (** Raises [Invalid_argument] unless [capacity > 0]. *)
+
+  val send : 'a bounded -> 'a -> [ `Sent | `Dropped | `Rejected ]
+  (** Under [Block] this may suspend the calling process (and therefore
+      must run inside one when the queue is full); under the other three
+      policies it never blocks and is safe from scheduler callbacks.
+      [`Sent] under [Drop_head] means the new item entered even though an
+      older one was evicted (the victim is counted in {!dropped}). *)
+
+  val recv : 'a bounded -> 'a
+  (** Blocks until an item is available; FIFO among waiting receivers.
+      Taking an item wakes the oldest parked [Block]-policy sender. *)
+
+  val try_recv : 'a bounded -> 'a option
+
+  val capacity : 'a bounded -> int
+  val policy : 'a bounded -> policy
+  val length : 'a bounded -> int
+
+  val sent : 'a bounded -> int
+  val delivered : 'a bounded -> int
+  val dropped : 'a bounded -> int
+  val rejected : 'a bounded -> int
+  val waiting_senders : 'a bounded -> int
+
+  val set_probe : 'a bounded -> (probe_event -> depth:int -> unit) -> unit
+  (** Install an instrumentation hook, called after every queue transition
+      with the post-transition depth. The hook must not delay, spawn or
+      draw randomness (see {!Obs.watch_bounded}, which wires it to the
+      metrics/trace sinks). *)
+end
+
 (** {2 Counting semaphores with FIFO admission} *)
 
 module Resource : sig

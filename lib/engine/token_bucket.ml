@@ -32,6 +32,24 @@ let reserve t ~now n =
       now +. (-.t.tokens /. t.rate *. 1e9)
   end
 
+let available t ~now =
+  if is_unlimited t then infinity
+  else begin
+    refill t ~now;
+    Float.max 0.0 t.tokens
+  end
+
+let try_take_n t ~now n =
+  if is_unlimited t then true
+  else begin
+    refill t ~now;
+    if t.tokens >= n then begin
+      t.tokens <- t.tokens -. n;
+      true
+    end
+    else false
+  end
+
 let take_n t n =
   let now = Sim.clock () in
   let ready = reserve t ~now n in

@@ -24,6 +24,17 @@ val reserve : t -> now:float -> float -> float
     [Sim.delay] until that time; ordering fairness comes from the caller
     issuing reservations in order. *)
 
+val available : t -> now:float -> float
+(** [available t ~now] refills lazily and returns the number of tokens
+    spendable right now (never negative; [infinity] when unlimited). Use
+    it to probe several buckets atomically before consuming from any. *)
+
+val try_take_n : t -> now:float -> float -> bool
+(** [try_take_n t ~now n] consumes [n] tokens iff at least [n] are
+    available after a lazy refill, else leaves the bucket untouched and
+    returns [false]. Never blocks and never takes the balance negative —
+    the shedding counterpart of {!reserve}'s unbounded debt. *)
+
 val take : t -> float
 (** [take t] = [reserve] for one token from inside a simulation process,
     followed by the corresponding delay; returns the wait imposed. *)

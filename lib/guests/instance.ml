@@ -2,6 +2,8 @@ type kind = Bare_metal of Bm_iobond.Profile.t | Virtual | Physical
 
 type blk_op = [ `Read | `Write | `Flush ]
 
+type blk_error = [ `Limited | `Busy | `Rejected ]
+
 type t = {
   name : string;
   kind : kind;
@@ -17,6 +19,7 @@ type t = {
   send_dpdk : Bm_virtio.Packet.t -> bool;
   set_rx_handler : (Bm_virtio.Packet.t -> unit) -> unit;
   blk : op:blk_op -> bytes_:int -> float;
+  blk_try : op:blk_op -> bytes_:int -> (float, blk_error) result;
   probe : unit -> (int, string) result;
   pause : unit -> unit;
   ipi : unit -> unit;

@@ -12,6 +12,11 @@ type kind = Bare_metal of Bm_iobond.Profile.t | Virtual | Physical
 
 type blk_op = [ `Read | `Write | `Flush ]
 
+type blk_error =
+  [ `Limited  (** shed by the instance's IOPS/bandwidth rate limiter *)
+  | `Busy  (** the guest's own virtio ring was full *)
+  | `Rejected  (** the storage backend's admission queue was full *) ]
+
 type t = {
   name : string;
   kind : kind;
@@ -33,6 +38,11 @@ type t = {
       (** [handler] runs in a guest process after all receive-side costs *)
   blk : op:blk_op -> bytes_:int -> float;
       (** blocking block I/O; returns the request latency in ns *)
+  blk_try : op:blk_op -> bytes_:int -> (float, blk_error) result;
+      (** as {!blk} but surfaces overload: time still advances by the
+          costs actually paid before the failure, so callers can retry
+          with their own backoff (the TCP-retransmission analogue on the
+          storage path) *)
   probe : unit -> (int, string) result;
       (** virtio device discovery; returns the register-access count *)
   pause : unit -> unit;

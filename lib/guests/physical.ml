@@ -48,15 +48,23 @@ let create sim ~name ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(sockets = 2) ?vswitch 
       Vswitch.send vs pkt;
       true
   in
-  let blk ~op ~bytes_ =
+  let blk_try ~op ~bytes_ =
     match storage with
     | None -> invalid_arg "Physical.blk: no storage attached"
     | Some store ->
       let t0 = Sim.clock () in
       Cores.execute_ns cores os.Guest_os.blk_submit_ns;
-      Blockstore.serve store ~op ~bytes_;
+      let status = Blockstore.serve store ~op ~bytes_ in
       Cores.execute_ns cores os.Guest_os.blk_complete_ns;
-      Sim.clock () -. t0
+      (match status with `Served -> Ok (Sim.clock () -. t0) | `Rejected -> Error `Rejected)
+  in
+  let blk ~op ~bytes_ =
+    match blk_try ~op ~bytes_ with
+    | Ok lat -> lat
+    | Error _ ->
+      (* No ring and no limiter on the physical path: the only failure is
+         storage rejection, and the time it cost has already elapsed. *)
+      0.0
   in
   {
     Instance.name;
@@ -73,6 +81,7 @@ let create sim ~name ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(sockets = 2) ?vswitch 
     send_dpdk;
     set_rx_handler = (fun h -> rx_handler := h);
     blk;
+    blk_try;
     probe = (fun () -> Ok 0);
     pause = (fun () -> ());
     ipi = (fun () -> Cores.execute_ns cores 1_000.0);

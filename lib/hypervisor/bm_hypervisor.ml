@@ -93,6 +93,12 @@ let free_boards t =
 let net_queue_size = 2048
 let rx_buffer_target = 1536
 
+(* Per-guest backend queues are bounded: the rx backlog holds bursts
+   delivered by the vswitch that the PMD has not yet pumped into guest
+   buffers (drop-tail, like a real NIC queue), and work hints coalesce
+   into a single pending doorbell. *)
+let rx_backlog_capacity = 512
+
 (* Backend fibers park here while their process is dead; the poll
    period only costs anything during a crash window. *)
 let wait_pmd_alive t =
@@ -161,12 +167,15 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
       in
       let _vhost_net = bring_up Feature.default_net in
       let _vhost_blk = bring_up Feature.default_blk in
-      (* Per-guest bm-hypervisor backend process: net tx. *)
-      let tx_hint = Sim.Channel.create () in
-      Queue_bridge.set_work_hint net_port.Iobond.net_tx (fun () -> Sim.Channel.send tx_hint ());
+      (* Per-guest bm-hypervisor backend process: net tx. The hint queue
+         has capacity 1: a doorbell rung while one is already pending
+         coalesces into it (the drain loop will see the new work). *)
+      let tx_hint = Sim.Bounded.create ~capacity:1 ~policy:Sim.Bounded.Drop_tail () in
+      Queue_bridge.set_work_hint net_port.Iobond.net_tx (fun () ->
+          ignore (Sim.Bounded.send tx_hint ()));
       Sim.spawn sim (fun () ->
           let rec loop () =
-            Sim.Channel.recv tx_hint;
+            Sim.Bounded.recv tx_hint;
             wait_pmd_alive t;
             let rec drain any =
               match Queue_bridge.pop net_port.Iobond.net_tx with
@@ -211,14 +220,18 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
           in
           loop ());
 
-      (* Net rx: vswitch delivery into posted guest buffers. *)
-      let rx_chan = Sim.Channel.create () in
+      (* Net rx: vswitch delivery into a bounded backlog, then into posted
+         guest buffers. A backlog overflow is a NIC-queue drop. *)
+      let rx_chan =
+        Sim.Bounded.create ~capacity:rx_backlog_capacity ~policy:Sim.Bounded.Drop_tail ()
+      in
+      Obs.watch_bounded t.obs ~track:"hyp.bm.rx_backlog" rx_chan;
       let endpoint =
-        Vswitch.register t.vswitch ~deliver:(fun pkt -> Sim.Channel.send rx_chan pkt)
+        Vswitch.register t.vswitch ~deliver:(fun pkt -> ignore (Sim.Bounded.send rx_chan pkt))
       in
       Sim.spawn sim (fun () ->
           let rec loop () =
-            let pkt = Sim.Channel.recv rx_chan in
+            let pkt = Sim.Bounded.recv rx_chan in
             wait_pmd_alive t;
             Sim.fork (fun () ->
                 Cores.execute_ns t.base_cores (p.pmd_pkt_ns *. float_of_int pkt.Packet.count);
@@ -236,12 +249,12 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
           loop ());
 
       (* Blk backend: SPDK-style, one in-flight task per request. *)
-      let blk_hint = Sim.Channel.create () in
+      let blk_hint = Sim.Bounded.create ~capacity:1 ~policy:Sim.Bounded.Drop_tail () in
       Queue_bridge.set_work_hint blk_port.Iobond.blk_queue (fun () ->
-          Sim.Channel.send blk_hint ());
+          ignore (Sim.Bounded.send blk_hint ()));
       Sim.spawn sim (fun () ->
           let rec loop () =
-            Sim.Channel.recv blk_hint;
+            Sim.Bounded.recv blk_hint;
             wait_pmd_alive t;
             let rec drain () =
               match Queue_bridge.pop blk_port.Iobond.blk_queue with
@@ -257,7 +270,13 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
                       | Virtio_blk.Write -> `Write
                       | Virtio_blk.Flush -> `Flush
                     in
-                    Blockstore.serve t.storage ~op ~bytes_:vreq.Virtio_blk.bytes;
+                    (match Blockstore.serve t.storage ~op ~bytes_:vreq.Virtio_blk.bytes with
+                    | `Served -> ()
+                    | `Rejected ->
+                      (* Storage admission queue full: complete the request
+                         with an error status so the guest can retry. *)
+                      vreq.Virtio_blk.failed <- true;
+                      Metrics.incr_opt (Obs.metrics t.obs) "hyp.bm.blk_rejected");
                     Trace.end_span_opt (Obs.trace t.obs) ~track:"hyp.bm" "blk_request"
                       ~now:(Sim.now sim);
                     let written =
@@ -287,35 +306,67 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
          ~300 ns of CPU stall per kick (a vm kick is a plain store into
          shared memory). *)
       let doorbell_cpu_ns = 300.0 in
+      let net_shed pkt =
+        Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count)
+          "hyp.bm.net_shed";
+        false
+      in
       let send pkt =
         Cores.execute_ns cores
           (Guest_os.net_tx_ns os ~kind:pkt.Packet.protocol ~count:pkt.Packet.count
           +. doorbell_cpu_ns);
-        Limits.net_admit net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size;
-        Virtio_net.xmit net pkt
+        if Limits.net_admit net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size then
+          Virtio_net.xmit net pkt
+        else net_shed pkt
       in
       let send_dpdk pkt =
         Cores.execute_ns cores
           (Guest_os.dpdk_tx_ns_of os ~count:pkt.Packet.count +. doorbell_cpu_ns);
-        Limits.net_admit net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size;
-        Virtio_net.xmit net pkt
+        if Limits.net_admit net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size then
+          Virtio_net.xmit net pkt
+        else net_shed pkt
+      in
+      let blk_attempt ~op ~bytes_ =
+        Cores.execute_ns cores os.Guest_os.blk_submit_ns;
+        if not (Limits.blk_admit blk_limits ~bytes_) then begin
+          Metrics.incr_opt (Obs.metrics t.obs) "hyp.bm.blk_shed";
+          Cores.execute_ns cores os.Guest_os.blk_complete_ns;
+          Error `Limited
+        end
+        else begin
+          (* Completion latency (fio's clat): measured after admission. *)
+          let t0 = Sim.clock () in
+          let vop =
+            match op with
+            | `Read -> Virtio_blk.Read
+            | `Write -> Virtio_blk.Write
+            | `Flush -> Virtio_blk.Flush
+          in
+          let req = Virtio_blk.make_req ~op:vop ~sector:0 ~bytes:bytes_ ~now:(Sim.clock ()) in
+          if not (Virtio_blk.submit blkdev req) then begin
+            Sim.delay 1_000.0;
+            Cores.execute_ns cores os.Guest_os.blk_complete_ns;
+            Error (`Busy (Sim.clock () -. t0))
+          end
+          else begin
+            ignore (Sim.Ivar.read req.Virtio_blk.done_);
+            Cores.execute_ns cores os.Guest_os.blk_complete_ns;
+            let lat = Sim.clock () -. t0 in
+            if req.Virtio_blk.failed then Error (`Rejected lat) else Ok lat
+          end
+        end
       in
       let blk ~op ~bytes_ =
-        Cores.execute_ns cores os.Guest_os.blk_submit_ns;
-        Limits.blk_admit blk_limits ~bytes_;
-        (* Completion latency (fio's clat): measured after admission. *)
-        let t0 = Sim.clock () in
-        let vop =
-          match op with
-          | `Read -> Virtio_blk.Read
-          | `Write -> Virtio_blk.Write
-          | `Flush -> Virtio_blk.Flush
-        in
-        let req = Virtio_blk.make_req ~op:vop ~sector:0 ~bytes:bytes_ ~now:(Sim.clock ()) in
-        if not (Virtio_blk.submit blkdev req) then Sim.delay 1_000.0
-        else ignore (Sim.Ivar.read req.Virtio_blk.done_);
-        Cores.execute_ns cores os.Guest_os.blk_complete_ns;
-        Sim.clock () -. t0
+        match blk_attempt ~op ~bytes_ with
+        | Ok lat | Error (`Busy lat) | Error (`Rejected lat) -> lat
+        | Error `Limited -> 0.0
+      in
+      let blk_try ~op ~bytes_ =
+        match blk_attempt ~op ~bytes_ with
+        | Ok lat -> Ok lat
+        | Error `Limited -> Error `Limited
+        | Error (`Busy _) -> Error `Busy
+        | Error (`Rejected _) -> Error `Rejected
       in
       let probe () =
         match Virtio_net.probe net with
@@ -344,6 +395,7 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
           send_dpdk;
           set_rx_handler = (fun h -> rx_handler := h);
           blk;
+          blk_try;
           probe;
           pause = (fun () -> ());
           ipi = (fun () -> Cores.execute_ns cores 1_000.0);
@@ -366,8 +418,10 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
         ]
       in
       let rekick () =
-        if Queue_bridge.pending net_port.Iobond.net_tx > 0 then Sim.Channel.send tx_hint ();
-        if Queue_bridge.pending blk_port.Iobond.blk_queue > 0 then Sim.Channel.send blk_hint ()
+        if Queue_bridge.pending net_port.Iobond.net_tx > 0 then
+          ignore (Sim.Bounded.send tx_hint ());
+        if Queue_bridge.pending blk_port.Iobond.blk_queue > 0 then
+          ignore (Sim.Bounded.send blk_hint ())
       in
       t.guests <-
         ( name,

@@ -68,6 +68,10 @@ type host = {
 
 let reserved_threads = 8
 
+(* Bounded per-VM rx backlog between vswitch delivery and the vhost
+   pump, mirroring the bm path's NIC-queue bound. *)
+let rx_backlog_capacity = 512
+
 let create_host ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~storage
     ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(sockets = 2) ?(params = default_params) () =
   let total = sockets * spec.Cpu_spec.threads in
@@ -176,13 +180,15 @@ let create_vm host config =
   in
   let _vhost_net = bring_up Feature.default_net in
   let _vhost_blk = bring_up Feature.default_blk in
-  let tx_hint = Sim.Channel.create () in
-  let blk_hint = Sim.Channel.create () in
+  (* Work hints coalesce: capacity 1, a kick rung while one is pending
+     folds into it (the drain loop will see the new work anyway). *)
+  let tx_hint = Sim.Bounded.create ~capacity:1 ~policy:Sim.Bounded.Drop_tail () in
+  let blk_hint = Sim.Bounded.create ~capacity:1 ~policy:Sim.Bounded.Drop_tail () in
   (* vhost-user PMD: kicks are doorbells into shared memory, no exit. *)
   Virtio_net.set_notify net
-    ~tx:(fun () -> Sim.Channel.send tx_hint ())
+    ~tx:(fun () -> ignore (Sim.Bounded.send tx_hint ()))
     ~rx:(fun () -> ());
-  Virtio_blk.set_notify blkdev (fun () -> Sim.Channel.send blk_hint ());
+  Virtio_blk.set_notify blkdev (fun () -> ignore (Sim.Bounded.send blk_hint ()));
   let io_factor = if config.nested then 1.0 /. Nested.io_efficiency else 1.0 in
   let cpu_factor =
     (1.0 +. p.cpu_overhead) *. if config.nested then 1.0 /. Nested.cpu_efficiency else 1.0
@@ -235,7 +241,7 @@ let create_vm host config =
   (* vhost-net backend thread on the host service cores. *)
   Sim.spawn sim (fun () ->
       let rec loop () =
-        Sim.Channel.recv tx_hint;
+        Sim.Bounded.recv tx_hint;
         wait_vhost_alive host;
         let rec drain () =
           match Vring.pop_avail (Virtio_net.tx_ring net) with
@@ -256,12 +262,18 @@ let create_vm host config =
       in
       loop ());
 
-  (* Receive path: vswitch delivery -> rx ring -> injected interrupt. *)
-  let rx_chan = Sim.Channel.create () in
-  let endpoint = Vswitch.register host.vswitch ~deliver:(fun pkt -> Sim.Channel.send rx_chan pkt) in
+  (* Receive path: vswitch delivery -> bounded backlog -> rx ring ->
+     injected interrupt. A backlog overflow is a NIC-queue drop. *)
+  let rx_chan =
+    Sim.Bounded.create ~capacity:rx_backlog_capacity ~policy:Sim.Bounded.Drop_tail ()
+  in
+  Obs.watch_bounded host.obs ~track:"hyp.vm.rx_backlog" rx_chan;
+  let endpoint =
+    Vswitch.register host.vswitch ~deliver:(fun pkt -> ignore (Sim.Bounded.send rx_chan pkt))
+  in
   Sim.spawn sim (fun () ->
       let rec loop () =
-        let pkt = Sim.Channel.recv rx_chan in
+        let pkt = Sim.Bounded.recv rx_chan in
         wait_vhost_alive host;
         Sim.fork (fun () ->
             Cores.execute_ns host.service_cores (p.vhost_pkt_ns *. float_of_int pkt.Packet.count);
@@ -283,7 +295,7 @@ let create_vm host config =
   let vblk_iothread = Sim.Resource.create ~capacity:1 in
   Sim.spawn sim (fun () ->
       let rec loop () =
-        Sim.Channel.recv blk_hint;
+        Sim.Bounded.recv blk_hint;
         wait_vhost_alive host;
         let rec drain () =
           match Vring.pop_avail (Virtio_blk.ring blkdev) with
@@ -310,7 +322,11 @@ let create_vm host config =
                   | Virtio_blk.Write -> `Write
                   | Virtio_blk.Flush -> `Flush
                 in
-                Blockstore.serve host.storage ~op ~bytes_:req.Virtio_blk.bytes;
+                (match Blockstore.serve host.storage ~op ~bytes_:req.Virtio_blk.bytes with
+                | `Served -> ()
+                | `Rejected ->
+                  req.Virtio_blk.failed <- true;
+                  Metrics.incr_opt (Obs.metrics host.obs) "hyp.vm.blk_rejected");
                 Sim.delay (p.vblk_sched_ns /. 2.0);
                 (* Rare host block-layer hiccup: the source of the vm's
                    heavy p99.9 storage tail (Fig. 11). *)
@@ -345,31 +361,64 @@ let create_vm host config =
     let factor = Ept.dilation_factor ~obs:host.obs tlb ~virtualized:true ~working_set ~locality in
     Cores.execute_ns guest_cores (natural *. cpu_factor *. factor *. cache_noise ())
   in
+  let net_shed pkt =
+    Metrics.incr_opt (Obs.metrics host.obs)
+      ~by:(float_of_int pkt.Packet.count)
+      "hyp.vm.net_shed";
+    false
+  in
   let send pkt =
     Cores.execute_ns guest_cores
       (Guest_os.net_tx_ns os ~kind:pkt.Packet.protocol ~count:pkt.Packet.count *. io_factor);
-    Limits.net_admit config.net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size;
-    Virtio_net.xmit net pkt
+    if Limits.net_admit config.net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size
+    then Virtio_net.xmit net pkt
+    else net_shed pkt
   in
   let send_dpdk pkt =
     Cores.execute_ns guest_cores (Guest_os.dpdk_tx_ns_of os ~count:pkt.Packet.count *. io_factor);
-    Limits.net_admit config.net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size;
-    Virtio_net.xmit net pkt
+    if Limits.net_admit config.net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size
+    then Virtio_net.xmit net pkt
+    else net_shed pkt
+  in
+  let blk_attempt ~op ~bytes_ =
+    Cores.execute_ns guest_cores (os.Guest_os.blk_submit_ns *. io_factor);
+    if not (Limits.blk_admit config.blk_limits ~bytes_) then begin
+      Metrics.incr_opt (Obs.metrics host.obs) "hyp.vm.blk_shed";
+      Cores.execute_ns guest_cores (os.Guest_os.blk_complete_ns *. io_factor);
+      Error `Limited
+    end
+    else begin
+      (* Completion latency (fio's clat): measured once the request is
+         admitted past the instance rate limiter. *)
+      let t0 = Sim.clock () in
+      let vop =
+        match op with `Read -> Virtio_blk.Read | `Write -> Virtio_blk.Write | `Flush -> Virtio_blk.Flush
+      in
+      let req = Virtio_blk.make_req ~op:vop ~sector:0 ~bytes:bytes_ ~now:(Sim.clock ()) in
+      if not (Virtio_blk.submit blkdev req) then begin
+        Sim.delay 1_000.0;
+        Cores.execute_ns guest_cores (os.Guest_os.blk_complete_ns *. io_factor);
+        Error (`Busy (Sim.clock () -. t0))
+      end
+      else begin
+        ignore (Sim.Ivar.read req.Virtio_blk.done_);
+        Cores.execute_ns guest_cores (os.Guest_os.blk_complete_ns *. io_factor);
+        let lat = Sim.clock () -. t0 in
+        if req.Virtio_blk.failed then Error (`Rejected lat) else Ok lat
+      end
+    end
   in
   let blk ~op ~bytes_ =
-    Cores.execute_ns guest_cores (os.Guest_os.blk_submit_ns *. io_factor);
-    Limits.blk_admit config.blk_limits ~bytes_;
-    (* Completion latency (fio's clat): measured once the request is
-       admitted past the instance rate limiter. *)
-    let t0 = Sim.clock () in
-    let vop =
-      match op with `Read -> Virtio_blk.Read | `Write -> Virtio_blk.Write | `Flush -> Virtio_blk.Flush
-    in
-    let req = Virtio_blk.make_req ~op:vop ~sector:0 ~bytes:bytes_ ~now:(Sim.clock ()) in
-    if not (Virtio_blk.submit blkdev req) then Sim.delay 1_000.0
-    else ignore (Sim.Ivar.read req.Virtio_blk.done_);
-    Cores.execute_ns guest_cores (os.Guest_os.blk_complete_ns *. io_factor);
-    Sim.clock () -. t0
+    match blk_attempt ~op ~bytes_ with
+    | Ok lat | Error (`Busy lat) | Error (`Rejected lat) -> lat
+    | Error `Limited -> 0.0
+  in
+  let blk_try ~op ~bytes_ =
+    match blk_attempt ~op ~bytes_ with
+    | Ok lat -> Ok lat
+    | Error `Limited -> Error `Limited
+    | Error (`Busy _) -> Error `Busy
+    | Error (`Rejected _) -> Error `Rejected
   in
   let probe () =
     match Virtio_net.probe net with
@@ -398,6 +447,7 @@ let create_vm host config =
       send_dpdk;
       set_rx_handler = (fun h -> rx_handler := h);
       blk;
+      blk_try;
       probe;
       pause = (fun () -> Preempt.maybe_steal preempt);
       ipi =
@@ -414,8 +464,10 @@ let create_vm host config =
     }
   in
   let rekick () =
-    if Vring.avail_pending (Virtio_net.tx_ring net) > 0 then Sim.Channel.send tx_hint ();
-    if Vring.avail_pending (Virtio_blk.ring blkdev) > 0 then Sim.Channel.send blk_hint ()
+    if Vring.avail_pending (Virtio_net.tx_ring net) > 0 then
+      ignore (Sim.Bounded.send tx_hint ());
+    if Vring.avail_pending (Virtio_blk.ring blkdev) > 0 then
+      ignore (Sim.Bounded.send blk_hint ())
   in
   host.vms <- (config.name, { instance; exits; preempt; rekick }) :: host.vms;
   instance

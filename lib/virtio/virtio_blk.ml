@@ -7,6 +7,7 @@ type req = {
   sector : int;
   bytes : int;
   submitted_at : float;
+  mutable failed : bool;
   done_ : float Sim.Ivar.ivar;
 }
 
@@ -50,7 +51,7 @@ let probe t =
 
 let make_req ~op ~sector ~bytes ~now =
   assert (bytes >= 0);
-  { op; sector; bytes; submitted_at = now; done_ = Sim.Ivar.create () }
+  { op; sector; bytes; submitted_at = now; failed = false; done_ = Sim.Ivar.create () }
 
 let submit t ?(indirect = false) req =
   let out, in_ =

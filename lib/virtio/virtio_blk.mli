@@ -12,6 +12,10 @@ type req = {
   sector : int;
   bytes : int;
   submitted_at : float;
+  mutable failed : bool;
+      (** set by the backend before completion when the request was
+          refused downstream (storage admission queue full); the guest
+          sees a completed-with-error request it may retry *)
   done_ : float Bm_engine.Sim.Ivar.ivar;
       (** filled with the completion timestamp when the request is reaped *)
 }

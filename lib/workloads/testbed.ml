@@ -12,12 +12,16 @@ type t = {
   fault : Fault.t;
 }
 
-let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) ?trace ?metrics ?faults () =
+let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) ?storage_queue ?trace ?metrics
+    ?faults () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed in
   let obs = Obs.of_sim ?trace ?metrics sim in
   let fabric = Vswitch.create_fabric sim () in
-  let storage = Blockstore.create ~obs sim (Rng.split rng) ~kind:storage_kind () in
+  let storage =
+    Blockstore.create ~obs sim (Rng.split rng) ~kind:storage_kind
+      ?queue_capacity:storage_queue ()
+  in
   let fault =
     match faults with
     | None -> Fault.none

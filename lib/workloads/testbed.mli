@@ -18,6 +18,7 @@ type t = {
 val make :
   ?seed:int ->
   ?storage_kind:Bm_cloud.Blockstore.kind ->
+  ?storage_queue:int ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
   ?faults:Bm_engine.Fault.plan ->
@@ -28,7 +29,8 @@ val make :
     both keeps the datapath sink-free (zero recording cost). [faults]
     builds and arms a fault injector from the plan, threaded the same
     way; omitting it leaves the null injector, whose runs are
-    bit-identical to a fault-free build. *)
+    bit-identical to a fault-free build. [storage_queue] overrides the
+    blockstore's admission-queue capacity (for overload experiments). *)
 
 val bm_server :
   ?profile:Bm_iobond.Profile.t -> ?boards:int -> t -> Bm_hyp.Bm_hypervisor.server

@@ -24,7 +24,7 @@ let test_limits_pps_cap () =
   Sim.spawn sim (fun () ->
       (* Offer 8M pps in bursts of 32: should pass at 4M. *)
       for _ = 1 to 50_000 do
-        Limits.net_admit limits ~packets:32 ~bytes_:(32 * 64);
+        ignore (Limits.net_admit limits ~packets:32 ~bytes_:(32 * 64));
         Stats.Meter.mark_n meter ~now:(Sim.clock ()) 32
       done);
   Sim.run sim;
@@ -38,7 +38,7 @@ let test_limits_bandwidth_cap () =
   Sim.spawn sim (fun () ->
       (* 1500B packets: the 10 Gbit/s bucket binds before the PPS one. *)
       for _ = 1 to 30_000 do
-        Limits.net_admit limits ~packets:8 ~bytes_:(8 * 1500);
+        ignore (Limits.net_admit limits ~packets:8 ~bytes_:(8 * 1500));
         Stats.Meter.mark_n meter ~now:(Sim.clock ()) (8 * 1500)
       done);
   Sim.run sim;
@@ -51,7 +51,7 @@ let test_limits_iops_cap () =
   let meter = Stats.Meter.create () in
   Sim.spawn sim (fun () ->
       for _ = 1 to 50_000 do
-        Limits.blk_admit limits ~bytes_:4096;
+        ignore (Limits.blk_admit limits ~bytes_:4096);
         Stats.Meter.mark meter ~now:(Sim.clock ())
       done);
   Sim.run sim;
@@ -63,7 +63,7 @@ let test_limits_unlimited () =
   let limits = Limits.unlimited_net () in
   Sim.spawn sim (fun () ->
       for _ = 1 to 1000 do
-        Limits.net_admit limits ~packets:1000 ~bytes_:1_000_000
+        ignore (Limits.net_admit limits ~packets:1000 ~bytes_:1_000_000)
       done;
       check_float "no time passed" 0.0 (Sim.clock ()));
   Sim.run sim
@@ -140,7 +140,7 @@ let run_store_latencies ~kind ~op ~n =
   Sim.spawn sim (fun () ->
       for _ = 1 to n do
         let t0 = Sim.clock () in
-        Blockstore.serve store ~op ~bytes_:4096;
+        ignore (Blockstore.serve store ~op ~bytes_:4096);
         Stats.Histogram.add hist (Sim.clock () -. t0)
       done);
   Sim.run sim;
@@ -168,7 +168,7 @@ let test_store_parallelism_queues () =
   let done_at = ref [] in
   for _ = 1 to 3 do
     Sim.spawn sim (fun () ->
-        Blockstore.serve store ~op:`Read ~bytes_:4096;
+        ignore (Blockstore.serve store ~op:`Read ~bytes_:4096);
         done_at := Sim.now sim :: !done_at)
   done;
   Sim.run sim;
@@ -615,3 +615,176 @@ let failure_suites =
   ]
 
 let suites = suites @ failure_suites
+
+(* ------------------------------------------------------------------ *)
+(* Overload control: stale delivery, egress drops, storage admission,
+   placement ceiling, shedding limiters *)
+
+(* Regression: a packet in flight when its destination unregisters must
+   be dropped at delivery time, not handed to the stale endpoint's
+   closure. The endpoint captured at send time is re-checked against the
+   registration table when the hop delay expires. *)
+let test_vswitch_stale_delivery_dropped () =
+  let sim = Sim.create () in
+  let fabric = Vswitch.create_fabric sim () in
+  let vs = Vswitch.create sim ~fabric ~cores:(cores_of sim) () in
+  let got = ref 0 in
+  let a = Vswitch.register vs ~deliver:(fun _ -> incr got) in
+  let b = Vswitch.register vs ~deliver:(fun _ -> ()) in
+  (* Send at t=0: the switch CPU cost (~300 ns) runs first, then the
+     burst sits in the egress queue for the 5 us hop. Unregistering at
+     t=2 us lands squarely inside that in-flight window. *)
+  Sim.spawn sim (fun () -> Vswitch.send vs (mk_pkt ~src:b ~dst:a 1));
+  Sim.schedule sim ~delay:2_000.0 (fun () -> Vswitch.unregister vs a);
+  Sim.run sim;
+  check_int "stale closure never ran" 0 !got;
+  check_int "counted as stale" 1 (Vswitch.stale_dropped vs);
+  check_int "included in total drops" 1 (Vswitch.dropped vs)
+
+(* A tenant that replaces the departed one must not receive the old
+   tenant's in-flight packet either. *)
+let test_vswitch_stale_not_delivered_to_successor () =
+  let sim = Sim.create () in
+  let fabric = Vswitch.create_fabric sim () in
+  let vs = Vswitch.create sim ~fabric ~cores:(cores_of sim) () in
+  let old_got = ref 0 and new_got = ref 0 in
+  let a = Vswitch.register vs ~deliver:(fun _ -> incr old_got) in
+  let b = Vswitch.register vs ~deliver:(fun _ -> ()) in
+  Sim.spawn sim (fun () -> Vswitch.send vs (mk_pkt ~src:b ~dst:a 1));
+  Sim.schedule sim ~delay:2_000.0 (fun () ->
+      Vswitch.unregister vs a;
+      ignore (Vswitch.register vs ~deliver:(fun _ -> incr new_got)));
+  Sim.run sim;
+  check_int "old closure never ran" 0 !old_got;
+  check_int "new tenant not handed old packet" 0 !new_got;
+  check_int "stale drop" 1 (Vswitch.stale_dropped vs)
+
+let test_vswitch_egress_overflow_drops () =
+  let sim = Sim.create () in
+  let fabric = Vswitch.create_fabric sim () in
+  let vs = Vswitch.create sim ~fabric ~cores:(cores_of sim) ~egress_capacity:4 () in
+  let got = ref 0 in
+  let a = Vswitch.register vs ~deliver:(fun _ -> incr got) in
+  let b = Vswitch.register vs ~deliver:(fun _ -> ()) in
+  Sim.spawn sim (fun () ->
+      (* 10 sends back-to-back at one instant: only 4 fit in flight. *)
+      for i = 1 to 10 do
+        Vswitch.send vs (mk_pkt ~src:b ~dst:a i)
+      done);
+  Sim.run sim;
+  check_int "capacity delivered" 4 !got;
+  check_int "overflow dropped" 6 (Vswitch.egress_dropped vs);
+  check_int "total drops" 6 (Vswitch.dropped vs)
+
+let test_blockstore_rejects_over_queue () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:11 in
+  (* One server slot, one queue slot: of three simultaneous requests,
+     one serves, one queues, one is refused at admission. *)
+  let store = Blockstore.create sim rng ~kind:Blockstore.Local_ssd ~parallelism:1 ~queue_capacity:1 () in
+  let served = ref 0 and rejected = ref 0 in
+  for _ = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        match Blockstore.serve store ~op:`Read ~bytes_:4096 with
+        | `Served -> incr served
+        | `Rejected -> incr rejected)
+  done;
+  Sim.run sim;
+  check_int "two eventually served" 2 !served;
+  check_int "one refused" 1 !rejected;
+  check_int "counter matches" 1 (Blockstore.rejected store)
+
+(* A rejected request still pays the network round trip to the storage
+   node — refusal is not free, but it is bounded (no service time). *)
+let test_blockstore_rejection_costs_rtt_only () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:11 in
+  let store = Blockstore.create sim rng ~kind:Blockstore.Cloud_ssd ~parallelism:1 ~queue_capacity:1 () in
+  let reject_latency = ref nan in
+  for _ = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        let t0 = Sim.clock () in
+        match Blockstore.serve store ~op:`Read ~bytes_:4096 with
+        | `Served -> ()
+        | `Rejected -> reject_latency := Sim.clock () -. t0)
+  done;
+  Sim.run sim;
+  let service = Blockstore.mean_service_ns store ~op:`Read in
+  check_bool "refusal latency is bounded" true
+    (Float.is_finite !reject_latency && !reject_latency < service)
+
+let test_control_plane_admission_ceiling () =
+  let cp = Control_plane.create ~admission_ceiling:0.5 () in
+  let _ = Control_plane.add_server cp (Control_plane.Vm_server { sellable_threads = 88 }) in
+  let place name vcpus =
+    Control_plane.place cp ~name ~vcpus ~prefer:Control_plane.Virtual ~image:Image.centos7 ()
+  in
+  (* 44 of 88 threads is exactly the ceiling; the next request tips over. *)
+  (match place "ok" 44 with Ok _ -> () | Error e -> Alcotest.fail e);
+  (match place "over" 8 with
+  | Ok _ -> Alcotest.fail "placed above the admission ceiling"
+  | Error e -> check_bool "names the ceiling" true (Astring.String.is_infix ~affix:"ceiling" e));
+  check_int "rejection counted" 1 (Control_plane.admission_rejections cp);
+  (* Raising the ceiling re-admits the same request. *)
+  Control_plane.set_admission_ceiling cp 1.0;
+  (match place "over" 8 with Ok _ -> () | Error e -> Alcotest.fail e);
+  check_int "no new rejection" 1 (Control_plane.admission_rejections cp)
+
+let test_limits_shed_never_blocks () =
+  let sim = Sim.create () in
+  let limits = Limits.cloud_net ~policy:Limits.Shed () in
+  let admitted = ref 0 and refused = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 1000 do
+        if Limits.net_admit limits ~packets:64 ~bytes_:(64 * 64) then incr admitted
+        else incr refused
+      done);
+  Sim.run sim;
+  (* Everything ran at t=0: the burst allowance admits, the rest shed,
+     and nobody waited. *)
+  check_float "no time passed" 0.0 (Sim.now sim);
+  check_bool "burst admitted" true (!admitted > 0);
+  check_bool "excess refused" true (!refused > 0);
+  check_int "shed counter" (64 * !refused) (Limits.net_shed limits)
+
+(* Shed admission is atomic across the PPS and bandwidth buckets: a
+   burst refused by one limit must not drain the other. *)
+let test_limits_shed_atomic_across_buckets () =
+  let sim = Sim.create () in
+  (* 1000 pps, effectively unlimited bandwidth. *)
+  let limits = Limits.custom_net ~policy:Limits.Shed ~pps:1000.0 ~gbit_s:1000.0 () in
+  Sim.spawn sim (fun () ->
+      (* The PPS burst is 2: a 64-packet burst always fails the PPS
+         bucket; repeating it must leave the bandwidth bucket full. *)
+      for _ = 1 to 100 do
+        ignore (Limits.net_admit limits ~packets:64 ~bytes_:1_000_000)
+      done;
+      (* A conforming single packet still gets through: the bandwidth
+         bucket was never charged by the refused bursts. *)
+      check_bool "small burst admitted" true (Limits.net_admit limits ~packets:1 ~bytes_:1_000_000));
+  Sim.run sim
+
+let overload_suites =
+  [
+    ( "cloud.vswitch.overload",
+      [
+        Alcotest.test_case "stale delivery dropped" `Quick test_vswitch_stale_delivery_dropped;
+        Alcotest.test_case "stale not given to successor" `Quick
+          test_vswitch_stale_not_delivered_to_successor;
+        Alcotest.test_case "egress overflow drops" `Quick test_vswitch_egress_overflow_drops;
+      ] );
+    ( "cloud.blockstore.admission",
+      [
+        Alcotest.test_case "rejects over queue" `Quick test_blockstore_rejects_over_queue;
+        Alcotest.test_case "rejection costs rtt only" `Quick test_blockstore_rejection_costs_rtt_only;
+      ] );
+    ( "cloud.control_plane.ceiling",
+      [ Alcotest.test_case "utilization ceiling" `Quick test_control_plane_admission_ceiling ] );
+    ( "cloud.limits.shed",
+      [
+        Alcotest.test_case "never blocks" `Quick test_limits_shed_never_blocks;
+        Alcotest.test_case "atomic across buckets" `Quick test_limits_shed_atomic_across_buckets;
+      ] );
+  ]
+
+let suites = suites @ overload_suites

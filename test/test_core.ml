@@ -32,10 +32,10 @@ let test_catalogue_limits_usable () =
   let sim = Bm_engine.Sim.create () in
   Bm_engine.Sim.spawn sim (fun () ->
       for _ = 1 to 100_000 do
-        Bm_cloud.Limits.net_admit net ~packets:64 ~bytes_:(64 * 64)
+        ignore (Bm_cloud.Limits.net_admit net ~packets:64 ~bytes_:(64 * 64))
       done;
       for _ = 1 to 1_000 do
-        Bm_cloud.Limits.blk_admit blk ~bytes_:4096
+        ignore (Bm_cloud.Limits.blk_admit blk ~bytes_:4096)
       done);
   Bm_engine.Sim.run sim;
   check_bool "time advanced under throttle" true (Bm_engine.Sim.now sim > 1e6)
@@ -122,7 +122,7 @@ let test_registry_complete () =
       "table1"; "table2"; "table3"; "fig1"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
       "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "sec2_3"; "sec3_5"; "sec4_3net";
       "sec4_3blk"; "sec6"; "ablation_reg"; "ablation_dma"; "ablation_batch";
-      "ablation_offload";
+      "ablation_offload"; "availability"; "evacuation"; "overload";
     ];
   check_bool "unknown id rejected" true (Result.is_error (Experiments.run_one "nonsense"))
 
@@ -202,3 +202,61 @@ let suites =
         Alcotest.test_case "determinism" `Quick test_determinism_of_experiments;
       ] );
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Overload acceptance: the hockey stick *)
+
+(* Bounded admission holds goodput at the ceiling with flat latency
+   under 4x offered load; blocking admission lets latency diverge. Run
+   the workload drivers directly so the assertion is numeric, not a
+   string comparison on the report. *)
+let overload_net ~policy =
+  let open Bm_cloud in
+  let tb = Bm_workload.Testbed.make ~seed:2020 () in
+  let limits = Limits.cloud_net ~policy () in
+  let _, src, dst = Bm_workload.Testbed.bm_pair ~net_limits:limits tb in
+  Bm_workload.Overload.udp_flood tb.Bm_workload.Testbed.sim ~src ~dst ~offered_pps:16e6
+    ~duration:(Bm_engine.Simtime.ms 10.0) ()
+
+let test_overload_net_hockey_stick () =
+  let bounded = overload_net ~policy:Bm_cloud.Limits.Shed in
+  let blocking = overload_net ~policy:Bm_cloud.Limits.Block in
+  let open Bm_workload in
+  (* Goodput at the ceiling: within the burst allowance of 4M PPS. *)
+  check_bool "bounded goodput near ceiling" true
+    (bounded.Overload.goodput_pps >= 4e6 *. 0.9 && bounded.Overload.goodput_pps <= 4e6 *. 1.35);
+  check_bool "bounded sheds the excess" true (bounded.Overload.shed > 0);
+  check_bool "bounded latency flat" true (bounded.Overload.p99_us < 2_000.0);
+  check_bool "blocking latency diverges" true
+    (blocking.Overload.p99_us > 4.0 *. bounded.Overload.p99_us);
+  check_bool "blocking falls behind schedule" true (blocking.Overload.max_lag_ms > 1.0)
+
+let overload_blk ~policy ~storage_queue =
+  let open Bm_cloud in
+  let tb = Bm_workload.Testbed.make ~seed:2020 ~storage_queue () in
+  let blk_limits = Limits.cloud_blk ~policy () in
+  let _, inst = Bm_workload.Testbed.bm_guest ~blk_limits tb in
+  Bm_workload.Overload.blk_flood tb.Bm_workload.Testbed.sim ~inst ~offered_iops:100e3
+    ~duration:(Bm_engine.Simtime.ms 40.0) ()
+
+let test_overload_blk_hockey_stick () =
+  let bounded = overload_blk ~policy:Bm_cloud.Limits.Shed ~storage_queue:64 in
+  let blocking = overload_blk ~policy:Bm_cloud.Limits.Block ~storage_queue:1_000_000 in
+  let open Bm_workload in
+  check_bool "bounded goodput near ceiling" true
+    (bounded.Overload.goodput_iops >= 25e3 *. 0.9 && bounded.Overload.goodput_iops <= 25e3 *. 1.35);
+  check_bool "bounded rejects the excess" true (bounded.Overload.rejected > 0);
+  check_bool "bounded latency flat" true (bounded.Overload.blk_p99_us < 2_000.0);
+  check_bool "blocking latency diverges" true
+    (blocking.Overload.blk_p99_us > 10.0 *. bounded.Overload.blk_p99_us)
+
+let overload_suites =
+  [
+    ( "core.overload",
+      [
+        Alcotest.test_case "net hockey stick" `Quick test_overload_net_hockey_stick;
+        Alcotest.test_case "blk hockey stick" `Quick test_overload_blk_hockey_stick;
+      ] );
+  ]
+
+let suites = suites @ overload_suites

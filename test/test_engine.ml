@@ -671,3 +671,243 @@ let edge_suites =
   ]
 
 let suites = suites @ edge_suites
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queues, resources and the non-blocking token-bucket path
+   (the overload-control primitives) *)
+
+let test_bounded_fifo_order () =
+  let sim = Sim.create () in
+  let q = Sim.Bounded.create ~capacity:2 ~policy:Sim.Bounded.Block () in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for i = 1 to 6 do
+        ignore (Sim.Bounded.send q i)
+      done);
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 6 do
+        Sim.delay 10.0;
+        got := Sim.Bounded.recv q :: !got
+      done);
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO across parks" [ 1; 2; 3; 4; 5; 6 ] (List.rev !got);
+  check_int "all delivered" 6 (Sim.Bounded.delivered q);
+  check_int "no senders left" 0 (Sim.Bounded.waiting_senders q)
+
+(* The capacity boundary is where wakeups get lost in buggy queues: a
+   sender parks the instant the queue fills, and every recv must unpark
+   exactly one. N senders through a capacity-1 queue all complete. *)
+let test_bounded_no_lost_wakeups () =
+  let sim = Sim.create () in
+  let q = Sim.Bounded.create ~capacity:1 ~policy:Sim.Bounded.Block () in
+  let n = 50 in
+  let sent_ok = ref 0 in
+  for i = 1 to n do
+    Sim.spawn sim (fun () ->
+        match Sim.Bounded.send q i with
+        | `Sent -> incr sent_ok
+        | `Dropped | `Rejected -> ())
+  done;
+  let got = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to n do
+        Sim.delay 5.0;
+        ignore (Sim.Bounded.recv q);
+        incr got
+      done);
+  Sim.run sim;
+  check_int "every send completed" n !sent_ok;
+  check_int "every item received" n !got;
+  check_int "no parked senders" 0 (Sim.Bounded.waiting_senders q);
+  check_int "queue drained" 0 (Sim.Bounded.length q)
+
+let test_bounded_drop_tail () =
+  let sim = Sim.create () in
+  let q = Sim.Bounded.create ~capacity:2 ~policy:Sim.Bounded.Drop_tail () in
+  Sim.spawn sim (fun () ->
+      Alcotest.(check string) "first" "sent" (match Sim.Bounded.send q 1 with `Sent -> "sent" | _ -> "other");
+      ignore (Sim.Bounded.send q 2);
+      Alcotest.(check string) "overflow" "dropped"
+        (match Sim.Bounded.send q 3 with `Dropped -> "dropped" | _ -> "other");
+      Alcotest.(check (option int)) "oldest survives" (Some 1) (Sim.Bounded.try_recv q));
+  Sim.run sim;
+  check_int "one drop" 1 (Sim.Bounded.dropped q)
+
+let test_bounded_drop_head () =
+  let sim = Sim.create () in
+  let q = Sim.Bounded.create ~capacity:2 ~policy:Sim.Bounded.Drop_head () in
+  Sim.spawn sim (fun () ->
+      ignore (Sim.Bounded.send q 1);
+      ignore (Sim.Bounded.send q 2);
+      Alcotest.(check string) "newest admitted" "sent"
+        (match Sim.Bounded.send q 3 with `Sent -> "sent" | _ -> "other");
+      Alcotest.(check (option int)) "head evicted" (Some 2) (Sim.Bounded.try_recv q);
+      Alcotest.(check (option int)) "newest present" (Some 3) (Sim.Bounded.try_recv q));
+  Sim.run sim;
+  check_int "victim counted" 1 (Sim.Bounded.dropped q)
+
+let test_bounded_reject () =
+  let sim = Sim.create () in
+  let q = Sim.Bounded.create ~capacity:1 ~policy:Sim.Bounded.Reject () in
+  Sim.spawn sim (fun () ->
+      ignore (Sim.Bounded.send q 1);
+      Alcotest.(check string) "refused" "rejected"
+        (match Sim.Bounded.send q 2 with `Rejected -> "rejected" | _ -> "other");
+      Alcotest.(check (option int)) "queue untouched" (Some 1) (Sim.Bounded.try_recv q));
+  Sim.run sim;
+  check_int "one rejection" 1 (Sim.Bounded.rejected q)
+
+(* Conservation: whatever interleaving of sends and receives runs, no
+   item is created or lost —
+   sent = delivered + dropped + rejected + length + waiting_senders. *)
+let prop_bounded_conservation =
+  let policy_of = function
+    | 0 -> Sim.Bounded.Block
+    | 1 -> Sim.Bounded.Drop_tail
+    | 2 -> Sim.Bounded.Drop_head
+    | _ -> Sim.Bounded.Reject
+  in
+  QCheck.Test.make ~name:"bounded queue conserves items under every policy" ~count:300
+    QCheck.(triple (int_bound 3) (int_range 1 4) (list bool))
+    (fun (p, capacity, ops) ->
+      let policy = policy_of p in
+      let sim = Sim.create () in
+      let q = Sim.Bounded.create ~capacity ~policy () in
+      List.iteri
+        (fun i op ->
+          Sim.schedule sim ~delay:(float_of_int i) (fun () ->
+              Sim.spawn sim (fun () ->
+                  if op then ignore (Sim.Bounded.send q i)
+                  else ignore (Sim.Bounded.recv q))))
+        ops;
+      Sim.run sim;
+      Sim.Bounded.length q <= Sim.Bounded.capacity q
+      && Sim.Bounded.sent q
+         = Sim.Bounded.delivered q + Sim.Bounded.dropped q + Sim.Bounded.rejected q
+           + Sim.Bounded.length q + Sim.Bounded.waiting_senders q)
+
+let test_resource_fifo_no_barging () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create ~capacity:1 in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun () ->
+        Sim.spawn sim (fun () ->
+            Sim.Resource.with_resource r (fun () ->
+                order := i :: !order;
+                Sim.delay 100.0)))
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "granted in arrival order" [ 1; 2; 3; 4; 5 ] (List.rev !order);
+  check_int "all released" 0 (Sim.Resource.in_use r);
+  check_int "none waiting" 0 (Sim.Resource.waiting r)
+
+let test_resource_waiting_count () =
+  let sim = Sim.create () in
+  let r = Sim.Resource.create ~capacity:2 in
+  for _ = 1 to 6 do
+    Sim.spawn sim (fun () -> Sim.Resource.with_resource r (fun () -> Sim.delay 50.0))
+  done;
+  (* Sample between the t=0 acquisitions and the t=50 releases: two
+     holders, four queued. *)
+  let mid_waiting = ref (-1) and mid_in_use = ref (-1) in
+  Sim.schedule sim ~delay:10.0 (fun () ->
+      mid_waiting := Sim.Resource.waiting r;
+      mid_in_use := Sim.Resource.in_use r);
+  Sim.run sim;
+  check_int "four queued mid-run" 4 !mid_waiting;
+  check_int "two holders mid-run" 2 !mid_in_use;
+  check_int "drained" 0 (Sim.Resource.waiting r)
+
+(* try_take_n must never advance time and never leave the bucket
+   negative, whatever mix of blocking and non-blocking takes ran
+   before it. *)
+let prop_try_take_n_never_blocks =
+  QCheck.Test.make ~name:"try_take_n never blocks and never goes negative" ~count:300
+    QCheck.(pair (float_range 1.0 1000.0) (list (pair bool (float_range 0.0 50.0))))
+    (fun (rate, takes) ->
+      let sim = Sim.create () in
+      let tb = Token_bucket.create ~rate ~burst:(rate /. 10.0) in
+      let ok = ref true in
+      Sim.spawn sim (fun () ->
+          List.iter
+            (fun (blocking, n) ->
+              if blocking then ignore (Token_bucket.take_n tb n)
+              else begin
+                let before = Sim.clock () in
+                ignore (Token_bucket.try_take_n tb ~now:before n);
+                ok := !ok && Sim.clock () = before;
+                ok := !ok && Token_bucket.available tb ~now:(Sim.clock ()) >= 0.0
+              end)
+            takes);
+      Sim.run sim;
+      !ok)
+
+(* Debt edge: after a blocking take dug the bucket into debt, the
+   non-blocking path must refuse everything until the refill catches up,
+   then grant again. *)
+let test_try_take_n_debt_refill () =
+  let sim = Sim.create () in
+  let tb = Token_bucket.create ~rate:1000.0 ~burst:10.0 in
+  Sim.spawn sim (fun () ->
+      (* Burn the burst plus 10 of debt; take_n sleeps the deficit off. *)
+      ignore (Token_bucket.take_n tb 20.0);
+      check_bool "broke even, not positive" false
+        (Token_bucket.try_take_n tb ~now:(Sim.clock ()) 1.0);
+      (* One token refills every 1 ms at rate 1000/s. *)
+      Sim.delay (Simtime.ms 5.0);
+      check_bool "refilled tokens grant again" true
+        (Token_bucket.try_take_n tb ~now:(Sim.clock ()) 5.0);
+      check_bool "but not more than refilled" false
+        (Token_bucket.try_take_n tb ~now:(Sim.clock ()) 1.0));
+  Sim.run sim
+
+let test_try_take_n_same_timestamp () =
+  let sim = Sim.create () in
+  let tb = Token_bucket.create ~rate:1000.0 ~burst:8.0 in
+  Sim.spawn sim (fun () ->
+      let now = Sim.clock () in
+      (* Repeated probes at one timestamp see a monotonically shrinking
+         bucket — no refill can sneak in between them. *)
+      check_bool "first 4" true (Token_bucket.try_take_n tb ~now 4.0);
+      check_bool "second 4" true (Token_bucket.try_take_n tb ~now 4.0);
+      check_bool "empty now" false (Token_bucket.try_take_n tb ~now 1.0);
+      check_float "available is zero" 0.0 (Token_bucket.available tb ~now));
+  Sim.run sim
+
+let test_try_take_n_unlimited () =
+  let sim = Sim.create () in
+  let tb = Token_bucket.unlimited () in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 10 do
+        check_bool "always grants" true (Token_bucket.try_take_n tb ~now:(Sim.clock ()) 1e12)
+      done);
+  Sim.run sim;
+  check_float "no time passed" 0.0 (Sim.now sim)
+
+let overload_suites =
+  [
+    ( "engine.bounded",
+      [
+        Alcotest.test_case "FIFO across parked senders" `Quick test_bounded_fifo_order;
+        Alcotest.test_case "no lost wakeups at capacity" `Quick test_bounded_no_lost_wakeups;
+        Alcotest.test_case "drop-tail" `Quick test_bounded_drop_tail;
+        Alcotest.test_case "drop-head" `Quick test_bounded_drop_head;
+        Alcotest.test_case "reject" `Quick test_bounded_reject;
+      ] );
+    qsuite "engine.bounded.prop" [ prop_bounded_conservation ];
+    ( "engine.resource",
+      [
+        Alcotest.test_case "FIFO, no barging" `Quick test_resource_fifo_no_barging;
+        Alcotest.test_case "waiting count" `Quick test_resource_waiting_count;
+      ] );
+    ( "engine.token_bucket.shed",
+      [
+        Alcotest.test_case "debt then refill" `Quick test_try_take_n_debt_refill;
+        Alcotest.test_case "same-timestamp probes" `Quick test_try_take_n_same_timestamp;
+        Alcotest.test_case "unlimited" `Quick test_try_take_n_unlimited;
+      ] );
+    qsuite "engine.token_bucket.shed.prop" [ prop_try_take_n_never_blocks ];
+  ]
+
+let suites = suites @ overload_suites
