@@ -1,0 +1,188 @@
+(* Engine performance benchmark: measures the host-side cost of the
+   simulator itself — not simulated latencies — and writes the numbers
+   to a JSON file (BENCH_engine.json at the repo root is the committed
+   baseline).
+
+   Usage:
+     engine_bench.exe [--quick] [--seed N] [--out FILE]
+
+   Four sections:
+     hot_lane   events/sec of zero-delay self-rescheduling callbacks
+                (FIFO hot lane) vs the same chains with a 1 ns delay
+                (binary-heap lane)
+     pmd_batch  wall-clock of a UDP PPS run between two bm-guests with
+                the PMD drained one descriptor per fiber (batch=1, the
+                bit-identical default) vs burst-of-32
+     sweep      a 4-cell quick experiment sweep with --jobs 1 vs
+                --jobs 4, including a structural-equality check of the
+                outcomes
+     cells      per-cell wall seconds at jobs=1
+
+   Simulated results are unchanged by any of this except pmd_batch with
+   batch>1, which legitimately serialises each burst (documented in
+   DESIGN.md "Engine performance"). *)
+
+open Bm_engine
+
+let quick = ref false
+let seed = ref 2020
+let out_file = ref "BENCH_engine.json"
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--seed" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some s -> seed := s
+      | None ->
+        prerr_endline "--seed expects an integer";
+        exit 2);
+      parse rest
+    | "--out" :: f :: rest ->
+      out_file := f;
+      parse rest
+    | a :: _ ->
+      Printf.eprintf "unknown argument %S\n" a;
+      prerr_endline "usage: engine_bench.exe [--quick] [--seed N] [--out FILE]";
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* --- hot lane vs heap ------------------------------------------------ *)
+
+(* [chains] outstanding callbacks, each rescheduling itself with the
+   given delay until the shared budget drains. delay=0 keeps every event
+   in the FIFO hot lane; delay=1 ns forces every event through the
+   binary heap at ~10k occupancy. *)
+let lane_events_per_sec ~delay ~chains ~events =
+  let sim = Sim.create () in
+  let remaining = ref events in
+  let rec cb () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Sim.schedule sim ~delay cb
+    end
+  in
+  for _ = 1 to chains do
+    Sim.schedule sim ~delay cb
+  done;
+  let (), dt = time (fun () -> Sim.run sim) in
+  (float_of_int (Sim.events_executed sim) /. dt, Sim.events_executed sim, dt)
+
+(* --- PMD batching ----------------------------------------------------- *)
+
+let pmd_run ~batch ~duration =
+  let tb = Bm_workload.Testbed.make ~seed:!seed () in
+  let server =
+    Bm_hyp.Bm_hypervisor.create_server ~obs:tb.Bm_workload.Testbed.obs tb.Bm_workload.Testbed.sim
+      tb.Bm_workload.Testbed.rng ~fabric:tb.Bm_workload.Testbed.fabric
+      ~storage:tb.Bm_workload.Testbed.storage ~batch ()
+  in
+  let unlimited = Bm_cloud.Limits.unlimited_net () in
+  let g name =
+    match Bm_hyp.Bm_hypervisor.provision server ~name ~net_limits:unlimited () with
+    | Ok i -> i
+    | Error e -> failwith e
+  in
+  let a = g "a" and b = g "b" in
+  (* udp_pps drives Sim.run itself: call it from scheduler context.
+     Sixteen senders of single-packet descriptors keep the shadow vring
+     deep enough that the PMD's poll-tick bursts have something to
+     coalesce. *)
+  let r, wall_s =
+    time (fun () ->
+        Bm_workload.Netperf.udp_pps tb.Bm_workload.Testbed.sim ~src:a ~dst:b ~senders:16
+          ~batch:1 ~duration ())
+  in
+  (r.Bm_workload.Netperf.received_pps, Sim.events_executed tb.Bm_workload.Testbed.sim, wall_s)
+
+(* --- parallel sweep --------------------------------------------------- *)
+
+let sweep_ids = [ "fig9"; "fig10"; "fig11"; "sec6" ]
+
+let sweep ~jobs =
+  time (fun () -> Bmhive.Experiments.run_many ~quick:true ~seed:!seed ~jobs sweep_ids)
+
+let cell_seconds () =
+  List.map
+    (fun id ->
+      let _, s = time (fun () -> Bmhive.Experiments.run_one ~quick:true ~seed:!seed id) in
+      (id, s))
+    sweep_ids
+
+(* --- driver ----------------------------------------------------------- *)
+
+let progress fmt = Printf.ksprintf (fun m -> prerr_endline ("[engine_bench] " ^ m)) fmt
+
+let () =
+  let chains = 10_000 in
+  let events = if !quick then 200_000 else 2_000_000 in
+  progress "hot lane: %d chains, %d events" chains events;
+  let hot_eps, hot_events, hot_s = lane_events_per_sec ~delay:0.0 ~chains ~events in
+  progress "heap lane";
+  let heap_eps, heap_events, heap_s = lane_events_per_sec ~delay:1.0 ~chains ~events in
+  let duration = if !quick then 2_000_000.0 else 20_000_000.0 in
+  progress "pmd batch=1 (%.0f ms simulated)" (duration /. 1e6);
+  let pps1, ev1, wall1 = pmd_run ~batch:1 ~duration in
+  progress "pmd batch=32";
+  let pps32, ev32, wall32 = pmd_run ~batch:32 ~duration in
+  progress "sweep --jobs 1";
+  let r1, sweep1_s = sweep ~jobs:1 in
+  progress "sweep --jobs 4";
+  let r4, sweep4_s = sweep ~jobs:4 in
+  let identical = r1 = r4 in
+  progress "per-cell timings";
+  let cells = cell_seconds () in
+  let buf = Buffer.create 2048 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "{\n";
+  p "  \"seed\": %d,\n" !seed;
+  p "  \"quick\": %b,\n" !quick;
+  p "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"hot_lane\": {\n";
+  p "    \"chains\": %d,\n" chains;
+  p "    \"zero_delay\": { \"events\": %d, \"wall_s\": %.4f, \"events_per_sec\": %.0f },\n"
+    hot_events hot_s hot_eps;
+  p "    \"heap\": { \"events\": %d, \"wall_s\": %.4f, \"events_per_sec\": %.0f },\n" heap_events
+    heap_s heap_eps;
+  p "    \"speedup\": %.2f\n" (hot_eps /. heap_eps);
+  p "  },\n";
+  p "  \"pmd_batch\": {\n";
+  p "    \"batch_1\": { \"received_pps\": %.0f, \"events\": %d, \"wall_s\": %.4f },\n" pps1 ev1
+    wall1;
+  p "    \"batch_32\": { \"received_pps\": %.0f, \"events\": %d, \"wall_s\": %.4f },\n" pps32 ev32
+    wall32;
+  p "    \"event_reduction\": %.2f,\n" (float_of_int ev1 /. float_of_int ev32);
+  p "    \"wall_speedup\": %.2f\n" (wall1 /. wall32);
+  p "  },\n";
+  p "  \"sweep\": {\n";
+  p "    \"ids\": [%s],\n" (String.concat ", " (List.map (Printf.sprintf "%S") sweep_ids));
+  p "    \"jobs_1_wall_s\": %.4f,\n" sweep1_s;
+  p "    \"jobs_4_wall_s\": %.4f,\n" sweep4_s;
+  p "    \"wall_speedup\": %.2f,\n" (sweep1_s /. sweep4_s);
+  p "    \"outcomes_identical\": %b\n" identical;
+  p "  },\n";
+  p "  \"cells\": {\n";
+  List.iteri
+    (fun i (id, s) ->
+      p "    %S: %.4f%s\n" id s (if i = List.length cells - 1 then "" else ","))
+    cells;
+  p "  }\n";
+  p "}\n";
+  let oc = open_out !out_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "engine bench: hot lane %.2fx heap; pmd batch32 %.2fx wall; sweep --jobs 4 %.2fx \
+                 (%d domain(s) recommended); outcomes identical: %b\n"
+    (hot_eps /. heap_eps) (wall1 /. wall32) (sweep1_s /. sweep4_s)
+    (Domain.recommended_domain_count ())
+    identical;
+  Printf.printf "written: %s\n" !out_file

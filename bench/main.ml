@@ -9,6 +9,9 @@
      bench/main.exe --metrics       print the datapath metrics table afterwards
      bench/main.exe --faults S:SPEC deterministic fault plan, e.g. 42:default
                                     or 7:link_down=2,firmware_wedge=1
+     bench/main.exe --jobs N        run up to N experiment cells on parallel
+                                    domains (0 = all cores); output is
+                                    byte-identical for any N
      bench/main.exe --list          list experiment ids
      bench/main.exe --bechamel      bechamel micro-benchmarks of the
                                     (quick-scale) experiment runs *)
@@ -16,7 +19,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--faults SEED:SPEC] \
-     [--list] [--bechamel] [experiment ids...]"
+     [--jobs N] [--list] [--bechamel] [experiment ids...]"
 
 type options = {
   quick : bool;
@@ -24,6 +27,7 @@ type options = {
   trace_file : string option;
   metrics : bool;
   faults : Bm_engine.Fault.plan option;
+  jobs : int;
   list : bool;
   bechamel : bool;
   help : bool;
@@ -37,6 +41,7 @@ let default_options =
     trace_file = None;
     metrics = false;
     faults = None;
+    jobs = 1;
     list = false;
     bechamel = false;
     help = false;
@@ -67,6 +72,12 @@ let rec parse opts = function
     | Ok plan -> parse { opts with faults = Some plan } rest
     | Error e -> fail "--faults: %s" e)
   | [ "--faults" ] -> fail "--faults expects <seed>:<spec>"
+  | "--jobs" :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some 0 -> parse { opts with jobs = Bmhive.Parallel.default_jobs () } rest
+    | Some jobs when jobs > 0 -> parse { opts with jobs } rest
+    | Some _ | None -> fail "--jobs expects a non-negative integer, got %S" v)
+  | [ "--jobs" ] -> fail "--jobs expects a value"
   | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> fail "unknown flag %S" arg
   | id :: rest -> parse { opts with targets = id :: opts.targets } rest
 
@@ -117,17 +128,17 @@ let () =
     let metrics = if opts.metrics then Some (Bm_engine.Metrics.create ()) else None in
     let targets = if opts.targets = [] then Bmhive.Experiments.ids () else opts.targets in
     let t0 = Unix.gettimeofday () in
+    (* Cells run on up to --jobs domains; results come back in argument
+       order, so stdout is byte-identical whatever the job count. *)
     List.iter
-      (fun id ->
-        match
-          Bmhive.Experiments.run_one ~quick:opts.quick ~seed:opts.seed ?faults:opts.faults
-            ?trace ?metrics id
-        with
+      (fun (_id, result) ->
+        match result with
         | Ok outcome -> Bmhive.Experiments.print_outcome outcome
         | Error e ->
           prerr_endline e;
           exit 1)
-      targets;
+      (Bmhive.Experiments.run_many ~quick:opts.quick ~seed:opts.seed ?faults:opts.faults
+         ?trace ?metrics ~jobs:opts.jobs targets);
     (match metrics with
     | Some m when not (Bm_engine.Metrics.is_empty m) ->
       print_endline "";

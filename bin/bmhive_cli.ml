@@ -42,6 +42,14 @@ let faults_arg =
   in
   Arg.(value & opt (some fault_conv) None & info [ "faults" ] ~docv:"SEED:SPEC" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run up to $(docv) experiment cells concurrently on separate domains (0 = one per \
+     recommended core). Results are joined in argument order, so output is byte-identical \
+     for any value. Ignored (forced to 1) when $(b,--trace) or $(b,--metrics) is active."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 (* --- list ----------------------------------------------------------- *)
 
 let list_cmd =
@@ -62,7 +70,9 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,list)); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed faults trace_file metrics_wanted ids =
+  let run quick seed faults trace_file metrics_wanted jobs ids =
+    if jobs < 0 then invalid_arg "--jobs must be non-negative";
+    let jobs = if jobs = 0 then Bmhive.Parallel.default_jobs () else jobs in
     let trace = Option.map (fun _ -> Bm_engine.Trace.create ()) trace_file in
     let metrics = if metrics_wanted then Some (Bm_engine.Metrics.create ()) else None in
     let targets = if ids = [] then Bmhive.Experiments.ids () else ids in
@@ -86,18 +96,21 @@ let run_cmd =
       | [] ->
         finish ();
         `Ok ()
-      | id :: rest -> (
-        match Bmhive.Experiments.run_one ~quick ~seed ?faults ?trace ?metrics id with
+      | (_id, result) :: rest -> (
+        match result with
         | Ok outcome ->
           Bmhive.Experiments.print_outcome outcome;
           go rest
         | Error e -> `Error (false, e))
     in
-    go targets
+    go (Bmhive.Experiments.run_many ~quick ~seed ?faults ?trace ?metrics ~jobs targets)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures from the simulation.")
-    Term.(ret (const run $ quick_arg $ seed_arg $ faults_arg $ trace_arg $ metrics_arg $ ids_arg))
+    Term.(
+      ret
+        (const run $ quick_arg $ seed_arg $ faults_arg $ trace_arg $ metrics_arg $ jobs_arg
+       $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

@@ -1314,8 +1314,36 @@ let run_one ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics id =
   | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
   | Some spec -> Ok (spec.run ~faults ~trace ~metrics ~quick ~seed)
 
-let run_all ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics () =
-  List.map (fun spec -> spec.run ~faults ~trace ~metrics ~quick ~seed) all
+(* Trace/metrics sinks are single mutable buffers shared by every cell;
+   recording from several domains would race, so their presence forces a
+   sequential sweep. Cells themselves share nothing: each builds its own
+   simulator, RNG and testbed from the seed. *)
+let effective_jobs ~trace ~metrics jobs =
+  if trace <> None || metrics <> None then 1 else max 1 jobs
+
+let run_many ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?(jobs = 1) targets =
+  let specs =
+    List.map
+      (fun id ->
+        match find id with
+        | Some spec -> Ok spec
+        | None ->
+          Error
+            (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ()))))
+      targets
+  in
+  let jobs = effective_jobs ~trace ~metrics jobs in
+  Parallel.map ~jobs
+    (fun spec ->
+      match spec with
+      | Error _ as e -> e
+      | Ok spec -> Ok (spec.run ~faults ~trace ~metrics ~quick ~seed))
+    specs
+  |> List.map2 (fun id r -> (id, r)) targets
+
+let run_all ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?(jobs = 1) () =
+  let jobs = effective_jobs ~trace ~metrics jobs in
+  Parallel.map ~jobs (fun spec -> spec.run ~faults ~trace ~metrics ~quick ~seed) all
 
 let print_outcome (o : outcome) =
   print_endline "";

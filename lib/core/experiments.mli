@@ -47,13 +47,32 @@ val run_one :
   string ->
   (outcome, string) result
 
+val run_many :
+  ?quick:bool ->
+  ?seed:int ->
+  ?faults:Bm_engine.Fault.plan ->
+  ?trace:Bm_engine.Trace.t ->
+  ?metrics:Bm_engine.Metrics.t ->
+  ?jobs:int ->
+  string list ->
+  (string * (outcome, string) result) list
+(** Run the named experiments, up to [jobs] (default 1) at a time on
+    separate domains ({!Parallel.map}); results come back in argument
+    order, so output is byte-identical for any [jobs]. Unknown ids
+    surface as [Error] without aborting the rest. Because [trace] and
+    [metrics] sinks are shared mutable buffers, passing either forces
+    [jobs = 1]. *)
+
 val run_all :
   ?quick:bool ->
   ?seed:int ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
+  ?jobs:int ->
   unit ->
   outcome list
+(** Every registered experiment, same parallelism contract as
+    {!run_many}. *)
 
 val print_outcome : outcome -> unit

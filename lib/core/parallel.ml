@@ -1,0 +1,40 @@
+(* A bounded domain pool for embarrassingly parallel work. Each worker
+   claims the next unclaimed index with an atomic fetch-and-add, so the
+   pool load-balances uneven cell durations without any channel
+   machinery; results land in a per-index slot and are joined in input
+   order, which is what keeps sweep output byte-identical for any job
+   count. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec claim () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f items.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          claim ()
+        end
+      in
+      claim ()
+    in
+    let spawned =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false (* every index is claimed before joins return *))
+  end

@@ -1,0 +1,20 @@
+(** Bounded domain pool for independent work items.
+
+    Experiment cells are pure functions of their seeds: each builds its
+    own [Sim.t], [Rng.t] and testbed, shares no mutable state with its
+    siblings, and returns a printable outcome. That makes a sweep
+    embarrassingly parallel — the only requirement for determinism is
+    that results are joined back in input order, which {!map}
+    guarantees. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the number of cores the
+    runtime believes it can use. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] computed on up to [jobs]
+    domains (including the calling one). Results are returned in input
+    order regardless of completion order, so output is identical for
+    any [jobs]. If any application raises, the first raised exception
+    (in input order) is re-raised after all domains join. [jobs <= 1]
+    runs sequentially on the calling domain with no domain spawned. *)

@@ -1,11 +1,18 @@
 type 'a entry = { time : float; seq : int; value : 'a }
 
-type 'a t = { mutable heap : 'a entry array; mutable size : int }
+type 'a t = { mutable heap : 'a entry array; mutable size : int; dummy : 'a entry }
 
-let create () = { heap = [||]; size = 0 }
+(* The sentinel entry fills every slot past [size] so a popped entry's
+   closure (and everything it captures — whole fibers) becomes
+   collectable immediately. Its [value] is never read: slots past [size]
+   are only ever overwritten by [add]/[grow]. *)
+let create () =
+  let dummy = { time = nan; seq = min_int; value = Obj.magic () } in
+  { heap = [||]; size = 0; dummy }
 
 let length q = q.size
 let is_empty q = q.size = 0
+let capacity q = Array.length q.heap
 
 let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -34,19 +41,18 @@ let rec sift_down q i =
     end
   end
 
-let grow q entry =
+let grow q =
   let capacity = Array.length q.heap in
   if q.size = capacity then begin
     let capacity' = max 16 (2 * capacity) in
-    let heap' = Array.make capacity' entry in
+    let heap' = Array.make capacity' q.dummy in
     Array.blit q.heap 0 heap' 0 q.size;
     q.heap <- heap'
   end
 
 let add q ~time ~seq value =
-  let entry = { time; seq; value } in
-  grow q entry;
-  q.heap.(q.size) <- entry;
+  grow q;
+  q.heap.(q.size) <- { time; seq; value };
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
 
@@ -56,18 +62,27 @@ let peek q =
     let e = q.heap.(0) in
     Some (e.time, e.seq, e.value)
 
-let pop q =
+let remove_min q e =
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.heap.(0) <- q.heap.(q.size);
+    sift_down q 0
+  end;
+  (* Null the vacated slot so the GC can reclaim the entry (fibers
+     retained through popped closures were a genuine space leak). *)
+  q.heap.(q.size) <- q.dummy;
+  Some (e.time, e.seq, e.value)
+
+let pop q = if q.size = 0 then None else remove_min q q.heap.(0)
+
+let pop_if_le q ~time ~seq =
   if q.size = 0 then None
-  else begin
+  else
     let e = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
-    Some (e.time, e.seq, e.value)
-  end
+    if e.time < time || (e.time = time && e.seq <= seq) then remove_min q e else None
 
 let clear q =
-  q.heap <- [||];
+  (* Keep the backing array (steady-state simulations re-fill it at the
+     same size), but drop every reference held in it. *)
+  Array.fill q.heap 0 q.size q.dummy;
   q.size <- 0

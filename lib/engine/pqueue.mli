@@ -2,7 +2,10 @@
 
     A classic array-backed binary heap. Ties on [time] are broken by an
     insertion sequence number supplied by the caller, which makes event
-    ordering — and therefore whole simulations — deterministic. *)
+    ordering — and therefore whole simulations — deterministic.
+
+    Slots beyond the live size are nulled out with a sentinel, so popped
+    values (event closures, i.e. whole fibers) never outlive their pop. *)
 
 type 'a t
 
@@ -11,6 +14,9 @@ val create : unit -> 'a t
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Current backing-array capacity (exposed for tests and benchmarks). *)
 
 val add : 'a t -> time:float -> seq:int -> 'a -> unit
 (** [add q ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
@@ -21,4 +27,12 @@ val peek : 'a t -> (float * int * 'a) option
 val pop : 'a t -> (float * int * 'a) option
 (** [pop q] removes and returns the minimum element. *)
 
+val pop_if_le : 'a t -> time:float -> seq:int -> (float * int * 'a) option
+(** [pop_if_le q ~time ~seq] removes and returns the minimum element iff
+    its key is [<= (time, seq)] — a single heap access where the run
+    loop previously paid a peek plus a pop. [None] otherwise. *)
+
 val clear : 'a t -> unit
+(** Drop every element. Keeps the backing array's capacity (a cleared
+    simulation agenda is usually refilled to the same size) but releases
+    every held reference. *)

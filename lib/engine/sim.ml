@@ -5,6 +5,14 @@ type t = {
   mutable time : float;
   mutable seq : int;
   agenda : (unit -> unit) Pqueue.t;
+  (* Hot lane: zero-delay events (every Fork, Suspend resume, spawn and
+     Bounded wakeup) run at the current time, so they never need the
+     heap — a FIFO preserves their (time, seq) order exactly. The seq
+     counter stays global across both lanes, so interleaving with heap
+     events at the same timestamp is bit-identical to the all-heap
+     scheduler. *)
+  now_lane : (int * (unit -> unit)) Queue.t;
+  mutable executed : int;
   mutable stopped : bool;
 }
 
@@ -14,14 +22,28 @@ type _ Effect.t +=
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
   | Fork : (unit -> unit) -> unit Effect.t
 
-let create () = { time = 0.0; seq = 0; agenda = Pqueue.create (); stopped = false }
+let create () =
+  {
+    time = 0.0;
+    seq = 0;
+    agenda = Pqueue.create ();
+    now_lane = Queue.create ();
+    executed = 0;
+    stopped = false;
+  }
 
 let now t = t.time
+let events_executed t = t.executed
+let pending_events t = Pqueue.length t.agenda + Queue.length t.now_lane
 
 let schedule t ~delay f =
-  assert (delay >= 0.0);
+  (* An explicit raise, not an assert: the guard must survive builds
+     that compile assertions out (matches the Delay effect's behavior).
+     The negated comparison also rejects a NaN delay. *)
+  if not (delay >= 0.0) then invalid_arg "Sim.schedule: delay must be non-negative";
   t.seq <- t.seq + 1;
-  Pqueue.add t.agenda ~time:(t.time +. delay) ~seq:t.seq f
+  if delay = 0.0 then Queue.add (t.seq, f) t.now_lane
+  else Pqueue.add t.agenda ~time:(t.time +. delay) ~seq:t.seq f
 
 (* Run [body] as a fiber, interpreting the blocking effects against [t]. *)
 let rec exec : t -> (unit -> unit) -> unit =
@@ -63,18 +85,32 @@ let spawn t body = schedule t ~delay:0.0 (fun () -> exec t body)
 let run ?until t =
   t.stopped <- false;
   let horizon = match until with Some u -> u | None -> infinity in
+  (* Every pending hot-lane event runs at the current time (zero-delay
+     scheduling can only target "now", and the lane always drains before
+     the clock advances), so the next event is either the lane's head or
+     a heap event at the same instant with a smaller seq. *)
   let rec loop () =
     if not t.stopped then begin
-      match Pqueue.peek t.agenda with
-      | None -> ()
-      | Some (time, _, _) when time > horizon -> t.time <- horizon
-      | Some _ ->
-        (match Pqueue.pop t.agenda with
-        | None -> ()
+      match Queue.peek_opt t.now_lane with
+      | Some (lane_seq, _) ->
+        (match Pqueue.pop_if_le t.agenda ~time:t.time ~seq:lane_seq with
         | Some (time, _, f) ->
           t.time <- time;
+          t.executed <- t.executed + 1;
+          f ()
+        | None ->
+          let _, f = Queue.pop t.now_lane in
+          t.executed <- t.executed + 1;
           f ());
         loop ()
+      | None -> (
+        match Pqueue.pop_if_le t.agenda ~time:horizon ~seq:max_int with
+        | Some (time, _, f) ->
+          t.time <- time;
+          t.executed <- t.executed + 1;
+          f ();
+          loop ()
+        | None -> ())
     end
   in
   loop ();
@@ -84,7 +120,8 @@ let run ?until t =
 
 let stop t =
   t.stopped <- true;
-  Pqueue.clear t.agenda
+  Pqueue.clear t.agenda;
+  Queue.clear t.now_lane
 
 let delay d =
   try Effect.perform (Delay d) with Effect.Unhandled _ -> raise Not_in_simulation

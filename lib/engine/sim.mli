@@ -2,9 +2,13 @@
 
     Processes are OCaml 5 fibers: plain [unit -> unit] functions that may
     perform the blocking operations below ({!delay}, {!suspend}, …). The
-    scheduler runs one event at a time off a binary-heap agenda; ties are
-    broken by insertion order, so a simulation is a pure function of its
-    inputs and RNG seeds.
+    scheduler runs one event at a time off a two-lane agenda: timed
+    events sit in a binary heap, while zero-delay events (fork, spawn,
+    suspend resumes — the majority in I/O-heavy runs) take a FIFO hot
+    lane that skips the heap entirely. A single global sequence counter
+    spans both lanes, so ties are broken by insertion order and the
+    execution order is identical to a pure heap scheduler: a simulation
+    is a pure function of its inputs and RNG seeds.
 
     The blocking operations must only be called from within a process
     running under {!run} (they raise [Not_in_simulation] otherwise). *)
@@ -25,7 +29,16 @@ val now : t -> float
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs callback [f] (not a full process) at
-    [now t +. delay]. [delay] must be non-negative. *)
+    [now t +. delay]. Raises [Invalid_argument] if [delay] is negative
+    (or NaN) — an explicit guard, not an assert, so it survives release
+    builds. A zero [delay] takes the O(1) hot lane. *)
+
+val events_executed : t -> int
+(** Events executed by {!run} so far (both lanes) — the numerator of the
+    engine's events/sec throughput metric. *)
+
+val pending_events : t -> int
+(** Events currently scheduled and not yet executed. *)
 
 val spawn : t -> (unit -> unit) -> unit
 (** [spawn t body] creates a new process that starts at the current time

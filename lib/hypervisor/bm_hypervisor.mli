@@ -33,6 +33,7 @@ val create_server :
   ?boards:int ->
   ?dma_gbit_s:float ->
   ?params:params ->
+  ?batch:int ->
   unit ->
   server
 (** Default server: FPGA IO-Bond, 8 Xeon E5-2682 v4 boards with 64 GB
@@ -43,7 +44,19 @@ val create_server :
     additionally the server subscribes to [Pmd_crash]: the per-guest
     backend processes die for the event's dead-time, then respawn and
     drain from where the shadow vrings left off (["hyp.bm.pmd_crashes"]
-    / ["hyp.bm.pmd_respawns"]). *)
+    / ["hyp.bm.pmd_respawns"]).
+
+    [batch] (default 1) is the PMD poll-tick burst: each backend drain
+    pulls up to [batch] descriptors per worker fiber, charging the same
+    per-descriptor simulated costs but paying one host-side scheduler
+    event per burst instead of one per descriptor. At the default of 1
+    the drain stays hint-driven and the event schedule — and therefore
+    every simulated latency — is bit-identical to the unbatched engine.
+    At [batch > 1] the backend models a real poll-mode driver: it sleeps
+    a 1 µs poll tick between bursts so descriptors accumulate into them,
+    trading up to one tick of added latency per request for coalesced
+    host-side events (see [bench/engine_bench.ml]). Raises
+    [Invalid_argument] if [batch < 1]. *)
 
 val vswitch : server -> Bm_cloud.Vswitch.t
 val base_cores : server -> Bm_hw.Cores.t

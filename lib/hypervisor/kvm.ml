@@ -56,6 +56,7 @@ type host = {
   rng : Rng.t;
   spec : Cpu_spec.t;
   params : params;
+  batch : int;
   service_cores : Cores.t;
   vswitch : Vswitch.t;
   storage : Blockstore.t;
@@ -73,7 +74,9 @@ let reserved_threads = 8
 let rx_backlog_capacity = 512
 
 let create_host ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~storage
-    ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(sockets = 2) ?(params = default_params) () =
+    ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(sockets = 2) ?(params = default_params) ?(batch = 1)
+    () =
+  if batch < 1 then invalid_arg "Kvm.create_host: batch must be >= 1";
   let total = sockets * spec.Cpu_spec.threads in
   let service_cores = Cores.create sim ~spec ~threads:reserved_threads () in
   let host =
@@ -82,6 +85,7 @@ let create_host ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~storage
       rng;
       spec;
       params;
+      batch;
       service_cores;
       vswitch = Vswitch.create ~obs sim ~fabric ~cores:service_cores ();
       storage;
@@ -111,6 +115,12 @@ let wait_vhost_alive host =
   while not !(host.vhost_alive) do
     Sim.delay 10_000.0
   done
+
+(* Poll-loop iteration period of the batched vhost drain (see
+   Bm_hypervisor.poll_tick_ns): at [batch > 1] the worker sleeps one
+   tick between bursts so descriptors accumulate into them; at the
+   default of 1 the drain stays hint-driven and bit-identical. *)
+let poll_tick_ns = 1_000.0
 
 let vswitch host = host.vswitch
 let sellable_threads host = host.total_threads
@@ -240,22 +250,34 @@ let create_vm host config =
 
   (* vhost-net backend thread on the host service cores. *)
   Sim.spawn sim (fun () ->
+      let process_tx pkt =
+        Cores.execute_ns host.service_cores (p.vhost_pkt_ns *. float_of_int pkt.Packet.count);
+        Vswitch.send host.vswitch pkt
+      in
       let rec loop () =
         Sim.Bounded.recv tx_hint;
         wait_vhost_alive host;
+        (* Bursts fan out to PMD workers, as multiqueue vhost does: the
+           ring drains in poll-tick bursts of up to [host.batch] chains,
+           one worker fiber (one host-side event) per burst. *)
         let rec drain () =
-          match Vring.pop_avail (Virtio_net.tx_ring net) with
-          | Some chain ->
-            let pkt = chain.Vring.payload in
-            Vring.push_used (Virtio_net.tx_ring net) ~head:chain.Vring.head ~written:0;
-            (* Bursts fan out to PMD workers, as multiqueue vhost does. *)
-            Sim.fork (fun () ->
-                Cores.execute_ns host.service_cores
-                  (p.vhost_pkt_ns *. float_of_int pkt.Packet.count);
-                Vswitch.send host.vswitch pkt);
+          let rec burst n acc =
+            if n >= host.batch then List.rev acc
+            else
+              match Vring.pop_avail (Virtio_net.tx_ring net) with
+              | Some chain ->
+                Vring.push_used (Virtio_net.tx_ring net) ~head:chain.Vring.head ~written:0;
+                burst (n + 1) (chain.Vring.payload :: acc)
+              | None -> List.rev acc
+          in
+          match burst 0 [] with
+          | [] -> ()
+          | pkts ->
+            Sim.fork (fun () -> List.iter process_tx pkts);
+            if host.batch > 1 then Sim.delay poll_tick_ns;
             drain ()
-          | None -> ()
         in
+        if host.batch > 1 then Sim.delay poll_tick_ns;
         drain ();
         Virtio_net.fire_interrupt net;
         loop ()
@@ -272,18 +294,32 @@ let create_vm host config =
     Vswitch.register host.vswitch ~deliver:(fun pkt -> ignore (Sim.Bounded.send rx_chan pkt))
   in
   Sim.spawn sim (fun () ->
+      let process_rx pkt =
+        Cores.execute_ns host.service_cores (p.vhost_pkt_ns *. float_of_int pkt.Packet.count);
+        match Vring.pop_avail (Virtio_net.rx_ring net) with
+        | Some chain ->
+          Vring.set_payload (Virtio_net.rx_ring net) ~head:chain.Vring.head pkt;
+          Vring.push_used (Virtio_net.rx_ring net) ~head:chain.Vring.head
+            ~written:pkt.Packet.size;
+          Virtio_net.fire_interrupt net
+        | None -> (* no posted buffer: drop *) ()
+      in
       let rec loop () =
         let pkt = Sim.Bounded.recv rx_chan in
         wait_vhost_alive host;
-        Sim.fork (fun () ->
-            Cores.execute_ns host.service_cores (p.vhost_pkt_ns *. float_of_int pkt.Packet.count);
-            match Vring.pop_avail (Virtio_net.rx_ring net) with
-            | Some chain ->
-              Vring.set_payload (Virtio_net.rx_ring net) ~head:chain.Vring.head pkt;
-              Vring.push_used (Virtio_net.rx_ring net) ~head:chain.Vring.head
-                ~written:pkt.Packet.size;
-              Virtio_net.fire_interrupt net
-            | None -> (* no posted buffer: drop *) ());
+        (* Pull whatever else already sits in the backlog, up to the
+           poll-tick burst: one worker fiber per burst. At batch > 1,
+           wait out a poll tick first so the burst has arrivals. *)
+        if host.batch > 1 then Sim.delay poll_tick_ns;
+        let rec burst n acc =
+          if n >= host.batch then List.rev acc
+          else
+            match Sim.Bounded.try_recv rx_chan with
+            | Some pkt -> burst (n + 1) (pkt :: acc)
+            | None -> List.rev acc
+        in
+        let pkts = burst 1 [ pkt ] in
+        Sim.fork (fun () -> List.iter process_rx pkts);
         loop ()
       in
       loop ());
@@ -294,52 +330,63 @@ let create_vm host config =
      copies) serialises, while device-side service overlaps. *)
   let vblk_iothread = Sim.Resource.create ~capacity:1 in
   Sim.spawn sim (fun () ->
+      let process_blk chain =
+        let req = chain.Vring.payload in
+        Sim.delay (p.vblk_sched_ns /. 2.0);
+        Sim.Resource.with_resource vblk_iothread (fun () ->
+            (* Under nesting the L1 hypervisor's backend is itself
+               a guest: its per-request work multiplies. *)
+            Cores.execute_ns host.service_cores (p.vblk_req_ns *. io_factor);
+            (* Extra buffer copies between guest and host I/O
+               stacks; writes cross twice (data out, ack in). *)
+            let copies =
+              match req.Virtio_blk.op with
+              | Virtio_blk.Write -> 2.0
+              | Virtio_blk.Read | Virtio_blk.Flush -> 1.0
+            in
+            let copy_ns = copies *. float_of_int req.Virtio_blk.bytes /. p.copy_gb_s in
+            Cores.execute_ns host.service_cores (copy_ns *. io_factor));
+        let op =
+          match req.Virtio_blk.op with
+          | Virtio_blk.Read -> `Read
+          | Virtio_blk.Write -> `Write
+          | Virtio_blk.Flush -> `Flush
+        in
+        (match Blockstore.serve host.storage ~op ~bytes_:req.Virtio_blk.bytes with
+        | `Served -> ()
+        | `Rejected ->
+          req.Virtio_blk.failed <- true;
+          Metrics.incr_opt (Obs.metrics host.obs) "hyp.vm.blk_rejected");
+        Sim.delay (p.vblk_sched_ns /. 2.0);
+        (* Rare host block-layer hiccup: the source of the vm's
+           heavy p99.9 storage tail (Fig. 11). *)
+        if Rng.bernoulli vm_rng ~p:p.vblk_hiccup_p then
+          Sim.delay (Rng.pareto vm_rng ~scale:p.vblk_hiccup_scale_ns ~shape:1.4);
+        (* The completion thread itself can be preempted. *)
+        Preempt.maybe_steal preempt;
+        Vring.push_used (Virtio_blk.ring blkdev) ~head:chain.Vring.head
+          ~written:req.Virtio_blk.bytes;
+        Virtio_blk.fire_interrupt blkdev
+      in
       let rec loop () =
         Sim.Bounded.recv blk_hint;
         wait_vhost_alive host;
         let rec drain () =
-          match Vring.pop_avail (Virtio_blk.ring blkdev) with
-          | Some chain ->
-            let req = chain.Vring.payload in
-            Sim.fork (fun () ->
-                Sim.delay (p.vblk_sched_ns /. 2.0);
-                Sim.Resource.with_resource vblk_iothread (fun () ->
-                    (* Under nesting the L1 hypervisor's backend is itself
-                       a guest: its per-request work multiplies. *)
-                    Cores.execute_ns host.service_cores (p.vblk_req_ns *. io_factor);
-                    (* Extra buffer copies between guest and host I/O
-                       stacks; writes cross twice (data out, ack in). *)
-                    let copies =
-                      match req.Virtio_blk.op with
-                      | Virtio_blk.Write -> 2.0
-                      | Virtio_blk.Read | Virtio_blk.Flush -> 1.0
-                    in
-                    let copy_ns = copies *. float_of_int req.Virtio_blk.bytes /. p.copy_gb_s in
-                    Cores.execute_ns host.service_cores (copy_ns *. io_factor));
-                let op =
-                  match req.Virtio_blk.op with
-                  | Virtio_blk.Read -> `Read
-                  | Virtio_blk.Write -> `Write
-                  | Virtio_blk.Flush -> `Flush
-                in
-                (match Blockstore.serve host.storage ~op ~bytes_:req.Virtio_blk.bytes with
-                | `Served -> ()
-                | `Rejected ->
-                  req.Virtio_blk.failed <- true;
-                  Metrics.incr_opt (Obs.metrics host.obs) "hyp.vm.blk_rejected");
-                Sim.delay (p.vblk_sched_ns /. 2.0);
-                (* Rare host block-layer hiccup: the source of the vm's
-                   heavy p99.9 storage tail (Fig. 11). *)
-                if Rng.bernoulli vm_rng ~p:p.vblk_hiccup_p then
-                  Sim.delay (Rng.pareto vm_rng ~scale:p.vblk_hiccup_scale_ns ~shape:1.4);
-                (* The completion thread itself can be preempted. *)
-                Preempt.maybe_steal preempt;
-                Vring.push_used (Virtio_blk.ring blkdev) ~head:chain.Vring.head
-                  ~written:req.Virtio_blk.bytes;
-                Virtio_blk.fire_interrupt blkdev);
+          let rec burst n acc =
+            if n >= host.batch then List.rev acc
+            else
+              match Vring.pop_avail (Virtio_blk.ring blkdev) with
+              | Some chain -> burst (n + 1) (chain :: acc)
+              | None -> List.rev acc
+          in
+          match burst 0 [] with
+          | [] -> ()
+          | chains ->
+            Sim.fork (fun () -> List.iter process_blk chains);
+            if host.batch > 1 then Sim.delay poll_tick_ns;
             drain ()
-          | None -> ()
         in
+        if host.batch > 1 then Sim.delay poll_tick_ns;
         drain ();
         loop ()
       in

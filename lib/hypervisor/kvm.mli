@@ -37,13 +37,22 @@ val create_host :
   ?spec:Bm_hw.Cpu_spec.t ->
   ?sockets:int ->
   ?params:params ->
+  ?batch:int ->
   unit ->
   host
 (** Default host: two sockets of Xeon E5-2682 v4 (the §4.2 comparison
     server), 8 HT reserved for the hypervisor. With [fault], a
     [Pmd_crash] event kills the vhost worker threads for its dead-time;
     they respawn and drain the shared-memory rings from where they left
-    off (["hyp.vm.vhost_crashes"] / ["hyp.vm.vhost_respawns"]). *)
+    off (["hyp.vm.vhost_crashes"] / ["hyp.vm.vhost_respawns"]).
+
+    [batch] (default 1) is the vhost poll-tick burst: each backend drain
+    pulls up to [batch] descriptors per worker fiber, charging the same
+    per-descriptor simulated costs but one host-side scheduler event per
+    burst. At the default the drain stays hint-driven and the event
+    schedule is bit-identical to the unbatched engine; at [batch > 1]
+    the worker sleeps a 1 µs poll tick between bursts so descriptors
+    accumulate into them. Raises [Invalid_argument] if [batch < 1]. *)
 
 val vswitch : host -> Bm_cloud.Vswitch.t
 val sellable_threads : host -> int

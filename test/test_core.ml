@@ -169,6 +169,45 @@ let test_determinism_of_experiments () =
   let b = run_quick "table2" in
   check_bool "same seed, same rows" true (a.Experiments.rows = b.Experiments.rows)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps *)
+
+let test_parallel_map_matches_sequential () =
+  let xs = List.init 40 (fun i -> i) in
+  let f x = x * x in
+  let seq = List.map f xs in
+  List.iter
+    (fun jobs -> Alcotest.(check (list int)) "order preserved" seq (Parallel.map ~jobs f xs))
+    [ 1; 2; 4; 7 ]
+
+let test_parallel_map_empty_and_small () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Parallel.map ~jobs:4 (fun x -> x * 3) [ 3 ])
+
+let test_parallel_map_propagates_exception () =
+  try
+    ignore (Parallel.map ~jobs:3 (fun x -> if x = 5 then failwith "boom" else x) [ 1; 5; 9 ]);
+    Alcotest.fail "exception swallowed"
+  with Failure m -> Alcotest.(check string) "original exception" "boom" m
+
+let test_parallel_default_jobs_positive () =
+  check_bool "recommended domains >= 1" true (Parallel.default_jobs () >= 1)
+
+(* Experiment cells share nothing: the same ids swept on 1 and on 3
+   domains must produce bit-identical outcomes, in argument order. *)
+let test_run_many_jobs_invariant () =
+  let ids = [ "table1"; "table3"; "sec3_5"; "evacuation" ] in
+  let strip = List.map (fun (id, r) -> (id, Result.map (fun o -> o.Experiments.rows) r)) in
+  let r1 = strip (Experiments.run_many ~quick:true ~seed:7 ~jobs:1 ids) in
+  let r3 = strip (Experiments.run_many ~quick:true ~seed:7 ~jobs:3 ids) in
+  check_bool "identical outcomes for any job count" true (r1 = r3);
+  Alcotest.(check (list string)) "argument order" ids (List.map fst r1)
+
+let test_run_many_unknown_id () =
+  match Experiments.run_many ~quick:true ~jobs:2 [ "table1"; "nonsense" ] with
+  | [ ("table1", Ok _); ("nonsense", Error _) ] -> ()
+  | _ -> Alcotest.fail "unknown id must surface as Error without aborting the rest"
+
 let suites =
   [
     ( "core.instances",
@@ -200,6 +239,15 @@ let suites =
         Alcotest.test_case "fig7 bands" `Quick test_fig7_outcome_bands;
         Alcotest.test_case "sec6 ASIC improves" `Quick test_sec6_asic_improves;
         Alcotest.test_case "determinism" `Quick test_determinism_of_experiments;
+      ] );
+    ( "core.parallel",
+      [
+        Alcotest.test_case "map matches sequential" `Quick test_parallel_map_matches_sequential;
+        Alcotest.test_case "empty and small inputs" `Quick test_parallel_map_empty_and_small;
+        Alcotest.test_case "exception propagation" `Quick test_parallel_map_propagates_exception;
+        Alcotest.test_case "default jobs" `Quick test_parallel_default_jobs_positive;
+        Alcotest.test_case "sweep jobs-invariant" `Quick test_run_many_jobs_invariant;
+        Alcotest.test_case "unknown id surfaces" `Quick test_run_many_unknown_id;
       ] );
   ]
 

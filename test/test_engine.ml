@@ -62,6 +62,99 @@ let prop_pqueue_sorted =
       in
       drain neg_infinity true)
 
+let test_pqueue_pop_if_le () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~time:5.0 ~seq:2 "b";
+  Pqueue.add q ~time:5.0 ~seq:1 "a";
+  Pqueue.add q ~time:9.0 ~seq:3 "c";
+  check_bool "earlier bound: no pop" true (Pqueue.pop_if_le q ~time:4.0 ~seq:max_int = None);
+  check_bool "same time, smaller seq bound: no pop" true
+    (Pqueue.pop_if_le q ~time:5.0 ~seq:0 = None);
+  check_bool "equal key pops" true (Pqueue.pop_if_le q ~time:5.0 ~seq:1 = Some (5.0, 1, "a"));
+  (* A strictly earlier time is eligible whatever the seq bound. *)
+  check_bool "earlier time beats seq bound" true
+    (Pqueue.pop_if_le q ~time:8.0 ~seq:min_int = Some (5.0, 2, "b"));
+  check_bool "later entry stays" true (Pqueue.pop_if_le q ~time:8.999 ~seq:max_int = None);
+  check_int "one left" 1 (Pqueue.length q);
+  check_bool "empty queue" true
+    (let e = Pqueue.create () in
+     Pqueue.pop_if_le e ~time:infinity ~seq:max_int = None)
+
+let test_pqueue_clear_keeps_capacity () =
+  let q = Pqueue.create () in
+  for i = 1 to 100 do
+    Pqueue.add q ~time:(float_of_int i) ~seq:i i
+  done;
+  let cap = Pqueue.capacity q in
+  Pqueue.clear q;
+  check_int "emptied" 0 (Pqueue.length q);
+  check_int "capacity survives clear" cap (Pqueue.capacity q);
+  (* Still a working queue afterwards. *)
+  Pqueue.add q ~time:1.0 ~seq:1 42;
+  check_bool "usable after clear" true (Pqueue.pop q = Some (1.0, 1, 42))
+
+(* Popped (and cleared) entries must not pin their values: slots past
+   [size] are overwritten with a dummy, so the GC can collect fibers of
+   completed events even while the queue object itself stays live. *)
+let test_pqueue_releases_popped_values () =
+  let q = Pqueue.create () in
+  let n = 16 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Weak.set weak i (Some v);
+    Pqueue.add q ~time:(float_of_int i) ~seq:i v
+  done;
+  for _ = 0 to (n / 2) - 1 do
+    ignore (Pqueue.pop q)
+  done;
+  Pqueue.clear q;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr live
+  done;
+  check_int "no value retained" 0 !live;
+  ignore (Sys.opaque_identity q)
+
+(* Model test: against a sorted association list, any interleaving of
+   adds and pops agrees — including the FIFO tie-break at equal times. *)
+let prop_pqueue_model =
+  QCheck.Test.make ~name:"pqueue matches sorted-list reference" ~count:300
+    QCheck.(list (option (int_bound 50)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let model = ref [] in
+      (* kept sorted ascending by (time, seq); seq is unique *)
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_model () =
+        match !model with
+        | [] -> None
+        | x :: rest ->
+          model := rest;
+          Some x
+      in
+      List.iter
+        (function
+          | Some t ->
+            (* coarse times on purpose: ties are the interesting case *)
+            let time = float_of_int (t / 10) in
+            incr seq;
+            Pqueue.add q ~time ~seq:!seq !seq;
+            model := List.merge compare !model [ (time, !seq, !seq) ]
+          | None -> if Pqueue.pop q <> pop_model () then ok := false)
+        ops;
+      let rec drain () =
+        match Pqueue.pop q with
+        | None -> if pop_model () <> None then ok := false
+        | got ->
+          if got <> pop_model () then ok := false;
+          drain ()
+      in
+      drain ();
+      !ok && Pqueue.is_empty q)
+
 (* ------------------------------------------------------------------ *)
 (* Rng *)
 
@@ -452,6 +545,89 @@ let test_token_bucket_unlimited () =
   Sim.run sim;
   check_float "time did not advance" 0.0 (Sim.now sim)
 
+(* ------------------------------------------------------------------ *)
+(* Two-lane scheduler *)
+
+let test_schedule_negative_raises () =
+  let sim = Sim.create () in
+  (try
+     Sim.schedule sim ~delay:(-1.0) ignore;
+     Alcotest.fail "negative delay accepted"
+   with Invalid_argument _ -> ());
+  try
+    Sim.schedule sim ~delay:Float.nan ignore;
+    Alcotest.fail "NaN delay accepted"
+  with Invalid_argument _ -> ()
+
+let test_event_counters () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:0.0 (fun () -> Sim.schedule sim ~delay:1.0 ignore);
+  Sim.schedule sim ~delay:2.0 ignore;
+  check_int "pending before run" 2 (Sim.pending_events sim);
+  check_int "executed before run" 0 (Sim.events_executed sim);
+  Sim.run sim;
+  check_int "pending after run" 0 (Sim.pending_events sim);
+  check_int "executed after run" 3 (Sim.events_executed sim)
+
+(* The decisive invariant of the hot lane: execution order is exactly
+   the (absolute time, schedule-order) sort, no matter how zero-delay
+   and timed events interleave — including events scheduled from inside
+   other events. The wrapper's seq counter increments in the same order
+   as the scheduler's internal one because every schedule goes through
+   it, so the sorted record predicts the execution order of a pure
+   single-heap scheduler. *)
+let prop_two_lane_order =
+  QCheck.Test.make ~name:"two-lane order = (time, seq) sort" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 0 60)
+        (pair (int_bound 3) (list_of_size (Gen.int_range 0 8) (int_bound 2))))
+    (fun tasks ->
+      let sim = Sim.create () in
+      let seq = ref 0 in
+      let id = ref 0 in
+      let scheduled = ref [] in
+      let order = ref [] in
+      let sched ~delay body =
+        incr seq;
+        incr id;
+        let my_seq = !seq and my_id = !id in
+        scheduled := (Sim.now sim +. delay, my_seq, my_id) :: !scheduled;
+        Sim.schedule sim ~delay (fun () ->
+            order := my_id :: !order;
+            body ())
+      in
+      List.iter
+        (fun (d, children) ->
+          sched ~delay:(float_of_int d) (fun () ->
+              List.iter (fun c -> sched ~delay:(float_of_int c) ignore) children))
+        tasks;
+      Sim.run sim;
+      let expected =
+        List.map (fun (_, _, i) -> i) (List.sort compare (List.rev !scheduled))
+      in
+      List.rev !order = expected)
+
+(* Zero-delay events and heap events at the same instant still obey
+   global schedule order across the two lanes. *)
+let test_two_lane_tie_break () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  let mark i () = order := i :: !order in
+  Sim.schedule sim ~delay:1.0 (fun () ->
+      (* At time 1.0: interleave lane and heap events at the current
+         instant; seq order must win regardless of the lane. *)
+      Sim.schedule sim ~delay:0.0 (mark 1);
+      Sim.schedule sim ~delay:0.0 (mark 2);
+      Sim.schedule sim ~delay:0.0 (fun () ->
+          mark 3 ();
+          Sim.schedule sim ~delay:0.0 (mark 6));
+      Sim.schedule sim ~delay:0.0 (mark 4);
+      Sim.schedule sim ~delay:2.0 (mark 7);
+      Sim.schedule sim ~delay:0.0 (mark 5));
+  Sim.run sim;
+  Alcotest.(check (list int)) "global (time, seq) order" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (List.rev !order)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let suites =
@@ -465,8 +641,11 @@ let suites =
       [
         Alcotest.test_case "pops in order" `Quick test_pqueue_order;
         Alcotest.test_case "FIFO on ties" `Quick test_pqueue_fifo_ties;
+        Alcotest.test_case "pop_if_le bound" `Quick test_pqueue_pop_if_le;
+        Alcotest.test_case "clear keeps capacity" `Quick test_pqueue_clear_keeps_capacity;
+        Alcotest.test_case "no space leak" `Quick test_pqueue_releases_popped_values;
       ] );
-    qsuite "engine.pqueue.prop" [ prop_pqueue_sorted ];
+    qsuite "engine.pqueue.prop" [ prop_pqueue_sorted; prop_pqueue_model ];
     ( "engine.rng",
       [
         Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
@@ -503,7 +682,11 @@ let suites =
         Alcotest.test_case "resource capacity" `Quick test_resource_capacity_respected;
         Alcotest.test_case "resource no barging" `Quick test_resource_no_barging;
         Alcotest.test_case "deterministic replay" `Quick test_determinism_same_seed;
+        Alcotest.test_case "negative delay raises" `Quick test_schedule_negative_raises;
+        Alcotest.test_case "event counters" `Quick test_event_counters;
+        Alcotest.test_case "two-lane tie break" `Quick test_two_lane_tie_break;
       ] );
+    qsuite "engine.sim.prop" [ prop_two_lane_order ];
     ( "engine.token_bucket",
       [
         Alcotest.test_case "steady rate" `Quick test_token_bucket_steady_rate;

@@ -303,6 +303,81 @@ let test_bm_blk_faster_than_vm () =
   let speedup = (vm -. bm) /. bm in
   check_bool "speedup in sane band (5%..60%)" true (speedup > 0.05 && speedup < 0.6)
 
+(* The ?batch knob: batch:1 must reproduce the default schedule exactly
+   (same deliveries, same timestamps); batch > 1 coalesces poll-tick
+   bursts and may shift latencies by up to the tick, but loses
+   nothing. *)
+let bm_net_run ?batch () =
+  let w = make_world () in
+  let server =
+    Bm_hypervisor.create_server w.sim w.rng ~fabric:w.fabric ~storage:w.storage ?batch
+      ~boards:2 ()
+  in
+  let a = Result.get_ok (Bm_hypervisor.provision server ~name:"a" ()) in
+  let b = Result.get_ok (Bm_hypervisor.provision server ~name:"b" ()) in
+  let got = ref 0 in
+  let stamps = ref [] in
+  b.Instance.set_rx_handler (fun pkt ->
+      got := !got + pkt.Packet.count;
+      stamps := (Sim.now w.sim, pkt.Packet.sent_at) :: !stamps);
+  Sim.spawn w.sim (fun () ->
+      Sim.delay Simtime.(ms 1.0);
+      for i = 1 to 20 do
+        ignore
+          (a.Instance.send
+             (burst ~count:4 ~src:a.Instance.endpoint ~dst:b.Instance.endpoint
+                ~now:(Sim.clock ()) i))
+      done);
+  Sim.run ~until:Simtime.(ms 100.0) w.sim;
+  (!got, List.rev !stamps)
+
+let test_bm_batch_one_identical () =
+  let got_default, stamps_default = bm_net_run () in
+  let got_one, stamps_one = bm_net_run ~batch:1 () in
+  check_int "same deliveries" got_default got_one;
+  check_bool "bit-identical timestamps" true (stamps_default = stamps_one)
+
+let test_bm_batch_burst_completes () =
+  let got_default, stamps_default = bm_net_run () in
+  let got_batched, stamps_batched = bm_net_run ~batch:32 () in
+  check_int "nothing lost under batching" got_default got_batched;
+  (* The poll tick delays each burst a little; it must never reorder or
+     lose completions. *)
+  let last (stamps : (float * float) list) = fst (List.nth stamps (List.length stamps - 1)) in
+  check_bool "batched run finishes within a few ticks of the default" true
+    (last stamps_batched -. last stamps_default < 100_000.0)
+
+let test_kvm_batch_burst_completes () =
+  let run ?batch () =
+    let w = make_world () in
+    let host = Kvm.create_host w.sim w.rng ~fabric:w.fabric ~storage:w.storage ?batch () in
+    let a = Kvm.create_vm host { (Kvm.default_config ~name:"a") with vcpus = 16 } in
+    let b = Kvm.create_vm host { (Kvm.default_config ~name:"b") with vcpus = 16 } in
+    let got = ref 0 in
+    b.Instance.set_rx_handler (fun pkt -> got := !got + pkt.Packet.count);
+    Sim.spawn w.sim (fun () ->
+        Sim.delay 1_000.0;
+        for i = 1 to 10 do
+          ignore
+            (a.Instance.send
+               (burst ~count:8 ~src:a.Instance.endpoint ~dst:b.Instance.endpoint
+                  ~now:(Sim.clock ()) i))
+        done);
+    Sim.run ~until:Simtime.(ms 50.0) w.sim;
+    !got
+  in
+  check_int "batched vhost loses nothing" (run ()) (run ~batch:16 ())
+
+let test_batch_zero_rejected () =
+  let w = make_world () in
+  Alcotest.check_raises "bm batch 0"
+    (Invalid_argument "Bm_hypervisor: batch must be >= 1") (fun () ->
+      ignore
+        (Bm_hypervisor.create_server w.sim w.rng ~fabric:w.fabric ~storage:w.storage ~batch:0 ()));
+  Alcotest.check_raises "kvm batch 0"
+    (Invalid_argument "Kvm.create_host: batch must be >= 1") (fun () ->
+      ignore (Kvm.create_host w.sim w.rng ~fabric:w.fabric ~storage:w.storage ~batch:0 ()))
+
 let test_bm_exec_native_speed () =
   let w = make_world () in
   let server = Bm_hypervisor.create_server w.sim w.rng ~fabric:w.fabric ~storage:w.storage () in
@@ -425,6 +500,13 @@ let suites =
         Alcotest.test_case "probe via IO-Bond" `Quick test_bm_probe_uses_iobond_cost;
         Alcotest.test_case "firmware signature gate" `Quick test_firmware_signature_gate;
         Alcotest.test_case "boot same image on both" `Quick test_boot_same_image_both_substrates;
+      ] );
+    ( "hyp.batch",
+      [
+        Alcotest.test_case "batch 1 is bit-identical" `Quick test_bm_batch_one_identical;
+        Alcotest.test_case "bm burst completes" `Quick test_bm_batch_burst_completes;
+        Alcotest.test_case "kvm burst completes" `Quick test_kvm_batch_burst_completes;
+        Alcotest.test_case "batch 0 rejected" `Quick test_batch_zero_rejected;
       ] );
   ]
 
