@@ -12,6 +12,11 @@
      bench/main.exe --jobs N        run up to N experiment cells on parallel
                                     domains (0 = all cores); output is
                                     byte-identical for any N
+     bench/main.exe --topology SPEC fabric topology for the cross-host
+                                    experiments: two_host or key=value
+                                    pairs (hosts, tors, spines,
+                                    host_gbit, spine_gbit, host_lat_us,
+                                    spine_lat_us, queue)
      bench/main.exe --list          list experiment ids
      bench/main.exe --bechamel      bechamel micro-benchmarks of the
                                     (quick-scale) experiment runs *)
@@ -19,7 +24,7 @@
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--faults SEED:SPEC] \
-     [--jobs N] [--list] [--bechamel] [experiment ids...]"
+     [--jobs N] [--topology SPEC] [--list] [--bechamel] [experiment ids...]"
 
 type options = {
   quick : bool;
@@ -27,6 +32,7 @@ type options = {
   trace_file : string option;
   metrics : bool;
   faults : Bm_engine.Fault.plan option;
+  topo : Bm_fabric.Topology.t option;
   jobs : int;
   list : bool;
   bechamel : bool;
@@ -41,6 +47,7 @@ let default_options =
     trace_file = None;
     metrics = false;
     faults = None;
+    topo = None;
     jobs = 1;
     list = false;
     bechamel = false;
@@ -72,6 +79,11 @@ let rec parse opts = function
     | Ok plan -> parse { opts with faults = Some plan } rest
     | Error e -> fail "--faults: %s" e)
   | [ "--faults" ] -> fail "--faults expects <seed>:<spec>"
+  | "--topology" :: spec :: rest -> (
+    match Bm_fabric.Topology.parse_spec spec with
+    | Ok topo -> parse { opts with topo = Some topo } rest
+    | Error e -> fail "--topology: %s" e)
+  | [ "--topology" ] -> fail "--topology expects a spec (e.g. two_host or hosts=4,tors=2)"
   | "--jobs" :: v :: rest -> (
     match int_of_string_opt v with
     | Some 0 -> parse { opts with jobs = Bmhive.Parallel.default_jobs () } rest
@@ -92,8 +104,8 @@ let bechamel_suite seed =
         Test.make ~name:spec.Bmhive.Experiments.id
           (Staged.stage (fun () ->
                ignore
-                 (spec.Bmhive.Experiments.run ~faults:None ~trace:None ~metrics:None ~quick:true
-                    ~seed))))
+                 (spec.Bmhive.Experiments.run ~faults:None ~trace:None ~metrics:None ~topo:None
+                    ~quick:true ~seed))))
       Bmhive.Experiments.all
   in
   Test.make_grouped ~name:"experiments" tests
@@ -138,7 +150,7 @@ let () =
           prerr_endline e;
           exit 1)
       (Bmhive.Experiments.run_many ~quick:opts.quick ~seed:opts.seed ?faults:opts.faults
-         ?trace ?metrics ~jobs:opts.jobs targets);
+         ?trace ?metrics ?topo:opts.topo ~jobs:opts.jobs targets);
     (match metrics with
     | Some m when not (Bm_engine.Metrics.is_empty m) ->
       print_endline "";

@@ -42,6 +42,21 @@ let faults_arg =
   in
   Arg.(value & opt (some fault_conv) None & info [ "faults" ] ~docv:"SEED:SPEC" ~doc)
 
+let topology_arg =
+  let doc =
+    "Fabric topology for the cross-host experiments ($(b,xhost_rr), $(b,xhost_stream), \
+     $(b,xhost_migrate)): the preset $(b,two_host), or comma-separated $(i,key)=$(i,value) \
+     pairs (keys: hosts, tors, spines, host_gbit, spine_gbit, host_lat_us, spine_lat_us, \
+     queue). Example: hosts=4,tors=2,spines=2,spine_gbit=10."
+  in
+  let topo_conv =
+    Arg.conv ~docv:"SPEC"
+      ( (fun s ->
+          match Bm_fabric.Topology.parse_spec s with Ok t -> Ok t | Error e -> Error (`Msg e)),
+        fun ppf t -> Format.pp_print_string ppf (Bm_fabric.Topology.render t) )
+  in
+  Arg.(value & opt (some topo_conv) None & info [ "topology" ] ~docv:"SPEC" ~doc)
+
 let jobs_arg =
   let doc =
     "Run up to $(docv) experiment cells concurrently on separate domains (0 = one per \
@@ -70,7 +85,7 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,list)); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed faults trace_file metrics_wanted jobs ids =
+  let run quick seed faults topo trace_file metrics_wanted jobs ids =
     if jobs < 0 then invalid_arg "--jobs must be non-negative";
     let jobs = if jobs = 0 then Bmhive.Parallel.default_jobs () else jobs in
     let trace = Option.map (fun _ -> Bm_engine.Trace.create ()) trace_file in
@@ -103,14 +118,14 @@ let run_cmd =
           go rest
         | Error e -> `Error (false, e))
     in
-    go (Bmhive.Experiments.run_many ~quick ~seed ?faults ?trace ?metrics ~jobs targets)
+    go (Bmhive.Experiments.run_many ~quick ~seed ?faults ?topo ?trace ?metrics ~jobs targets)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures from the simulation.")
     Term.(
       ret
-        (const run $ quick_arg $ seed_arg $ faults_arg $ trace_arg $ metrics_arg $ jobs_arg
-       $ ids_arg))
+        (const run $ quick_arg $ seed_arg $ faults_arg $ topology_arg $ trace_arg $ metrics_arg
+       $ jobs_arg $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

@@ -11,9 +11,11 @@ type t = {
   per_packet_ns : float;
   hop_ns : float;
   egress_capacity : int;
+  host : int option; (* fabric port when the network is modelled *)
   local : (int, endpoint) Hashtbl.t;
   mutable forwarded : int;
   mutable dropped : int;
+  mutable unknown_dropped : int;
   mutable egress_dropped : int;
   mutable stale_dropped : int;
   mutable queued : int; (* bursts in flight between schedule and delivery *)
@@ -24,16 +26,22 @@ and fabric = {
   fsim : Sim.t;
   nic_gbit_s : float;
   rtt_ns : float;
+  net : Bm_fabric.Fabric.t option; (* explicit link-level network model *)
   routes : (int, t) Hashtbl.t; (* endpoint -> owning switch *)
   mutable next_endpoint : int;
 }
 
-let create_fabric sim ?(gbit_s = 100.0) ?(rtt_ns = 10_000.0) () =
-  { fsim = sim; nic_gbit_s = gbit_s; rtt_ns; routes = Hashtbl.create 64; next_endpoint = 1 }
+let create_fabric sim ?(gbit_s = 100.0) ?(rtt_ns = 10_000.0) ?net () =
+  { fsim = sim; nic_gbit_s = gbit_s; rtt_ns; net; routes = Hashtbl.create 64; next_endpoint = 1 }
+
+let net fabric = fabric.net
 
 let create ?(obs = Obs.none) sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_ns = 5_000.0)
     ?(egress_capacity = 256) () =
   assert (egress_capacity > 0);
+  (* With a link-level network, each vswitch claims the next topology
+     port in creation order — deterministic, like endpoint addresses. *)
+  let host = Option.map Bm_fabric.Fabric.attach fabric.net in
   {
     sim;
     fabric;
@@ -41,22 +49,34 @@ let create ?(obs = Obs.none) sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_n
     per_packet_ns;
     hop_ns;
     egress_capacity;
+    host;
     local = Hashtbl.create 16;
     forwarded = 0;
     dropped = 0;
+    unknown_dropped = 0;
     egress_dropped = 0;
     stale_dropped = 0;
     queued = 0;
     obs;
   }
 
+let host t = t.host
+
 let note_queue_depth t =
   Trace.counter_opt (Obs.trace t.obs) ~track:"cloud.vswitch" "queue_depth" ~now:(Sim.now t.sim)
     (float_of_int t.queued)
 
-let note_drop t (pkt : Packet.t) =
+(* Unknown destination: the MAC resolves to no local endpoint and no
+   peer switch. Counted under its own name (on top of the total) and
+   announced on the trace — a silently black-holed address is the kind
+   of misconfiguration the observability layer exists to surface. *)
+let note_unknown_drop t (pkt : Packet.t) =
   t.dropped <- t.dropped + pkt.Packet.count;
-  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count) "cloud.vswitch.dropped"
+  t.unknown_dropped <- t.unknown_dropped + pkt.Packet.count;
+  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count) "cloud.vswitch.dropped";
+  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count)
+    "cloud.vswitch.unknown_dst_dropped";
+  Trace.instant_opt (Obs.trace t.obs) ~track:"cloud.vswitch" "unknown_dst" ~now:(Sim.now t.sim)
 
 let note_egress_drop t (pkt : Packet.t) =
   t.dropped <- t.dropped + pkt.Packet.count;
@@ -107,23 +127,41 @@ let deliver_local t pkt =
         match Hashtbl.find_opt t.local pkt.Packet.dst with
         | Some ep' when ep' == ep -> ep.deliver pkt
         | Some _ | None -> note_stale_drop t pkt)
-  | None -> note_drop t pkt
+  | None -> note_unknown_drop t pkt
+
+(* Cross-server egress. When the fabric carries a link-level network
+   model and both switches are attached to it, the burst rides the
+   topology: serialization happens at the source host's uplink (so the
+   sending process is not stalled here) and the peer's forwarding cost
+   is charged on arrival. Otherwise the legacy flat-wire model applies:
+   NIC serialisation in the sender's process, one fixed RTT, done. *)
+let egress_fabric t peer ~charge_peer_cpu pkt =
+  match (t.fabric.net, t.host, peer.host) with
+  | Some net, Some src_host, Some dst_host when src_host <> dst_host ->
+    Bm_fabric.Fabric.send net ~src_host ~dst_host pkt ~deliver:(fun pkt ->
+        Sim.spawn peer.sim (fun () ->
+            if charge_peer_cpu then switch_cpu peer pkt;
+            deliver_local peer pkt));
+    true
+  | _ -> false
 
 let send t pkt =
   switch_cpu t pkt;
   if Hashtbl.mem t.local pkt.Packet.dst then deliver_local t pkt
   else
     match Hashtbl.find_opt t.fabric.routes pkt.Packet.dst with
-    | None -> note_drop t pkt
+    | None -> note_unknown_drop t pkt
     | Some peer ->
-      (* NIC serialisation + propagation, then the peer switch's own
-         forwarding cost in a process of its own. *)
-      let wire_ns = float_of_int pkt.Packet.size *. 8.0 /. t.fabric.nic_gbit_s in
-      Sim.delay wire_ns;
-      Sim.schedule t.sim ~delay:t.fabric.rtt_ns (fun () ->
-          Sim.spawn peer.sim (fun () ->
-              switch_cpu peer pkt;
-              deliver_local peer pkt))
+      if not (egress_fabric t peer ~charge_peer_cpu:true pkt) then begin
+        (* NIC serialisation + propagation, then the peer switch's own
+           forwarding cost in a process of its own. *)
+        let wire_ns = float_of_int pkt.Packet.size *. 8.0 /. t.fabric.nic_gbit_s in
+        Sim.delay wire_ns;
+        Sim.schedule t.sim ~delay:t.fabric.rtt_ns (fun () ->
+            Sim.spawn peer.sim (fun () ->
+                switch_cpu peer pkt;
+                deliver_local peer pkt))
+      end
 
 (* Hardware-switched injection (an offload engine forwarding on behalf
    of a guest): same delivery semantics, no switch CPU charged. *)
@@ -131,13 +169,16 @@ let forward_hw t pkt =
   if Hashtbl.mem t.local pkt.Packet.dst then deliver_local t pkt
   else
     match Hashtbl.find_opt t.fabric.routes pkt.Packet.dst with
-    | None -> note_drop t pkt
+    | None -> note_unknown_drop t pkt
     | Some peer ->
-      let wire_ns = float_of_int pkt.Packet.size *. 8.0 /. t.fabric.nic_gbit_s in
-      Sim.schedule t.sim ~delay:(wire_ns +. t.fabric.rtt_ns) (fun () ->
-          Sim.spawn peer.sim (fun () -> deliver_local peer pkt))
+      if not (egress_fabric t peer ~charge_peer_cpu:false pkt) then begin
+        let wire_ns = float_of_int pkt.Packet.size *. 8.0 /. t.fabric.nic_gbit_s in
+        Sim.schedule t.sim ~delay:(wire_ns +. t.fabric.rtt_ns) (fun () ->
+            Sim.spawn peer.sim (fun () -> deliver_local peer pkt))
+      end
 
 let forwarded t = t.forwarded
 let dropped t = t.dropped
+let unknown_dropped t = t.unknown_dropped
 let egress_dropped t = t.egress_dropped
 let stale_dropped t = t.stale_dropped

@@ -13,9 +13,19 @@ type t
 
 type fabric
 
-val create_fabric : Bm_engine.Sim.t -> ?gbit_s:float -> ?rtt_ns:float -> unit -> fabric
+val create_fabric :
+  Bm_engine.Sim.t -> ?gbit_s:float -> ?rtt_ns:float -> ?net:Bm_fabric.Fabric.t -> unit -> fabric
 (** The physical datacenter network: servers attach via [gbit_s] NICs
-    (default 100, §3.4.3) with [rtt_ns] one-way latency (default 10 µs). *)
+    (default 100, §3.4.3) with [rtt_ns] one-way latency (default 10 µs).
+    With [net], cross-server traffic is carried by the link-level
+    {!Bm_fabric.Fabric} model (ToR/spine topology, per-link queues,
+    ECMP) instead of the flat wire: each subsequently created vswitch
+    claims the next host port of the topology, so {!create} raises
+    [Invalid_argument] once every port is taken — size the topology to
+    the number of servers. *)
+
+val net : fabric -> Bm_fabric.Fabric.t option
+(** The link-level network carrying cross-server traffic, if any. *)
 
 val create :
   ?obs:Bm_engine.Obs.t ->
@@ -40,8 +50,13 @@ val create :
     never reaches a dead endpoint. With [obs], in-flight burst depth is
     sampled as a [queue_depth] counter on the ["cloud.vswitch"] track,
     forwarded packets feed the ["cloud.vswitch.pps"] meter and drops the
-    ["cloud.vswitch.dropped"] / ["cloud.vswitch.egress_dropped"] /
-    ["cloud.vswitch.stale_dropped"] counters. *)
+    ["cloud.vswitch.dropped"] / ["cloud.vswitch.unknown_dst_dropped"] /
+    ["cloud.vswitch.egress_dropped"] / ["cloud.vswitch.stale_dropped"]
+    counters; a burst for an unknown destination additionally emits an
+    [unknown_dst] instant on the ["cloud.vswitch"] trace track. *)
+
+val host : t -> int option
+(** This server's port in the link-level network, when one is modelled. *)
 
 val register : t -> deliver:(Bm_virtio.Packet.t -> unit) -> int
 (** Attach an endpoint; returns its address. [deliver] receives each
@@ -65,6 +80,10 @@ val forwarded : t -> int
 
 val dropped : t -> int
 (** All drops (unknown destination + egress overflow + stale delivery). *)
+
+val unknown_dropped : t -> int
+(** Packets dropped because the destination address resolved to no
+    endpoint anywhere (subset of {!dropped}). *)
 
 val egress_dropped : t -> int
 (** Packets dropped at a full per-destination egress queue. *)

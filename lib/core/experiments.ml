@@ -19,6 +19,7 @@ type spec = {
     faults:Fault.plan option ->
     trace:Trace.t option ->
     metrics:Metrics.t option ->
+    topo:Bm_fabric.Topology.t option ->
     quick:bool ->
     seed:int ->
     outcome;
@@ -30,7 +31,7 @@ let within ~tolerance ~target value =
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
 
-let run_table1 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
+let run_table1 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   {
     id = "table1";
     title = "Table 1: comparison of three cloud services";
@@ -42,7 +43,7 @@ let run_table1 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* Table 2 *)
 
-let run_table2 ~faults:_ ~trace:_ ~metrics:_ ~quick ~seed =
+let run_table2 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
   let vms = if quick then 30_000 else 300_000 in
   let rng = Rng.create ~seed in
   let s = Fleet.survey_exits rng ~vms in
@@ -69,7 +70,7 @@ let run_table2 ~faults:_ ~trace:_ ~metrics:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 1 *)
 
-let run_fig1 ~faults:_ ~trace:_ ~metrics:_ ~quick ~seed =
+let run_fig1 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
   let vms = if quick then 2_000 else 20_000 in
   let hours = if quick then 8 else 24 in
   let rng = Rng.create ~seed in
@@ -111,7 +112,7 @@ let run_fig1 ~faults:_ ~trace:_ ~metrics:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let run_table3 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
+let run_table3 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let rows =
     List.map
       (fun i ->
@@ -137,7 +138,7 @@ let run_table3 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: SPEC CINT2006 *)
 
-let run_fig7 ~faults:_ ~trace ~metrics ~quick:_ ~seed =
+let run_fig7 ~faults:_ ~trace ~metrics ~topo:_ ~quick:_ ~seed =
   let spec_on make =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let inst = make tb in
@@ -171,7 +172,7 @@ let run_fig7 ~faults:_ ~trace ~metrics ~quick:_ ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: STREAM *)
 
-let run_fig8 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_fig8 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let elements = if quick then 20_000_000 else 200_000_000 in
   let runs = if quick then 3 else 10 in
   let stream_on make =
@@ -208,7 +209,7 @@ let run_fig8 ~faults:_ ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: UDP PPS *)
 
-let run_fig9 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_fig9 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 40.0 else Simtime.ms 400.0 in
   let pps_of pair =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -241,7 +242,7 @@ let run_fig9 ~faults:_ ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: latency *)
 
-let run_fig10 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_fig10 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let lat pair path =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -280,7 +281,7 @@ let run_fig10 ~faults:_ ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: storage latency *)
 
-let run_fig11 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_fig11 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 300.0 else Simtime.sec 4.0 in
   let fio_on make pattern =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -323,7 +324,7 @@ let nginx_rps_at tb ~server ~concurrency ~requests =
   Nginx.serve server ();
   Nginx.ab tb.Testbed.sim ~client ~server ~concurrency ~requests
 
-let run_fig12 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_fig12 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let concurrencies = if quick then [ 100; 400 ] else [ 50; 100; 200; 400; 800 ] in
   let per_level = if quick then 60 else 150 in
   let run_level make concurrency =
@@ -365,7 +366,7 @@ let sysbench_on ?trace ?metrics ~seed ~pattern ~duration make =
   Mariadb.serve tb.Testbed.sim (Rng.create ~seed:(seed + 13)) server ();
   Mariadb.sysbench tb.Testbed.sim ~client ~server ~pattern ~duration ()
 
-let run_mariadb ~id ~title ~patterns ~paper_notes ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_mariadb ~id ~title ~patterns ~paper_notes ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 200.0 else Simtime.sec 2.0 in
   let rows =
     List.map
@@ -415,7 +416,7 @@ let redis_on ?trace ?metrics ~seed make ~clients ~value_bytes ~requests =
   Redis_bench.serve tb.Testbed.sim server ();
   Redis_bench.benchmark tb.Testbed.sim ~client ~server ~clients ~value_bytes ~requests ()
 
-let run_fig15 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_fig15 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let clients_list = if quick then [ 1000; 4000 ] else [ 1000; 2000; 4000; 7000; 10000 ] in
   let requests = if quick then 8_000 else 40_000 in
   let rows =
@@ -447,7 +448,7 @@ let run_fig15 ~faults:_ ~trace ~metrics ~quick ~seed =
     notes = [ "Paper: bm 20-40% more requests/s across 1K..10K clients." ];
   }
 
-let run_fig16 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_fig16 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let sizes = if quick then [ 4; 1024 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
   let requests = if quick then 8_000 else 40_000 in
   let results =
@@ -507,7 +508,7 @@ let run_fig16 ~faults:_ ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §2.3: nested virtualization *)
 
-let run_sec2_3 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_sec2_3 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let exec_time nested =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let host = Testbed.vm_host tb in
@@ -566,7 +567,7 @@ let run_sec2_3 ~faults:_ ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §3.5: cost efficiency *)
 
-let run_sec3_5 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
+let run_sec3_5 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let d = Cost_model.density () in
   let vm_w = Cost_model.vm_watts_per_vcpu () in
   let bm_w = Cost_model.bm_single_board_watts_per_vcpu () in
@@ -594,7 +595,7 @@ let run_sec3_5 ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* §4.3 network: TCP throughput + unrestricted PPS *)
 
-let run_sec4_3net ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_sec4_3net ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   (* Cross-server throughput at the 10 Gbit/s cap. *)
   let tcp make =
@@ -652,7 +653,7 @@ let run_sec4_3net ~faults:_ ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §4.3 storage: unrestricted local SSD *)
 
-let run_sec4_3blk ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_sec4_3blk ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 100.0 else Simtime.ms 800.0 in
   let unlimited () = Bm_cloud.Limits.unlimited_blk () in
   let small make =
@@ -700,7 +701,7 @@ let run_sec4_3blk ~faults:_ ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §6: ASIC IO-Bond ablation *)
 
-let run_sec6 ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_sec6 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let probe profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, inst = Testbed.bm_guest ~profile tb in
@@ -748,7 +749,7 @@ let run_sec6 ~faults:_ ~trace ~metrics ~quick ~seed =
 (* How much does IO-Bond's register latency matter? Sweep the per-hop
    cost (the FPGA -> ASIC axis, extended) against the two things it
    touches: the emulated config path and end-to-end message latency. *)
-let run_ablation_reg ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_ablation_reg ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let count = if quick then 200 else 1000 in
   let probe_and_lat profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -785,7 +786,7 @@ let run_ablation_reg ~faults:_ ~trace ~metrics ~quick ~seed =
 
 (* How big must the DMA engine be? The paper picked 50 Gbit/s; sweep it
    against unrestricted guest throughput. *)
-let run_ablation_dma ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_ablation_dma ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let tput dma_gbit_s =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -825,7 +826,7 @@ let run_ablation_dma ~faults:_ ~trace ~metrics ~quick ~seed =
 
 (* How much do batched doorbells/PMD bursts buy? Sweep the burst size the
    guest stack hands to virtio. *)
-let run_ablation_batch ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_ablation_batch ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let pps batch =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -851,7 +852,7 @@ let run_ablation_batch ~faults:_ ~trace ~metrics ~quick ~seed =
 (* S6's offload plan: with IO-Bond classifying flows, known traffic
    bypasses the bm-hypervisor's PMD entirely. Measure PPS and base-core
    utilization with and without it. *)
-let run_ablation_offload ~faults:_ ~trace ~metrics ~quick ~seed =
+let run_ablation_offload ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let run offload =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -948,7 +949,7 @@ let mttr_of (plan : Fault.plan) completions =
       |> Option.map (fun c -> c -. e.Fault.at))
     plan.Fault.events
 
-let run_availability ~faults ~trace ~metrics ~quick ~seed =
+let run_availability ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
   let workers = if quick then 2 else 4 in
   let plan =
     match faults with
@@ -1069,7 +1070,7 @@ let run_availability ~faults ~trace ~metrics ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Evacuation after a base-server failure *)
 
-let run_evacuation ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
+let run_evacuation ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let open Bm_cloud in
   let strategies =
     [
@@ -1149,7 +1150,7 @@ let run_evacuation ~faults:_ ~trace:_ ~metrics:_ ~quick:_ ~seed:_ =
    storage admission queue, drop-tail backlogs. The acceptance shape is
    the hockey stick — bounded goodput stays at the ceiling with flat
    latency while blocking latency diverges with the backlog. *)
-let run_overload ~faults ~trace ~metrics ~quick ~seed =
+let run_overload ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
   let open Bm_cloud in
   let net_duration = if quick then Simtime.ms 8.0 else Simtime.ms 60.0 in
   let blk_duration = if quick then Simtime.ms 40.0 else Simtime.ms 250.0 in
@@ -1275,6 +1276,273 @@ let run_overload ~faults ~trace ~metrics ~quick ~seed =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Cross-host experiments: traffic over the link-level fabric *)
+
+module Fabric = Bm_fabric.Fabric
+module Topology = Bm_fabric.Topology
+module Packet = Bm_virtio.Packet
+
+(* One bm-guest on each of two base servers; with a topology in the
+   testbed the servers claim fabric ports 0 and 1 in creation order. *)
+let xhost_bm_pair tb =
+  let s1 = Testbed.bm_server tb in
+  let s2 = Testbed.bm_server tb in
+  let g server name =
+    match Bm_hypervisor.provision server ~name () with Ok i -> i | Error e -> failwith e
+  in
+  (g s1 "a", g s2 "b")
+
+let xhost_vm_pair tb =
+  let h1 = Testbed.vm_host tb in
+  let h2 = Testbed.vm_host tb in
+  (Kvm.create_vm h1 (Kvm.default_config ~name:"a"), Kvm.create_vm h2 (Kvm.default_config ~name:"b"))
+
+(* Background load injected straight into the fabric (pseudo endpoints,
+   so it contends in the link queues without consuming guest or vswitch
+   resources): every [period] a train of [train] bursts, until a stop
+   time — the on/off pattern that builds and drains queues. *)
+let background_trains sim net ~src_host ~dst_host ~burst_bytes ~burst_count ~train ~period ~until
+    =
+  let next_id = ref 0 in
+  Sim.spawn sim (fun () ->
+      let rec tick () =
+        if Sim.clock () < until then begin
+          for _ = 1 to train do
+            incr next_id;
+            Fabric.send net ~src_host ~dst_host
+              ~deliver:(fun _ -> ())
+              (Packet.make ~id:!next_id ~src:0x6f00 ~dst:0x6f01 ~size:burst_bytes
+                 ~count:burst_count ~tag:1 ~protocol:Packet.Udp ~sent_at:(Sim.clock ()) ())
+          done;
+          Sim.delay period;
+          tick ()
+        end
+      in
+      tick ())
+
+let hottest_link net ~now =
+  List.fold_left
+    (fun acc (s : Fabric.link_stat) ->
+      match acc with
+      | Some (a : Fabric.link_stat) when a.utilization >= s.utilization -> acc
+      | _ -> Some s)
+    None
+    (Fabric.link_stats net ~now)
+
+let link_note net ~now =
+  match hottest_link net ~now with
+  | None -> "fabric: no links"
+  | Some s ->
+    Printf.sprintf "hottest link %s: util %s, depth p99 %s, delivered %s, dropped %s" s.name
+      (Report.pct s.utilization) (Report.f1 s.depth_p99)
+      (Report.si (float_of_int s.delivered_pkts))
+      (Report.si (float_of_int s.dropped_pkts))
+
+let run_xhost_rr ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+  let count = if quick then 400 else 2000 in
+  let rr tb (a, b) = Netperf.tcp_rr tb.Testbed.sim ~src:a ~dst:b ~count () in
+  (* On-host baseline: the pre-fabric fast path, same server. *)
+  let tb0 = Testbed.make ~seed ?trace ?metrics () in
+  let _, a0, b0 = Testbed.bm_pair tb0 in
+  let on_host = rr tb0 (a0, b0) in
+  (* Cross-host over an idle leaf-spine: hosts in different racks. *)
+  let topo_idle = Option.value topo ~default:(Topology.clos ~hosts:2 ~tors:2 ~spines:2 ()) in
+  let tb1 = Testbed.make ~seed ?trace ?metrics ~topology:topo_idle () in
+  let bm_pair1 = xhost_bm_pair tb1 in
+  let idle = rr tb1 bm_pair1 in
+  let net1 = Option.get tb1.Testbed.net in
+  (* Same racks, one undersized spine, on/off cross traffic sharing the
+     request path: queueing delay without drops (trains of 30 bursts
+     stay under the 64-burst queues). *)
+  let topo_hot = Topology.clos ~hosts:2 ~tors:2 ~spines:1 ~spine_gbit_s:10.0 () in
+  let tb2 = Testbed.make ~seed ?trace ?metrics ~topology:topo_hot () in
+  let bm_pair2 = xhost_bm_pair tb2 in
+  let net2 = Option.get tb2.Testbed.net in
+  background_trains tb2.Testbed.sim net2 ~src_host:0 ~dst_host:1 ~burst_bytes:15_000
+    ~burst_count:10 ~train:30 ~period:(Simtime.us 500.0)
+    ~until:(if quick then Simtime.ms 150.0 else Simtime.ms 600.0);
+  let hot = rr tb2 bm_pair2 in
+  (* vm-guests across the same idle fabric. *)
+  let tb3 = Testbed.make ~seed ?trace ?metrics ~topology:topo_idle () in
+  let vm_pair = xhost_vm_pair tb3 in
+  let vm_idle = rr tb3 vm_pair in
+  (* An uncongested transaction pays, on top of the on-host RTT, the
+     wire path both ways plus the remote vswitch's per-packet cost both
+     ways — nothing else. *)
+  let wire_bytes = 64 + Packet.tcp_header_bytes in
+  let expected_delta_us =
+    (2.0 *. (Fabric.path_latency_ns net1 ~src_host:0 ~dst_host:1 ~bytes:wire_bytes +. 300.0))
+    /. 1e3
+  in
+  let measured_delta_us = idle.Netperf.rtt_p50_us -. on_host.Netperf.rtt_p50_us in
+  let row label (r : Netperf.rr_result) =
+    [
+      label;
+      string_of_int r.Netperf.transactions;
+      Report.si r.Netperf.per_s;
+      Report.f1 r.Netperf.rtt_p50_us;
+      Report.f1 r.Netperf.rtt_p99_us;
+      Report.f1 r.Netperf.rtt_p999_us;
+    ]
+  in
+  {
+    id = "xhost_rr";
+    title = "Cross-host netperf TCP_RR over the leaf-spine fabric";
+    header = [ "config"; "tx"; "tx/s"; "p50 us"; "p99 us"; "p99.9 us" ];
+    rows =
+      [
+        row "bm on-host" on_host;
+        row "bm cross-host, idle spine" idle;
+        row "bm cross-host, hot spine" hot;
+        row "vm cross-host, idle spine" vm_idle;
+        Report.check
+          ~paper:(Report.f1 expected_delta_us)
+          ~measured:(Report.f1 measured_delta_us)
+          ~ok:
+            (within ~tolerance:0.1 ~target:expected_delta_us measured_delta_us)
+          [ "idle RTT delta vs on-host (us)"; "-"; "-" ];
+        Report.check ~paper:">= 2x idle"
+          ~measured:(Report.f1 hot.Netperf.rtt_p99_us)
+          ~ok:(hot.Netperf.rtt_p99_us >= 2.0 *. idle.Netperf.rtt_p99_us)
+          [ "hot-spine p99 inflation (us)"; "-"; "-" ];
+      ];
+    notes =
+      [
+        Printf.sprintf "idle topology: %s" (Topology.render (Fabric.topology net1));
+        Printf.sprintf "expected idle delta = 2 x (one-way path latency + remote vswitch cost)";
+        Printf.sprintf "hot spine: %s" (link_note net2 ~now:(Sim.now tb2.Testbed.sim));
+      ];
+  }
+
+let run_xhost_stream ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+  let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
+  let stream tb (a, b) = Netperf.tcp_stream tb.Testbed.sim ~src:a ~dst:b ~duration () in
+  let topo_idle = Option.value topo ~default:(Topology.clos ~hosts:2 ~tors:2 ~spines:2 ()) in
+  let bm_cell topology =
+    let tb = Testbed.make ~seed ?trace ?metrics ~topology () in
+    let pair = xhost_bm_pair tb in
+    let r = stream tb pair in
+    (r, Option.get tb.Testbed.net, Sim.now tb.Testbed.sim)
+  in
+  let idle, net_idle, now_idle = bm_cell topo_idle in
+  (* The guests' 10 Gbit/s cap funnelled through a 5 Gbit/s spine: the
+     ToR uplink queue fills and drop-tails — loss, not backpressure. *)
+  let hot, net_hot, now_hot =
+    bm_cell (Topology.clos ~hosts:2 ~tors:2 ~spines:1 ~spine_gbit_s:5.0 ())
+  in
+  let vm_idle =
+    let tb = Testbed.make ~seed ?trace ?metrics ~topology:topo_idle () in
+    let pair = xhost_vm_pair tb in
+    stream tb pair
+  in
+  let row label (r : Netperf.throughput_result) =
+    [
+      label;
+      Report.f2 r.Netperf.payload_gbit_s;
+      Report.f2 r.Netperf.gbit_s;
+      Report.si (float_of_int r.Netperf.messages);
+    ]
+  in
+  {
+    id = "xhost_stream";
+    title = "Cross-host TCP throughput: idle vs oversubscribed spine";
+    header = [ "config"; "payload gbit/s"; "wire gbit/s"; "messages" ];
+    rows =
+      [
+        row "bm cross-host, idle spine" idle;
+        row "bm cross-host, 5G spine" hot;
+        row "vm cross-host, idle spine" vm_idle;
+        Report.check ~paper:"~9.6 (rate cap)"
+          ~measured:(Report.f2 idle.Netperf.payload_gbit_s)
+          ~ok:(idle.Netperf.payload_gbit_s >= 8.5)
+          [ "idle spine carries the rate cap" ];
+        Report.check ~paper:"< 5.0 + drops"
+          ~measured:(Report.f2 hot.Netperf.payload_gbit_s)
+          ~ok:(hot.Netperf.payload_gbit_s < 5.0 && Fabric.dropped net_hot > 0)
+          [ "oversubscribed spine sheds load" ];
+      ];
+    notes =
+      [
+        Printf.sprintf "idle: %s" (link_note net_idle ~now:now_idle);
+        Printf.sprintf "hot:  %s" (link_note net_hot ~now:now_hot);
+        Printf.sprintf "hot fabric conservation: injected %d = delivered %d + dropped %d"
+          (Fabric.injected net_hot) (Fabric.delivered net_hot) (Fabric.dropped net_hot);
+      ];
+  }
+
+let run_xhost_migrate ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+  let mem_gb = if quick then 4 else 16 in
+  let dirty = 2.0 in
+  let migrate_in tb bm via =
+    let out = ref None in
+    Sim.spawn tb.Testbed.sim (fun () ->
+        match Live_migration.inject tb.Testbed.sim (Rng.create ~seed:(seed + 1)) bm with
+        | Error e -> failwith e
+        | Ok inj -> (
+          match Live_migration.migrate inj ?via ~dirty_rate_gb_s:dirty ~mem_gb () with
+          | Error e -> failwith e
+          | Ok s -> out := Some s));
+    Testbed.run tb;
+    Option.get !out
+  in
+  (* Analytic dedicated link — the pre-fabric model. *)
+  let analytic =
+    let tb = Testbed.make ~seed ?trace ?metrics () in
+    let _, bm = Testbed.bm_guest tb in
+    migrate_in tb bm None
+  in
+  let fabric_cell ~flood =
+    let topology = Option.value topo ~default:(Topology.two_host ()) in
+    let tb = Testbed.make ~seed ?trace ?metrics ~topology () in
+    let _, bm = Testbed.bm_guest tb in
+    let net = Option.get tb.Testbed.net in
+    if flood then
+      (* ~50% of the uplink in 1 MB bursts, alongside the pre-copy. *)
+      background_trains tb.Testbed.sim net ~src_host:0 ~dst_host:1 ~burst_bytes:1_000_000
+        ~burst_count:1 ~train:1 ~period:(Simtime.us 160.0)
+        ~until:(if quick then Simtime.sec 1.5 else Simtime.sec 5.0);
+    migrate_in tb bm (Some (net, 0, 1))
+  in
+  let idle = fabric_cell ~flood:false in
+  let contended = fabric_cell ~flood:true in
+  let row label (s : Live_migration.migration_stats) =
+    [
+      label;
+      string_of_int s.Live_migration.precopy_rounds;
+      Report.f2 (s.Live_migration.bytes_copied /. 1e9);
+      Report.f2 (s.Live_migration.blackout_ns /. 1e6);
+      Report.f2 (s.Live_migration.total_ns /. 1e9);
+    ]
+  in
+  {
+    id = "xhost_migrate";
+    title = "Live migration over the fabric: idle vs contended uplink";
+    header = [ "config"; "rounds"; "copied GB"; "blackout ms"; "total s" ];
+    rows =
+      [
+        row "dedicated link (analytic)" analytic;
+        row "fabric, idle" idle;
+        row "fabric, contended uplink" contended;
+        Report.check ~paper:"= analytic"
+          ~measured:(Report.f2 (idle.Live_migration.total_ns /. 1e9))
+          ~ok:
+            (within ~tolerance:0.1 ~target:analytic.Live_migration.total_ns
+               idle.Live_migration.total_ns)
+          [ "idle fabric matches dedicated link"; "-" ];
+        Report.check ~paper:"> idle"
+          ~measured:(Report.f2 (contended.Live_migration.total_ns /. 1e9))
+          ~ok:(contended.Live_migration.total_ns > 1.2 *. idle.Live_migration.total_ns)
+          [ "contention stretches the copy"; "-" ];
+      ];
+    notes =
+      [
+        Printf.sprintf "%d GB at %.1f GB/s dirty rate; pre-copy in 1 MB chunks, window 16"
+          mem_gb dirty;
+        "contended cell: 1 MB background burst every 160 us on the same uplink (~50% duty)";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1304,15 +1572,18 @@ let all =
     { id = "availability"; title = "Goodput under faults"; paper_ref = "robustness"; run = run_availability };
     { id = "overload"; title = "Overload control"; paper_ref = "robustness"; run = run_overload };
     { id = "evacuation"; title = "Server-failure evacuation"; paper_ref = "S3.1"; run = run_evacuation };
+    { id = "xhost_rr"; title = "Cross-host TCP_RR"; paper_ref = "S2/S5 fleet"; run = run_xhost_rr };
+    { id = "xhost_stream"; title = "Cross-host TCP throughput"; paper_ref = "S2/S5 fleet"; run = run_xhost_stream };
+    { id = "xhost_migrate"; title = "Migration over the fabric"; paper_ref = "S6 + fleet"; run = run_xhost_migrate };
   ]
 
 let find id = List.find_opt (fun s -> s.id = id) all
 let ids () = List.map (fun s -> s.id) all
 
-let run_one ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics id =
+let run_one ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?topo id =
   match find id with
   | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
-  | Some spec -> Ok (spec.run ~faults ~trace ~metrics ~quick ~seed)
+  | Some spec -> Ok (spec.run ~faults ~trace ~metrics ~topo ~quick ~seed)
 
 (* Trace/metrics sinks are single mutable buffers shared by every cell;
    recording from several domains would race, so their presence forces a
@@ -1321,7 +1592,7 @@ let run_one ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics id =
 let effective_jobs ~trace ~metrics jobs =
   if trace <> None || metrics <> None then 1 else max 1 jobs
 
-let run_many ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?(jobs = 1) targets =
+let run_many ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?topo ?(jobs = 1) targets =
   let specs =
     List.map
       (fun id ->
@@ -1337,13 +1608,13 @@ let run_many ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?(jobs = 1)
     (fun spec ->
       match spec with
       | Error _ as e -> e
-      | Ok spec -> Ok (spec.run ~faults ~trace ~metrics ~quick ~seed))
+      | Ok spec -> Ok (spec.run ~faults ~trace ~metrics ~topo ~quick ~seed))
     specs
   |> List.map2 (fun id r -> (id, r)) targets
 
-let run_all ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?(jobs = 1) () =
+let run_all ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?topo ?(jobs = 1) () =
   let jobs = effective_jobs ~trace ~metrics jobs in
-  Parallel.map ~jobs (fun spec -> spec.run ~faults ~trace ~metrics ~quick ~seed) all
+  Parallel.map ~jobs (fun spec -> spec.run ~faults ~trace ~metrics ~topo ~quick ~seed) all
 
 let print_outcome (o : outcome) =
   print_endline "";

@@ -24,6 +24,7 @@ type spec = {
     faults:Bm_engine.Fault.plan option ->
     trace:Bm_engine.Trace.t option ->
     metrics:Bm_engine.Metrics.t option ->
+    topo:Bm_fabric.Topology.t option ->
     quick:bool ->
     seed:int ->
     outcome;
@@ -31,6 +32,8 @@ type spec = {
           builds. Recording is pure observation: results are bit-identical
           with and without sinks attached. [faults] arms a fault plan in
           those testbeds; experiments that model no failure semantics
+          ignore it. [topo] overrides the fabric topology in the
+          cross-host experiments ([xhost_*]); single-server experiments
           ignore it. Same seed + same plan ⇒ bit-identical outcome. *)
 }
 
@@ -44,6 +47,7 @@ val run_one :
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
+  ?topo:Bm_fabric.Topology.t ->
   string ->
   (outcome, string) result
 
@@ -53,6 +57,7 @@ val run_many :
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
+  ?topo:Bm_fabric.Topology.t ->
   ?jobs:int ->
   string list ->
   (string * (outcome, string) result) list
@@ -69,6 +74,7 @@ val run_all :
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
+  ?topo:Bm_fabric.Topology.t ->
   ?jobs:int ->
   unit ->
   outcome list

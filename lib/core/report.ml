@@ -47,5 +47,25 @@ let pct x = Printf.sprintf "%.1f%%" (x *. 100.0)
 
 let check ~paper ~measured ~ok row = row @ [ paper; measured; (if ok then "ok" else "DIFF") ]
 
-let metrics_table ?(title = "metrics") m =
-  table ~title ~header:Bm_engine.Metrics.table_header (Bm_engine.Metrics.rows m)
+let fabric_table ?(title = "fabric links") fabric ~now =
+  let rows =
+    List.map
+      (fun (s : Bm_fabric.Fabric.link_stat) ->
+        [
+          s.name;
+          f1 s.gbit_s;
+          pct s.utilization;
+          f1 s.depth_p99;
+          si (float_of_int s.delivered_pkts);
+          si (float_of_int s.dropped_pkts);
+          string_of_int s.queued;
+        ])
+      (Bm_fabric.Fabric.link_stats fabric ~now)
+  in
+  table ~title
+    ~header:[ "link"; "gbit/s"; "util"; "depth p99"; "delivered"; "dropped"; "queued" ]
+    rows
+
+let metrics_table ?(title = "metrics") ?fabric ?(now = 0.0) m =
+  let base = table ~title ~header:Bm_engine.Metrics.table_header (Bm_engine.Metrics.rows m) in
+  match fabric with None -> base | Some f -> base ^ "\n" ^ fabric_table f ~now

@@ -18,6 +18,14 @@ val pct : float -> string
 val check : paper:string -> measured:string -> ok:bool -> string list -> string list
 (** Append paper-vs-measured columns and a ✓/✗ marker to a row. *)
 
-val metrics_table : ?title:string -> Bm_engine.Metrics.t -> string
+val fabric_table : ?title:string -> Bm_fabric.Fabric.t -> now:float -> string
+(** Per-link table for the datacenter fabric: utilization (serialization
+    busy time over elapsed time up to [now]), queue depth p99, delivered
+    and dropped wire packets, bursts still queued. *)
+
+val metrics_table :
+  ?title:string -> ?fabric:Bm_fabric.Fabric.t -> ?now:float -> Bm_engine.Metrics.t -> string
 (** Render a metrics snapshot as an aligned table (one row per
-    registered counter/histogram/meter, sorted by name). *)
+    registered counter/histogram/meter, sorted by name). With [fabric],
+    a {!fabric_table} as of [now] (default 0) follows, so [--metrics]
+    output covers the network layer. *)

@@ -1,0 +1,280 @@
+module Topology = Topology
+open Bm_engine
+module Packet = Bm_virtio.Packet
+
+(* A burst in flight: the links it still has to cross after the one it
+   is queued on, and the continuations to fire at the far end. *)
+type job = {
+  pkt : Packet.t;
+  mutable rest : link list;
+  deliver : Packet.t -> unit;
+  on_drop : (Packet.t -> unit) option;
+}
+
+and link = {
+  name : string;
+  params : Topology.link_params;
+  queue : job Sim.Bounded.bounded;
+  depth : Stats.Histogram.t;
+  mutable busy_ns : float;  (* time spent serializing bursts *)
+  mutable delivered_pkts : int;
+  mutable dropped_pkts : int;
+  mutable delivered_bytes : int;
+}
+
+type t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  seed : int64;  (* ECMP hash salt, drawn once at create *)
+  host_up : link array;  (* host h -> tor_of h *)
+  host_down : link array;  (* tor_of h -> host h *)
+  tor_up : link array array;  (* tor_up.(tor).(spine) *)
+  spine_down : link array array;  (* spine_down.(spine).(tor) *)
+  created_at : float;
+  mutable attached : int;
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  obs : Obs.t;
+}
+
+let topology t = t.topo
+let injected t = t.injected
+let delivered t = t.delivered
+let dropped t = t.dropped
+let hosts_attached t = t.attached
+
+let all_links t =
+  Array.to_list t.host_up @ Array.to_list t.host_down
+  @ List.concat_map Array.to_list (Array.to_list t.tor_up)
+  @ List.concat_map Array.to_list (Array.to_list t.spine_down)
+
+let serialize_ns (p : Topology.link_params) bytes = float_of_int bytes *. 8.0 /. p.gbit_s
+
+(* Hand a job to a link's egress queue. Drop_tail send never blocks, so
+   this is safe from both process and scheduler context; a full queue
+   drops the arriving burst right here (counted, traced, reported). *)
+let offer fab link job =
+  let m = Obs.metrics fab.obs in
+  match Sim.Bounded.send link.queue job with
+  | `Sent ->
+    let d = float_of_int (Sim.Bounded.length link.queue) in
+    Stats.Histogram.add link.depth d;
+    Metrics.observe_opt m ~lo:1.0 ~hi:1e4 ("fabric.link." ^ link.name ^ ".depth") d;
+    Trace.counter_opt (Obs.trace fab.obs) ~track:("fabric." ^ link.name) "depth"
+      ~now:(Obs.now fab.obs) d
+  | `Dropped ->
+    link.dropped_pkts <- link.dropped_pkts + job.pkt.count;
+    fab.dropped <- fab.dropped + job.pkt.count;
+    Metrics.incr_opt m ("fabric.link." ^ link.name ^ ".dropped");
+    Metrics.incr_opt m ~by:(float_of_int job.pkt.count) "fabric.dropped";
+    Trace.instant_opt (Obs.trace fab.obs) ~track:("fabric." ^ link.name) "drop"
+      ~now:(Obs.now fab.obs);
+    (match job.on_drop with None -> () | Some f -> f job.pkt)
+  | `Rejected -> assert false (* Drop_tail never rejects *)
+
+let arrive fab job =
+  match job.rest with
+  | [] ->
+    fab.delivered <- fab.delivered + job.pkt.count;
+    Metrics.incr_opt (Obs.metrics fab.obs) ~by:(float_of_int job.pkt.count)
+      "fabric.delivered";
+    job.deliver job.pkt
+  | next :: rest ->
+    job.rest <- rest;
+    offer fab next job
+
+(* One drain process per link: hold the line for the head burst's
+   serialization time, then let propagation run concurrently with the
+   next burst's serialization (store-and-forward pipelining). *)
+let drain_link fab link =
+  let rec loop () =
+    let job = Sim.Bounded.recv link.queue in
+    let wire = serialize_ns link.params job.pkt.size in
+    Sim.delay wire;
+    link.busy_ns <- link.busy_ns +. wire;
+    link.delivered_pkts <- link.delivered_pkts + job.pkt.count;
+    link.delivered_bytes <- link.delivered_bytes + job.pkt.size;
+    Metrics.mark_opt (Obs.metrics fab.obs) ~n:job.pkt.size
+      ("fabric.link." ^ link.name ^ ".bytes")
+      ~now:(Sim.clock ());
+    Sim.schedule fab.sim ~delay:link.params.latency_ns (fun () -> arrive fab job);
+    loop ()
+  in
+  Sim.spawn fab.sim loop
+
+let mk_link name params =
+  {
+    name;
+    params;
+    queue =
+      Sim.Bounded.create ~capacity:params.Topology.queue_capacity
+        ~policy:Sim.Bounded.Drop_tail ();
+    depth = Stats.Histogram.create ~lo:1.0 ~hi:1e4 ();
+    busy_ns = 0.0;
+    delivered_pkts = 0;
+    dropped_pkts = 0;
+    delivered_bytes = 0;
+  }
+
+let create ?(obs = Obs.none) sim rng (topo : Topology.t) =
+  let host_up =
+    Array.init topo.hosts (fun h ->
+        mk_link
+          (Printf.sprintf "host%d->tor%d" h (Topology.tor_of topo ~host:h))
+          topo.host_link)
+  in
+  let host_down =
+    Array.init topo.hosts (fun h ->
+        mk_link
+          (Printf.sprintf "tor%d->host%d" (Topology.tor_of topo ~host:h) h)
+          topo.host_link)
+  in
+  let tor_up =
+    Array.init topo.tors (fun tr ->
+        Array.init topo.spines (fun s ->
+            mk_link (Printf.sprintf "tor%d->spine%d" tr s) topo.spine_link))
+  in
+  let spine_down =
+    Array.init topo.spines (fun s ->
+        Array.init topo.tors (fun tr ->
+            mk_link (Printf.sprintf "spine%d->tor%d" s tr) topo.spine_link))
+  in
+  let t =
+    {
+      sim;
+      topo;
+      seed = Rng.bits64 rng;
+      host_up;
+      host_down;
+      tor_up;
+      spine_down;
+      created_at = Sim.now sim;
+      attached = 0;
+      injected = 0;
+      delivered = 0;
+      dropped = 0;
+      obs;
+    }
+  in
+  List.iter (drain_link t) (all_links t);
+  t
+
+let attach t =
+  if t.attached >= t.topo.hosts then
+    invalid_arg
+      (Printf.sprintf "Fabric.attach: all %d hosts of the topology are taken" t.topo.hosts);
+  let h = t.attached in
+  t.attached <- t.attached + 1;
+  h
+
+(* SplitMix64 finalizer, applied as a hash: equal flow tuples map to
+   equal spines for a given salt, so a flow never reorders across
+   paths while distinct flows spread over the spine tier. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let protocol_int = function Packet.Udp -> 0 | Packet.Tcp -> 1 | Packet.Icmp -> 2
+
+let ecmp_spine t (pkt : Packet.t) =
+  let h = ref t.seed in
+  let feed v = h := mix64 (Int64.add !h (Int64.of_int v)) in
+  feed pkt.src;
+  feed pkt.dst;
+  feed (protocol_int pkt.protocol);
+  feed pkt.tag;
+  Int64.to_int (Int64.rem (Int64.logand !h Int64.max_int) (Int64.of_int t.topo.spines))
+
+let check_host t what h =
+  if h < 0 || h >= t.topo.hosts then
+    invalid_arg (Printf.sprintf "Fabric: %s host %d out of range [0, %d)" what h t.topo.hosts)
+
+let path t ~src_host ~dst_host pkt =
+  check_host t "source" src_host;
+  check_host t "destination" dst_host;
+  let ts = Topology.tor_of t.topo ~host:src_host
+  and td = Topology.tor_of t.topo ~host:dst_host in
+  if ts = td then [ t.host_up.(src_host); t.host_down.(dst_host) ]
+  else begin
+    let spine = ecmp_spine t pkt in
+    [
+      t.host_up.(src_host);
+      t.tor_up.(ts).(spine);
+      t.spine_down.(spine).(td);
+      t.host_down.(dst_host);
+    ]
+  end
+
+let path_names t ~src_host ~dst_host pkt =
+  List.map (fun l -> l.name) (path t ~src_host ~dst_host pkt)
+
+let send t ~src_host ~dst_host ?on_drop ~deliver (pkt : Packet.t) =
+  if src_host = dst_host then begin
+    check_host t "source" src_host;
+    deliver pkt
+  end
+  else
+    match path t ~src_host ~dst_host pkt with
+    | [] -> assert false
+    | first :: rest ->
+      t.injected <- t.injected + pkt.count;
+      Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.count) "fabric.injected";
+      offer t first { pkt; rest; deliver; on_drop }
+
+let path_latency_ns t ~src_host ~dst_host ~bytes =
+  check_host t "source" src_host;
+  check_host t "destination" dst_host;
+  if src_host = dst_host then 0.0
+  else begin
+    let per (p : Topology.link_params) = serialize_ns p bytes +. p.latency_ns in
+    let ts = Topology.tor_of t.topo ~host:src_host
+    and td = Topology.tor_of t.topo ~host:dst_host in
+    if ts = td then 2.0 *. per t.topo.host_link
+    else (2.0 *. per t.topo.host_link) +. (2.0 *. per t.topo.spine_link)
+  end
+
+let path_capacity_gbit_s t ~src_host ~dst_host =
+  check_host t "source" src_host;
+  check_host t "destination" dst_host;
+  if src_host = dst_host then infinity
+  else begin
+    let ts = Topology.tor_of t.topo ~host:src_host
+    and td = Topology.tor_of t.topo ~host:dst_host in
+    if ts = td then t.topo.host_link.gbit_s
+    else Float.min t.topo.host_link.gbit_s t.topo.spine_link.gbit_s
+  end
+
+type link_stat = {
+  name : string;
+  gbit_s : float;
+  utilization : float;
+  depth_p99 : float;
+  sent_bursts : int;
+  delivered_bursts : int;
+  dropped_bursts : int;
+  delivered_pkts : int;
+  dropped_pkts : int;
+  queued : int;
+}
+
+let link_stat ~elapsed (l : link) =
+  {
+    name = l.name;
+    gbit_s = l.params.gbit_s;
+    utilization = (if elapsed > 0.0 then l.busy_ns /. elapsed else 0.0);
+    depth_p99 =
+      (if Stats.Histogram.count l.depth = 0 then 0.0
+       else Stats.Histogram.percentile l.depth 99.0);
+    sent_bursts = Sim.Bounded.sent l.queue;
+    delivered_bursts = Sim.Bounded.delivered l.queue;
+    dropped_bursts = Sim.Bounded.dropped l.queue;
+    delivered_pkts = l.delivered_pkts;
+    dropped_pkts = l.dropped_pkts;
+    queued = Sim.Bounded.length l.queue;
+  }
+
+let link_stats t ~now =
+  let elapsed = now -. t.created_at in
+  List.map (link_stat ~elapsed) (all_links t)

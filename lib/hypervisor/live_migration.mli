@@ -34,9 +34,22 @@ type migration_stats = {
 }
 
 val migrate :
-  injected -> ?link_gb_s:float -> dirty_rate_gb_s:float -> mem_gb:int -> unit ->
+  injected ->
+  ?link_gb_s:float ->
+  ?via:Bm_fabric.Fabric.t * int * int ->
+  dirty_rate_gb_s:float ->
+  mem_gb:int ->
+  unit ->
   (migration_stats, string) result
 (** Pre-copy the guest's memory over a [link_gb_s] (default 12.5 —
     100 Gbit/s) network path while it runs, iterating until the dirty
     remainder fits a sub-10 ms stop-and-copy (or round limit), then cut
-    over. Must be called from a simulation process. *)
+    over. Must be called from a simulation process.
+
+    With [via (net, src_host, dst_host)], the transfer streams 1 MB
+    chunks over the link-level fabric between those hosts instead of an
+    analytic dedicated link: the copy contends with tenant traffic in
+    the same queues (drops are retransmitted), so round times — and thus
+    rounds, blackout and total — stretch under congestion. [link_gb_s]
+    is ignored; the convergence check uses the path's bottleneck
+    capacity. *)

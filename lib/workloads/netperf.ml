@@ -66,6 +66,64 @@ let udp_pps sim ~src ~dst ?(senders = 4) ?(batch = 32) ~duration () =
     dropped = !dropped;
   }
 
+type rr_result = {
+  transactions : int;
+  per_s : float;
+  rtt_avg_us : float;
+  rtt_p50_us : float;
+  rtt_p99_us : float;
+  rtt_p999_us : float;
+  rtt_min_us : float;
+}
+
+(* netperf TCP_RR: one synchronous request/response transaction at a
+   time, full round-trip measured at the client (unlike sockperf, which
+   halves it into one-way latency). *)
+let tcp_rr sim ~src ~dst ?(count = 2000) ?(request_bytes = 64) ?(response_bytes = 64) () =
+  let req_size = request_bytes + Packet.tcp_header_bytes in
+  let resp_size = response_bytes + Packet.tcp_header_bytes in
+  dst.Instance.set_rx_handler (fun pkt ->
+      ignore
+        (dst.Instance.send
+           (Packet.make ~id:pkt.Packet.id ~src:dst.Instance.endpoint ~dst:pkt.Packet.src
+              ~size:resp_size ~protocol:Packet.Tcp ~sent_at:pkt.Packet.sent_at ())));
+  let hist = Stats.Histogram.create ~lo:100.0 ~hi:1e9 ~precision:0.005 () in
+  let pending = ref None in
+  src.Instance.set_rx_handler (fun pkt ->
+      match !pending with
+      | Some ivar ->
+        pending := None;
+        Sim.Ivar.fill ivar pkt
+      | None -> ());
+  let started = Sim.now sim in
+  let finished = ref started in
+  Sim.spawn sim (fun () ->
+      for i = 1 to count do
+        let ivar = Sim.Ivar.create () in
+        pending := Some ivar;
+        let t0 = Sim.clock () in
+        ignore
+          (src.Instance.send
+             (Packet.make ~id:i ~src:src.Instance.endpoint ~dst:dst.Instance.endpoint
+                ~size:req_size ~protocol:Packet.Tcp ~sent_at:t0 ()));
+        ignore (Sim.Ivar.read ivar : Packet.t);
+        Stats.Histogram.add hist (Sim.clock () -. t0)
+      done;
+      finished := Sim.clock ());
+  Sim.run sim;
+  let elapsed = !finished -. started in
+  {
+    transactions = Stats.Histogram.count hist;
+    per_s =
+      (if elapsed > 0.0 then float_of_int (Stats.Histogram.count hist) /. elapsed *. 1e9
+       else 0.0);
+    rtt_avg_us = Stats.Histogram.mean hist /. 1e3;
+    rtt_p50_us = Stats.Histogram.percentile hist 50.0 /. 1e3;
+    rtt_p99_us = Stats.Histogram.percentile hist 99.0 /. 1e3;
+    rtt_p999_us = Stats.Histogram.percentile hist 99.9 /. 1e3;
+    rtt_min_us = Stats.Histogram.min hist /. 1e3;
+  }
+
 type throughput_result = { gbit_s : float; payload_gbit_s : float; messages : int }
 
 let tcp_stream sim ~src ~dst ?(connections = 64) ?(message_bytes = 1400) ~duration () =

@@ -25,6 +25,31 @@ val udp_pps :
     [batch]-packet bursts (default 32) as fast as the stack and the rate
     limits allow, for [duration] ns of warm measurement. *)
 
+type rr_result = {
+  transactions : int;
+  per_s : float;  (** completed transactions per simulated second *)
+  rtt_avg_us : float;  (** full round trips, unlike sockperf's one-way *)
+  rtt_p50_us : float;
+  rtt_p99_us : float;
+  rtt_p999_us : float;
+  rtt_min_us : float;
+}
+
+val tcp_rr :
+  Bm_engine.Sim.t ->
+  src:Bm_guest.Instance.t ->
+  dst:Bm_guest.Instance.t ->
+  ?count:int ->
+  ?request_bytes:int ->
+  ?response_bytes:int ->
+  unit ->
+  rr_result
+(** netperf TCP_RR: [count] (default 2000) synchronous request/response
+    transactions, one outstanding at a time, [request_bytes] /
+    [response_bytes] of payload (default 64/64) plus TCP headers. The
+    natural probe for cross-host latency: every added wire hop appears
+    twice in each transaction's RTT. Runs the simulation to completion. *)
+
 type throughput_result = {
   gbit_s : float;  (** wire rate, headers included *)
   payload_gbit_s : float;  (** goodput — what netperf reports *)

@@ -7,17 +7,27 @@ type t = {
   sim : Sim.t;
   rng : Rng.t;
   fabric : Vswitch.fabric;
+  net : Bm_fabric.Fabric.t option;
   storage : Blockstore.t;
   obs : Obs.t;
   fault : Fault.t;
 }
 
 let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) ?storage_queue ?trace ?metrics
-    ?faults () =
+    ?faults ?topology () =
   let sim = Sim.create () in
   let rng = Rng.create ~seed in
   let obs = Obs.of_sim ?trace ?metrics sim in
-  let fabric = Vswitch.create_fabric sim () in
+  (* The fabric's ECMP salt comes from a seed-derived generator of its
+     own, not from [Rng.split rng]: threading it through the main chain
+     would shift every later component's stream and perturb existing
+     no-topology runs. *)
+  let net =
+    Option.map
+      (fun topo -> Bm_fabric.Fabric.create ~obs sim (Rng.create ~seed:(seed + 0x5eed)) topo)
+      topology
+  in
+  let fabric = Vswitch.create_fabric sim ?net () in
   let storage =
     Blockstore.create ~obs sim (Rng.split rng) ~kind:storage_kind
       ?queue_capacity:storage_queue ()
@@ -32,7 +42,7 @@ let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) ?storage_queue ?t
       Fault.arm f;
       f
   in
-  { sim; rng; fabric; storage; obs; fault }
+  { sim; rng; fabric; net; storage; obs; fault }
 
 let bm_server ?profile ?boards t =
   Bm_hypervisor.create_server ~obs:t.obs ~fault:t.fault t.sim (Rng.split t.rng) ~fabric:t.fabric

@@ -10,6 +10,7 @@ type t = {
   sim : Bm_engine.Sim.t;
   rng : Bm_engine.Rng.t;
   fabric : Bm_cloud.Vswitch.fabric;
+  net : Bm_fabric.Fabric.t option;  (** link-level network, when modelled *)
   storage : Bm_cloud.Blockstore.t;
   obs : Bm_engine.Obs.t;
   fault : Bm_engine.Fault.t;
@@ -22,6 +23,7 @@ val make :
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
   ?faults:Bm_engine.Fault.plan ->
+  ?topology:Bm_fabric.Topology.t ->
   unit ->
   t
 (** [trace]/[metrics] become the testbed's observability context [obs],
@@ -30,7 +32,13 @@ val make :
     builds and arms a fault injector from the plan, threaded the same
     way; omitting it leaves the null injector, whose runs are
     bit-identical to a fault-free build. [storage_queue] overrides the
-    blockstore's admission-queue capacity (for overload experiments). *)
+    blockstore's admission-queue capacity (for overload experiments).
+    [topology] instantiates a link-level {!Bm_fabric.Fabric} (seeded
+    independently of the main RNG chain, so no-topology runs are
+    untouched) and routes cross-server traffic over it; each server
+    built afterwards claims the next host port, and building more
+    servers than the topology has hosts raises — note {!client_box}
+    consumes a port too. *)
 
 val bm_server :
   ?profile:Bm_iobond.Profile.t -> ?boards:int -> t -> Bm_hyp.Bm_hypervisor.server

@@ -116,6 +116,27 @@ let test_vswitch_unknown_drops () =
   Sim.run sim;
   check_int "dropped" 1 (Vswitch.dropped vs)
 
+(* Unknown destinations are not silent: they land in a dedicated
+   counter, a named metric, and a trace instant, on top of the total. *)
+let test_vswitch_unknown_drop_observability () =
+  let sim = Sim.create () in
+  let metrics = Metrics.create () in
+  let trace = Trace.create () in
+  let fabric = Vswitch.create_fabric sim () in
+  let vs =
+    Vswitch.create sim ~obs:(Obs.of_sim ~trace ~metrics sim) ~fabric ~cores:(cores_of sim) ()
+  in
+  let a = Vswitch.register vs ~deliver:(fun _ -> ()) in
+  Sim.spawn sim (fun () ->
+      Vswitch.send vs (mk_pkt ~count:3 ~src:a ~dst:9999 1);
+      Vswitch.send vs (mk_pkt ~src:a ~dst:8888 2));
+  Sim.run sim;
+  check_int "unknown_dropped counter" 4 (Vswitch.unknown_dropped vs);
+  check_int "total dropped includes unknown" 4 (Vswitch.dropped vs);
+  check_int "named metric" 4
+    (int_of_float (Metrics.counter_value metrics "cloud.vswitch.unknown_dst_dropped"));
+  check_int "trace instants" 2 (Trace.count trace ~track:"cloud.vswitch" ~name:"unknown_dst" ())
+
 let test_vswitch_unregister () =
   let sim = Sim.create () in
   let fabric = Vswitch.create_fabric sim () in
@@ -324,6 +345,8 @@ let suites =
         Alcotest.test_case "hop latency" `Quick test_vswitch_hop_latency;
         Alcotest.test_case "cross-server" `Quick test_vswitch_cross_server;
         Alcotest.test_case "unknown dst drops" `Quick test_vswitch_unknown_drops;
+        Alcotest.test_case "unknown dst observability" `Quick
+          test_vswitch_unknown_drop_observability;
         Alcotest.test_case "unregister" `Quick test_vswitch_unregister;
       ] );
     ( "cloud.blockstore",

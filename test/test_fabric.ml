@@ -1,0 +1,332 @@
+(* Tests for the datacenter fabric: topology validation, ECMP path
+   selection, idle-path latency arithmetic, drop-tail accounting, and
+   the three headline properties — run-to-run determinism, per-link
+   conservation, and the on-host fast path staying byte-identical when
+   a topology is attached. *)
+
+open Bm_engine
+open Bm_virtio
+module Fabric = Bm_fabric.Fabric
+module Topology = Bm_fabric.Topology
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_pkt ?(count = 1) ?(size = 1500) ?(protocol = Packet.Udp) ?(tag = 0) ~src ~dst id =
+  Packet.make ~id ~src ~dst ~size ~count ~protocol ~tag ~sent_at:0.0 ()
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_topology_validation () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check_bool "hosts < tors" true (raises (fun () -> Topology.clos ~hosts:2 ~tors:3 ~spines:1 ()));
+  check_bool "no spine behind 2 tors" true
+    (raises (fun () -> Topology.clos ~hosts:4 ~tors:2 ~spines:0 ()));
+  check_bool "zero hosts" true (raises (fun () -> Topology.clos ~hosts:0 ~tors:0 ~spines:0 ()));
+  let t = Topology.two_host () in
+  check_int "two_host hosts" 2 t.Topology.hosts;
+  check_int "two_host tors" 1 t.Topology.tors;
+  check_int "two_host spines" 0 t.Topology.spines
+
+let test_topology_tor_blocks () =
+  let t = Topology.clos ~hosts:6 ~tors:3 ~spines:1 () in
+  Alcotest.(check (list int))
+    "contiguous blocks" [ 0; 0; 1; 1; 2; 2 ]
+    (List.init 6 (fun h -> Topology.tor_of t ~host:h))
+
+let test_topology_spec_roundtrip () =
+  (match Topology.parse_spec "two_host" with
+  | Ok t -> check_int "preset hosts" 2 t.Topology.hosts
+  | Error e -> Alcotest.fail e);
+  (match Topology.parse_spec "hosts=4,tors=2,spines=2,spine_gbit=10,queue=32" with
+  | Ok t ->
+    check_int "hosts" 4 t.Topology.hosts;
+    check_int "queue" 32 t.Topology.spine_link.Topology.queue_capacity;
+    (* render must parse back to the same topology *)
+    (match Topology.parse_spec (Topology.render t) with
+    | Ok t' -> check_bool "render/parse roundtrip" true (t = t')
+    | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  check_bool "bad key rejected" true
+    (match Topology.parse_spec "hosts=4,frobs=2" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fabric mechanics *)
+
+let test_attach_order_and_exhaustion () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim (Rng.create ~seed:1) (Topology.two_host ()) in
+  check_int "first port" 0 (Fabric.attach fab);
+  check_int "second port" 1 (Fabric.attach fab);
+  check_int "attached" 2 (Fabric.hosts_attached fab);
+  match Fabric.attach fab with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "attach beyond the topology accepted"
+
+let test_same_host_is_free () =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim (Rng.create ~seed:1) (Topology.two_host ()) in
+  let at = ref nan in
+  Sim.spawn sim (fun () ->
+      Sim.delay 500.0;
+      Fabric.send fab ~src_host:0 ~dst_host:0
+        ~deliver:(fun _ -> at := Sim.now sim)
+        (mk_pkt ~src:1 ~dst:2 1));
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "delivered at send time" 500.0 !at;
+  check_int "no wire traffic" 0 (Fabric.injected fab)
+
+(* An idle fabric delivers exactly at the analytic path latency — the
+   store-and-forward pipeline degenerates to a sum of per-link
+   serialization + propagation when nothing queues. *)
+let idle_latency topo ~src_host ~dst_host =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim (Rng.create ~seed:3) topo in
+  let at = ref nan in
+  Sim.spawn sim (fun () ->
+      Fabric.send fab ~src_host ~dst_host
+        ~deliver:(fun _ -> at := Sim.now sim)
+        (mk_pkt ~src:10 ~dst:20 1));
+  Sim.run sim;
+  (!at, Fabric.path_latency_ns fab ~src_host ~dst_host ~bytes:1500)
+
+let test_idle_latency_matches_analytic () =
+  let measured, expected = idle_latency (Topology.two_host ()) ~src_host:0 ~dst_host:1 in
+  Alcotest.(check (float 1e-6)) "same-tor path" expected measured;
+  let measured, expected =
+    idle_latency (Topology.clos ~hosts:4 ~tors:2 ~spines:2 ()) ~src_host:0 ~dst_host:3
+  in
+  Alcotest.(check (float 1e-6)) "cross-tor path" expected measured
+
+let test_ecmp_stable_and_spread () =
+  let topo = Topology.clos ~hosts:4 ~tors:2 ~spines:4 () in
+  let sim = Sim.create () in
+  let fab = Fabric.create sim (Rng.create ~seed:42) topo in
+  let flow = mk_pkt ~protocol:Packet.Tcp ~src:7 ~dst:9 1 in
+  let p0 = Fabric.path_names fab ~src_host:0 ~dst_host:3 flow in
+  check_int "cross-tor path has 4 hops" 4 (List.length p0);
+  for _ = 1 to 10 do
+    check_bool "flow keeps its path" true
+      (Fabric.path_names fab ~src_host:0 ~dst_host:3 flow = p0)
+  done;
+  (* same seed => same salt => same choice in a fresh fabric *)
+  let fab' = Fabric.create (Sim.create ()) (Rng.create ~seed:42) topo in
+  check_bool "seed reproduces the path" true
+    (Fabric.path_names fab' ~src_host:0 ~dst_host:3 flow = p0);
+  (* distinct flows spread over every spine *)
+  let used = Array.make 4 false in
+  for f = 1 to 256 do
+    let names =
+      Fabric.path_names fab ~src_host:0 ~dst_host:3
+        (mk_pkt ~protocol:Packet.Tcp ~src:f ~dst:(f * 13) ~tag:(f mod 5) f)
+    in
+    List.iter
+      (fun n ->
+        for s = 0 to 3 do
+          if n = Printf.sprintf "tor0->spine%d" s then used.(s) <- true
+        done)
+      names
+  done;
+  check_bool "all spines used" true (Array.for_all Fun.id used);
+  (* same-tor traffic never climbs to the spine *)
+  check_int "same-tor path has 2 hops" 2
+    (List.length (Fabric.path_names fab ~src_host:0 ~dst_host:1 flow))
+
+let test_drop_tail_accounting () =
+  let sim = Sim.create () in
+  let topo = Topology.two_host ~queue_capacity:2 () in
+  let fab = Fabric.create sim (Rng.create ~seed:5) topo in
+  let delivered = ref 0 and dropped = ref 0 in
+  Sim.spawn sim (fun () ->
+      for i = 1 to 50 do
+        Fabric.send fab ~src_host:0 ~dst_host:1
+          ~on_drop:(fun _ -> incr dropped)
+          ~deliver:(fun _ -> incr delivered)
+          (mk_pkt ~src:1 ~dst:2 i)
+      done);
+  Sim.run sim;
+  check_bool "queue of 2 sheds a 50-burst blast" true (!dropped > 0);
+  check_int "on_drop fires once per loss" !dropped (Fabric.dropped fab);
+  check_int "deliver fires for the rest" !delivered (Fabric.delivered fab);
+  check_int "conservation" (Fabric.injected fab) (Fabric.delivered fab + Fabric.dropped fab)
+
+let test_fabric_metrics_and_trace () =
+  let sim = Sim.create () in
+  let metrics = Metrics.create () in
+  let trace = Trace.create () in
+  let obs = Obs.of_sim ~trace ~metrics sim in
+  let fab =
+    Fabric.create ~obs sim (Rng.create ~seed:5) (Topology.two_host ~queue_capacity:2 ())
+  in
+  Sim.spawn sim (fun () ->
+      for i = 1 to 50 do
+        Fabric.send fab ~src_host:0 ~dst_host:1 ~deliver:(fun _ -> ()) (mk_pkt ~src:1 ~dst:2 i)
+      done);
+  Sim.run sim;
+  check_int "fabric.injected counter" (Fabric.injected fab)
+    (int_of_float (Metrics.counter_value metrics "fabric.injected"));
+  check_int "fabric.delivered counter" (Fabric.delivered fab)
+    (int_of_float (Metrics.counter_value metrics "fabric.delivered"));
+  check_int "fabric.dropped counter" (Fabric.dropped fab)
+    (int_of_float (Metrics.counter_value metrics "fabric.dropped"));
+  check_bool "per-link drop counter" true
+    (Metrics.counter_value metrics "fabric.link.host0->tor0.dropped" > 0.0);
+  check_bool "drop instants traced" true
+    (Trace.count trace ~track:"fabric.host0->tor0" ~name:"drop" () > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+(* Shared generator: a topology shape plus a traffic schedule, split
+   round-robin over three sender fibers so the agenda interleaves. *)
+let topo_arb =
+  QCheck.(quad (int_range 2 6) (int_range 1 3) (int_range 1 3) (int_range 1 16))
+
+let sends_arb =
+  QCheck.(
+    list_of_size (Gen.int_range 1 60) (quad small_nat small_nat (int_bound 23) (int_bound 10)))
+
+let build_topo (hosts, tors, spines, queue) =
+  Topology.clos ~hosts ~tors:(min tors hosts) ~spines ~queue_capacity:queue ()
+
+let lanes n sends =
+  let a = Array.make n [] in
+  List.iteri (fun i x -> a.(i mod n) <- (i, x) :: a.(i mod n)) sends;
+  List.filter (fun l -> l <> []) (Array.to_list (Array.map List.rev a))
+
+(* Drive [sends] through a fresh fabric; returns the fabric, the final
+   simulation time, and the full (kind, id, time) event log. *)
+let run_traffic ~seed topo sends =
+  let sim = Sim.create () in
+  let fab = Fabric.create sim (Rng.create ~seed) topo in
+  let hosts = topo.Topology.hosts in
+  let log = ref [] in
+  let record kind id = log := (kind, id, Sim.now sim) :: !log in
+  List.iteri
+    (fun lane sends ->
+      Sim.spawn sim (fun () ->
+          List.iter
+            (fun (i, (s, d, sz, gap)) ->
+              Fabric.send fab ~src_host:(s mod hosts) ~dst_host:(d mod hosts)
+                ~on_drop:(fun p -> record `Drop p.Packet.id)
+                ~deliver:(fun p -> record `Del p.Packet.id)
+                (mk_pkt
+                   ~size:(64 + (64 * sz))
+                   ~src:(1000 + (lane * 100) + s)
+                   ~dst:(2000 + d)
+                   ((lane * 1000) + i));
+              Sim.delay (float_of_int gap *. 40.0))
+            sends))
+    (lanes 3 sends);
+  Sim.run sim;
+  (fab, Sim.now sim, List.rev !log)
+
+(* (a) Same seed + same topology + same offered traffic => the entire
+   event log — ids, drop/deliver outcomes, and timestamps — repeats. *)
+let prop_determinism =
+  QCheck.Test.make ~name:"same seed + topology => identical delivery order" ~count:50
+    (QCheck.pair topo_arb sends_arb)
+    (fun (shape, sends) ->
+      let topo = build_topo shape in
+      let _, t1, l1 = run_traffic ~seed:11 topo sends in
+      let _, t2, l2 = run_traffic ~seed:11 topo sends in
+      t1 = t2 && l1 = l2)
+
+(* (b) Every wire packet is accounted for: fabric-wide
+   injected = delivered + dropped, per link
+   sent = delivered + dropped + queued with empty queues at
+   quiescence, and the per-link drop counts sum to the fabric total. *)
+let prop_conservation =
+  QCheck.Test.make ~name:"injected = delivered + dropped, per link and fabric-wide" ~count:50
+    (QCheck.pair topo_arb sends_arb)
+    (fun (shape, sends) ->
+      let topo = build_topo shape in
+      let fab, now, log = run_traffic ~seed:7 topo sends in
+      let hosts = topo.Topology.hosts in
+      let cross =
+        List.length
+          (List.filter (fun (s, d, _, _) -> s mod hosts <> d mod hosts) sends)
+      in
+      let dels = List.length (List.filter (fun (k, _, _) -> k = `Del) log) in
+      let drops = List.length (List.filter (fun (k, _, _) -> k = `Drop) log) in
+      let stats = Fabric.link_stats fab ~now in
+      Fabric.injected fab = cross
+      && Fabric.injected fab = Fabric.delivered fab + Fabric.dropped fab
+      && Fabric.delivered fab + (List.length sends - cross) = dels
+      && Fabric.dropped fab = drops
+      && Fabric.dropped fab
+         = List.fold_left (fun acc s -> acc + s.Fabric.dropped_pkts) 0 stats
+      && List.for_all
+           (fun s ->
+             s.Fabric.queued = 0
+             && s.Fabric.sent_bursts
+                = s.Fabric.delivered_bursts + s.Fabric.dropped_bursts + s.Fabric.queued)
+           stats)
+
+(* (c) Attaching a topology must not perturb the on-host fast path:
+   traffic between endpoints of one vswitch produces the identical
+   (port, id, time) arrival log with and without a fabric behind it. *)
+let onhost_log ~with_net sends =
+  let sim = Sim.create () in
+  let net =
+    if with_net then
+      Some (Fabric.create sim (Rng.create ~seed:99) (Topology.two_host ()))
+    else None
+  in
+  let fabric = Bm_cloud.Vswitch.create_fabric sim ?net () in
+  let cores = Bm_hw.Cores.create sim ~spec:Bm_hw.Cpu_spec.base_server_e5 () in
+  let vs = Bm_cloud.Vswitch.create sim ~fabric ~cores () in
+  let log = ref [] in
+  let a = Bm_cloud.Vswitch.register vs ~deliver:(fun p -> log := (0, p.Packet.id, Sim.now sim) :: !log) in
+  let b = Bm_cloud.Vswitch.register vs ~deliver:(fun p -> log := (1, p.Packet.id, Sim.now sim) :: !log) in
+  Sim.spawn sim (fun () ->
+      List.iteri
+        (fun i (flip, sz, gap) ->
+          let src, dst = if flip then (b, a) else (a, b) in
+          Bm_cloud.Vswitch.send vs (mk_pkt ~size:(64 + (64 * sz)) ~src ~dst i);
+          Sim.delay (float_of_int gap *. 25.0))
+        sends);
+  Sim.run sim;
+  List.rev !log
+
+let prop_onhost_unchanged =
+  QCheck.Test.make ~name:"on-host traffic byte-identical with a fabric attached" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 50) (triple bool (int_bound 23) (int_bound 10)))
+    (fun sends -> onhost_log ~with_net:false sends = onhost_log ~with_net:true sends)
+
+(* Same claim one layer up: a full guest-to-guest workload on one
+   server measures identically whether or not the testbed models a
+   fabric behind it (the fabric has its own RNG stream and the co-
+   resident path never touches a wire). *)
+let test_testbed_onhost_unchanged () =
+  let rr topology =
+    let tb = Bm_workload.Testbed.make ~seed:77 ?topology () in
+    let _, g1, g2 = Bm_workload.Testbed.bm_pair tb in
+    Bm_workload.Netperf.tcp_rr tb.Bm_workload.Testbed.sim ~src:g1 ~dst:g2 ~count:200 ()
+  in
+  check_bool "bm_pair tcp_rr identical with a topology attached" true
+    (rr None = rr (Some (Topology.two_host ())))
+
+let suites =
+  [
+    ( "fabric.topology",
+      [
+        Alcotest.test_case "clos validation" `Quick test_topology_validation;
+        Alcotest.test_case "tor blocks" `Quick test_topology_tor_blocks;
+        Alcotest.test_case "spec roundtrip" `Quick test_topology_spec_roundtrip;
+      ] );
+    ( "fabric.links",
+      [
+        Alcotest.test_case "attach order + exhaustion" `Quick test_attach_order_and_exhaustion;
+        Alcotest.test_case "same-host is free" `Quick test_same_host_is_free;
+        Alcotest.test_case "idle latency analytic" `Quick test_idle_latency_matches_analytic;
+        Alcotest.test_case "ecmp stable + spread" `Quick test_ecmp_stable_and_spread;
+        Alcotest.test_case "drop-tail accounting" `Quick test_drop_tail_accounting;
+        Alcotest.test_case "metrics + trace" `Quick test_fabric_metrics_and_trace;
+        Alcotest.test_case "testbed on-host unchanged" `Quick test_testbed_onhost_unchanged;
+      ] );
+    ( "fabric.prop",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_determinism; prop_conservation; prop_onhost_unchanged ] );
+  ]
