@@ -17,6 +17,9 @@
                                     pairs (hosts, tors, spines,
                                     host_gbit, spine_gbit, host_lat_us,
                                     spine_lat_us, queue)
+     bench/main.exe --hosts N       fleet size for the fleet-scale
+     bench/main.exe --guests N      experiments (fleet_scale); defaults
+     bench/main.exe --tenants N     to the quick/full config
      bench/main.exe --list          list experiment ids
      bench/main.exe --bechamel      bechamel micro-benchmarks of the
                                     (quick-scale) experiment runs *)
@@ -24,7 +27,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--faults SEED:SPEC] \
-     [--jobs N] [--topology SPEC] [--list] [--bechamel] [experiment ids...]"
+     [--jobs N] [--topology SPEC] [--hosts N] [--guests N] [--tenants N] [--list] [--bechamel] \
+     [experiment ids...]"
 
 type options = {
   quick : bool;
@@ -33,6 +37,7 @@ type options = {
   metrics : bool;
   faults : Bm_engine.Fault.plan option;
   topo : Bm_fabric.Topology.t option;
+  fleet : Bmhive.Experiments.fleet_opts;
   jobs : int;
   list : bool;
   bechamel : bool;
@@ -48,6 +53,7 @@ let default_options =
     metrics = false;
     faults = None;
     topo = None;
+    fleet = Bmhive.Experiments.default_fleet;
     jobs = 1;
     list = false;
     bechamel = false;
@@ -84,6 +90,18 @@ let rec parse opts = function
     | Ok topo -> parse { opts with topo = Some topo } rest
     | Error e -> fail "--topology: %s" e)
   | [ "--topology" ] -> fail "--topology expects a spec (e.g. two_host or hosts=4,tors=2)"
+  | (("--hosts" | "--guests" | "--tenants") as flag) :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some n when n > 0 ->
+      let fleet =
+        match flag with
+        | "--hosts" -> { opts.fleet with Bmhive.Experiments.fleet_hosts = Some n }
+        | "--guests" -> { opts.fleet with Bmhive.Experiments.fleet_guests = Some n }
+        | _ -> { opts.fleet with Bmhive.Experiments.fleet_tenants = Some n }
+      in
+      parse { opts with fleet } rest
+    | Some _ | None -> fail "%s expects a positive integer, got %S" flag v)
+  | [ ("--hosts" | "--guests" | "--tenants") as flag ] -> fail "%s expects a value" flag
   | "--jobs" :: v :: rest -> (
     match int_of_string_opt v with
     | Some 0 -> parse { opts with jobs = Bmhive.Parallel.default_jobs () } rest
@@ -104,8 +122,8 @@ let bechamel_suite seed =
         Test.make ~name:spec.Bmhive.Experiments.id
           (Staged.stage (fun () ->
                ignore
-                 (spec.Bmhive.Experiments.run ~faults:None ~trace:None ~metrics:None ~topo:None
-                    ~quick:true ~seed))))
+                 (spec.Bmhive.Experiments.run ~fleet:Bmhive.Experiments.default_fleet
+                    ~faults:None ~trace:None ~metrics:None ~topo:None ~quick:true ~seed))))
       Bmhive.Experiments.all
   in
   Test.make_grouped ~name:"experiments" tests
@@ -149,8 +167,8 @@ let () =
         | Error e ->
           prerr_endline e;
           exit 1)
-      (Bmhive.Experiments.run_many ~quick:opts.quick ~seed:opts.seed ?faults:opts.faults
-         ?trace ?metrics ?topo:opts.topo ~jobs:opts.jobs targets);
+      (Bmhive.Experiments.run_many ~quick:opts.quick ~seed:opts.seed ~fleet:opts.fleet
+         ?faults:opts.faults ?trace ?metrics ?topo:opts.topo ~jobs:opts.jobs targets);
     (match metrics with
     | Some m when not (Bm_engine.Metrics.is_empty m) ->
       print_endline "";

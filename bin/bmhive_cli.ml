@@ -57,6 +57,18 @@ let topology_arg =
   in
   Arg.(value & opt (some topo_conv) None & info [ "topology" ] ~docv:"SPEC" ~doc)
 
+let hosts_arg =
+  let doc = "Fleet size for the fleet-scale experiments ($(b,fleet_scale)): number of hosts." in
+  Arg.(value & opt (some int) None & info [ "hosts" ] ~docv:"N" ~doc)
+
+let guests_arg =
+  let doc = "Guest population for the fleet-scale experiments." in
+  Arg.(value & opt (some int) None & info [ "guests" ] ~docv:"N" ~doc)
+
+let tenants_arg =
+  let doc = "Tenant count for the fleet-scale experiments." in
+  Arg.(value & opt (some int) None & info [ "tenants" ] ~docv:"N" ~doc)
+
 let jobs_arg =
   let doc =
     "Run up to $(docv) experiment cells concurrently on separate domains (0 = one per \
@@ -85,9 +97,12 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,list)); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed faults topo trace_file metrics_wanted jobs ids =
+  let run quick seed faults topo hosts guests tenants trace_file metrics_wanted jobs ids =
     if jobs < 0 then invalid_arg "--jobs must be non-negative";
     let jobs = if jobs = 0 then Bmhive.Parallel.default_jobs () else jobs in
+    let fleet =
+      Bmhive.Experiments.{ fleet_hosts = hosts; fleet_guests = guests; fleet_tenants = tenants }
+    in
     let trace = Option.map (fun _ -> Bm_engine.Trace.create ()) trace_file in
     let metrics = if metrics_wanted then Some (Bm_engine.Metrics.create ()) else None in
     let targets = if ids = [] then Bmhive.Experiments.ids () else ids in
@@ -118,14 +133,14 @@ let run_cmd =
           go rest
         | Error e -> `Error (false, e))
     in
-    go (Bmhive.Experiments.run_many ~quick ~seed ?faults ?topo ?trace ?metrics ~jobs targets)
+    go (Bmhive.Experiments.run_many ~quick ~seed ~fleet ?faults ?topo ?trace ?metrics ~jobs targets)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures from the simulation.")
     Term.(
       ret
-        (const run $ quick_arg $ seed_arg $ faults_arg $ topology_arg $ trace_arg $ metrics_arg
-       $ jobs_arg $ ids_arg))
+        (const run $ quick_arg $ seed_arg $ faults_arg $ topology_arg $ hosts_arg $ guests_arg
+       $ tenants_arg $ trace_arg $ metrics_arg $ jobs_arg $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

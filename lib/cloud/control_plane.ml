@@ -11,6 +11,7 @@ type strategy = First_fit | Best_fit | Spread
 type server = {
   id : int;
   kind : server_kind;
+  ceiling : float;  (** per-host sellable fraction of capacity *)
   mutable used_boards : int;
   mutable used_threads : int;
   mutable failed : bool;
@@ -43,10 +44,13 @@ let set_admission_ceiling t c =
 let admission_ceiling t = t.admission_ceiling
 let admission_rejections t = t.admission_rejections
 
-let add_server t kind =
+let add_server ?(ceiling = 1.0) t kind =
+  if not (ceiling > 0.0 && ceiling <= 1.0) then
+    invalid_arg "Control_plane.add_server: ceiling must be in (0, 1]";
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.servers <- t.servers @ [ { id; kind; used_boards = 0; used_threads = 0; failed = false } ];
+  t.servers <-
+    t.servers @ [ { id; kind; ceiling; used_boards = 0; used_threads = 0; failed = false } ];
   id
 
 let find_server t id = List.find_opt (fun s -> s.id = id) t.servers
@@ -56,7 +60,14 @@ let fail_server t id =
   | None -> invalid_arg "Control_plane.fail_server: unknown server"
   | Some s -> s.failed <- true
 
+let restore_server t id =
+  match find_server t id with
+  | None -> invalid_arg "Control_plane.restore_server: unknown server"
+  | Some s -> s.failed <- false
+
 let server_failed t id = match find_server t id with Some s -> s.failed | None -> false
+
+let server_ids t = List.map (fun s -> s.id) t.servers
 
 (* Remaining capacity in the unit the strategy compares: free boards for
    bare metal, free threads for virtual. Failed servers offer none. *)
@@ -68,16 +79,26 @@ let headroom server ~substrate =
     | Vm_server { sellable_threads }, Virtual -> sellable_threads - server.used_threads
     | Bm_server _, Virtual | Vm_server _, Bare_metal -> 0
 
+(* The per-host ceiling shrinks what each server will sell: a Bm base
+   with [ceiling 0.9] and 16 boards sells at most 14, a Vm host with 88
+   threads sells at most 79. Since sold threads never exceed
+   [floor (ceiling * capacity)], per-host thread utilization never
+   exceeds the ceiling. *)
+let allowed_boards server boards = int_of_float (server.ceiling *. float_of_int boards)
+
+let allowed_threads server threads = int_of_float (server.ceiling *. float_of_int threads)
+
 let try_place_on server ~vcpus ~substrate =
   if server.failed then None
   else
     match (server.kind, substrate) with
   | Bm_server { boards; board_threads }, Bare_metal
-    when server.used_boards < boards && board_threads >= vcpus ->
+    when server.used_boards < allowed_boards server boards && board_threads >= vcpus ->
     server.used_boards <- server.used_boards + 1;
     server.used_threads <- server.used_threads + board_threads;
     Some { server = server.id; substrate = Bare_metal; threads = board_threads }
-  | Vm_server { sellable_threads }, Virtual when sellable_threads - server.used_threads >= vcpus ->
+  | Vm_server { sellable_threads }, Virtual
+    when allowed_threads server sellable_threads - server.used_threads >= vcpus ->
     server.used_threads <- server.used_threads + vcpus;
     Some { server = server.id; substrate = Virtual; threads = vcpus }
   | (Bm_server _ | Vm_server _), (Bare_metal | Virtual) -> None
@@ -90,6 +111,15 @@ let sellable_threads t =
   List.fold_left (fun acc s -> if s.failed then acc else acc + capacity_of s.kind) 0 t.servers
 
 let used_threads t = List.fold_left (fun acc s -> acc + s.used_threads) 0 t.servers
+
+let server_utilization t id =
+  match find_server t id with
+  | None -> 0.0
+  | Some s ->
+    let cap = capacity_of s.kind in
+    if cap = 0 then 0.0 else float_of_int s.used_threads /. float_of_int cap
+
+let server_ceiling t id = match find_server t id with Some s -> s.ceiling | None -> 1.0
 
 (* Headroom-based admission: a placement that would push fleet thread
    utilization past the ceiling is refused even though the server could
@@ -107,25 +137,31 @@ let undo_placement server placement =
     server.used_threads <- server.used_threads - placement.threads
   | Virtual -> server.used_threads <- server.used_threads - placement.threads
 
-let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ~image () =
+let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ?(avoid = []) ~image () =
   if Hashtbl.mem t.instances name then Error (name ^ " already placed")
   else begin
     let substrates = match prefer with Some s -> [ s ] | None -> [ Bare_metal; Virtual ] in
     let ceiling_hit = ref false in
     (* Order candidate servers by strategy: first-fit keeps declaration
        order; best-fit packs the fullest feasible server; spread
-       balances onto the emptiest. *)
+       balances onto the emptiest. [avoid] (anti-affinity) removes
+       servers from consideration entirely. *)
+    let eligible =
+      match avoid with
+      | [] -> t.servers
+      | avoid -> List.filter (fun s -> not (List.mem s.id avoid)) t.servers
+    in
     let candidates substrate =
       match strategy with
-      | First_fit -> t.servers
+      | First_fit -> eligible
       | Best_fit ->
         List.stable_sort
           (fun a b -> compare (headroom a ~substrate) (headroom b ~substrate))
-          t.servers
+          eligible
       | Spread ->
         List.stable_sort
           (fun a b -> compare (headroom b ~substrate) (headroom a ~substrate))
-          t.servers
+          eligible
     in
     let rec scan = function
       | [] ->

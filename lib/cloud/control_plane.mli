@@ -37,8 +37,14 @@ val admission_ceiling : t -> float
 val admission_rejections : t -> int
 (** Placements refused by the ceiling (not by lack of physical space). *)
 
-val add_server : t -> server_kind -> int
-(** Returns the server id. *)
+val add_server : ?ceiling:float -> t -> server_kind -> int
+(** Returns the server id. [ceiling] (default 1.0) is this host's
+    sellable fraction of capacity: a Bm base sells at most
+    [floor (ceiling * boards)] boards, a Vm host at most
+    [floor (ceiling * sellable_threads)] threads, so per-host thread
+    utilization never exceeds the ceiling — the per-host form of the
+    fleet-wide admission ceiling. Raises [Invalid_argument] unless
+    [ceiling] is in (0, 1]. *)
 
 val place :
   t ->
@@ -46,13 +52,16 @@ val place :
   vcpus:int ->
   ?prefer:substrate ->
   ?strategy:strategy ->
+  ?avoid:int list ->
   image:Image.t ->
   unit ->
   (placement, string) result
 (** Schedule an instance. With [prefer], only that substrate is tried.
     A bm-guest occupies a whole board (the board's thread count must be
     ≥ [vcpus]); a vm-guest occupies exactly [vcpus] threads. [strategy]
-    defaults to [First_fit]. *)
+    defaults to [First_fit]. Servers whose id is in [avoid] (default
+    none) are skipped entirely — the anti-affinity hook the
+    {!Scheduler} builds on. *)
 
 val lookup : t -> string -> placement option
 val release : t -> string -> unit
@@ -66,7 +75,21 @@ val fail_server : t -> int -> unit
 (** Mark a server failed: it offers no further capacity and is skipped
     by every placement. Raises [Invalid_argument] on an unknown id. *)
 
+val restore_server : t -> int -> unit
+(** Bring a failed server back (repaired / re-racked): it offers
+    capacity again from its current (normally empty) occupancy. Raises
+    [Invalid_argument] on an unknown id. *)
+
 val server_failed : t -> int -> bool
+
+val server_ids : t -> int list
+(** Every server id, in declaration order. *)
+
+val server_utilization : t -> int -> float
+(** [used_threads / capacity] of one server (0 for unknown ids). Never
+    exceeds the server's ceiling for placements made through {!place}. *)
+
+val server_ceiling : t -> int -> float
 
 val evacuate :
   t -> server:int -> ?strategy:strategy -> unit -> (string * (placement, string) result) list

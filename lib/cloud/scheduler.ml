@@ -1,0 +1,337 @@
+open Bm_engine
+
+type request = {
+  name : string;
+  tenant : string;
+  vcpus : int;
+  mem_gb : int;
+  prefer : Control_plane.substrate option;
+  group : string option;
+}
+
+let request ~name ~tenant ~vcpus ?mem_gb ?prefer ?group () =
+  if vcpus <= 0 then invalid_arg "Scheduler.request: vcpus must be positive";
+  let mem_gb = match mem_gb with Some m -> m | None -> 2 * vcpus in
+  { name; tenant; vcpus; mem_gb; prefer; group }
+
+type guest = { req : request; mutable placement : Control_plane.placement option }
+
+type t = {
+  cp : Control_plane.t;
+  strategy : Control_plane.strategy;
+  metrics : Metrics.t option;
+  tenants : (string, Tenant.t) Hashtbl.t;
+  guests : (string, guest) Hashtbl.t;
+  groups : (string, (int, int) Hashtbl.t) Hashtbl.t;  (* group -> host -> members *)
+}
+
+let create ?(obs = Obs.none) ?(strategy = Control_plane.First_fit) cp =
+  {
+    cp;
+    strategy;
+    metrics = Obs.metrics obs;
+    tenants = Hashtbl.create 16;
+    guests = Hashtbl.create 1024;
+    groups = Hashtbl.create 64;
+  }
+
+let control_plane t = t.cp
+
+let register_tenant t tenant =
+  let name = Tenant.name tenant in
+  if Hashtbl.mem t.tenants name then
+    invalid_arg ("Scheduler.register_tenant: duplicate tenant " ^ name);
+  Hashtbl.replace t.tenants name tenant
+
+let tenant t name = Hashtbl.find_opt t.tenants name
+
+let tenants t =
+  Hashtbl.fold (fun _ tn acc -> tn :: acc) t.tenants []
+  |> List.sort (fun a b -> compare (Tenant.name a) (Tenant.name b))
+
+(* --- anti-affinity bookkeeping ------------------------------------- *)
+
+let group_hosts t = function
+  | None -> []
+  | Some g -> (
+    match Hashtbl.find_opt t.groups g with
+    | None -> []
+    | Some hosts ->
+      Hashtbl.fold (fun host n acc -> if n > 0 then host :: acc else acc) hosts []
+      |> List.sort compare)
+
+let group_add t group host =
+  match group with
+  | None -> ()
+  | Some g ->
+    let hosts =
+      match Hashtbl.find_opt t.groups g with
+      | Some h -> h
+      | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace t.groups g h;
+        h
+    in
+    Hashtbl.replace hosts host (1 + Option.value ~default:0 (Hashtbl.find_opt hosts host))
+
+let group_remove t group host =
+  match group with
+  | None -> ()
+  | Some g -> (
+    match Hashtbl.find_opt t.groups g with
+    | None -> ()
+    | Some hosts -> (
+      match Hashtbl.find_opt hosts host with
+      | None -> ()
+      | Some 1 -> Hashtbl.remove hosts host
+      | Some n -> Hashtbl.replace hosts host (n - 1)))
+
+(* --- placement ------------------------------------------------------ *)
+
+(* First-fit-decreasing order: biggest request first so the small ones
+   fill the gaps; names break ties, so the order — and therefore the
+   whole assignment — is a function of the request list alone. *)
+let ffd_order reqs =
+  List.stable_sort
+    (fun a b ->
+      match compare b.vcpus a.vcpus with 0 -> compare a.name b.name | c -> c)
+    reqs
+
+let try_place_cp t req ~substrates =
+  let avoid = group_hosts t req.group in
+  let rec go = function
+    | [] -> Error "no capacity for request"
+    | prefer :: rest -> (
+      match
+        Control_plane.place t.cp ~name:req.name ~vcpus:req.vcpus ?prefer
+          ~strategy:t.strategy ~avoid ~image:Image.centos7 ()
+      with
+      | Ok p -> Ok p
+      | Error e -> if rest = [] then Error e else go rest)
+  in
+  go substrates
+
+let substrates_of req =
+  match req.prefer with Some s -> [ Some s ] | None -> [ None ]
+
+let place t req =
+  if Hashtbl.mem t.guests req.name then Error (req.name ^ " already scheduled")
+  else
+    match Hashtbl.find_opt t.tenants req.tenant with
+    | None -> Error ("unknown tenant " ^ req.tenant)
+    | Some tn -> (
+      match Tenant.admit tn ~vcpus:req.vcpus with
+      | Error e ->
+        Metrics.incr_opt t.metrics "cloud.sched.rejected";
+        Error e
+      | Ok () -> (
+        match try_place_cp t req ~substrates:(substrates_of req) with
+        | Ok p ->
+          Hashtbl.replace t.guests req.name { req; placement = Some p };
+          group_add t req.group p.Control_plane.server;
+          Metrics.incr_opt t.metrics "cloud.sched.placed";
+          Ok p
+        | Error e ->
+          Tenant.release tn ~vcpus:req.vcpus;
+          Metrics.incr_opt t.metrics "cloud.sched.rejected";
+          Error e))
+
+let place_batch t reqs =
+  List.map (fun req -> (req.name, place t req)) (ffd_order reqs)
+
+let release t name =
+  match Hashtbl.find_opt t.guests name with
+  | None -> ()
+  | Some g ->
+    (match g.placement with
+    | Some p ->
+      group_remove t g.req.group p.Control_plane.server;
+      Control_plane.release t.cp name
+    | None -> ());
+    (match Hashtbl.find_opt t.tenants g.req.tenant with
+    | Some tn -> Tenant.release tn ~vcpus:g.req.vcpus
+    | None -> ());
+    Hashtbl.remove t.guests name
+
+(* --- evacuation and rebalance --------------------------------------- *)
+
+(* Re-place one already-admitted guest (its quota is held); the victim's
+   own substrate is tried first, then the other — the cold-migration
+   fallback of {!Control_plane.evacuate}. *)
+let replace_guest t g ~first =
+  let substrates =
+    match first with
+    | Some Control_plane.Bare_metal -> [ Some Control_plane.Bare_metal; Some Control_plane.Virtual ]
+    | Some Control_plane.Virtual -> [ Some Control_plane.Virtual; Some Control_plane.Bare_metal ]
+    | None -> substrates_of g.req
+  in
+  match try_place_cp t g.req ~substrates with
+  | Ok p ->
+    g.placement <- Some p;
+    group_add t g.req.group p.Control_plane.server;
+    Ok p
+  | Error e -> Error e
+
+let drain t ~server =
+  Control_plane.fail_server t.cp server;
+  let victims =
+    Hashtbl.fold
+      (fun _ g acc ->
+        match g.placement with
+        | Some p when p.Control_plane.server = server -> g :: acc
+        | Some _ | None -> acc)
+      t.guests []
+    |> List.map (fun g -> g.req)
+    |> ffd_order
+    |> List.map (fun req -> Hashtbl.find t.guests req.name)
+  in
+  (* Release every victim first so the re-placement sees the drained
+     host's anti-affinity slots as free. *)
+  let old_substrate =
+    List.map
+      (fun g ->
+        let p = Option.get g.placement in
+        group_remove t g.req.group p.Control_plane.server;
+        Control_plane.release t.cp g.req.name;
+        g.placement <- None;
+        (g, p.Control_plane.substrate))
+      victims
+  in
+  List.map
+    (fun (g, substrate) ->
+      let result = replace_guest t g ~first:(Some substrate) in
+      (match result with
+      | Ok _ -> Metrics.incr_opt t.metrics "cloud.sched.evacuated"
+      | Error _ -> Metrics.incr_opt t.metrics "cloud.sched.stranded");
+      (g.req.name, result))
+    old_substrate
+
+let stranded_guests t =
+  Hashtbl.fold (fun _ g acc -> if g.placement = None then g :: acc else acc) t.guests []
+  |> List.map (fun g -> g.req)
+  |> ffd_order
+  |> List.map (fun req -> Hashtbl.find t.guests req.name)
+
+let retry_stranded t =
+  List.map
+    (fun g ->
+      let result = replace_guest t g ~first:None in
+      (match result with
+      | Ok _ -> Metrics.incr_opt t.metrics "cloud.sched.evacuated"
+      | Error _ -> ());
+      (g.req.name, result))
+    (stranded_guests t)
+
+let rebalance t ?(max_moves = 64) ?(band = 0.05) () =
+  let ids = Control_plane.server_ids t.cp in
+  let util id = Control_plane.server_utilization t.cp id in
+  let mean =
+    match ids with
+    | [] -> 0.0
+    | ids -> List.fold_left (fun acc id -> acc +. util id) 0.0 ids /. float_of_int (List.length ids)
+  in
+  let ceiling = mean +. band in
+  let moves = ref [] and budget = ref max_moves in
+  List.iter
+    (fun donor ->
+      let continue_ = ref true in
+      while !continue_ && !budget > 0 && util donor > ceiling do
+        (* Smallest guest first: many cheap moves beat one big one. *)
+        let candidates =
+          Hashtbl.fold
+            (fun _ g acc ->
+              match g.placement with
+              | Some p when p.Control_plane.server = donor -> g :: acc
+              | Some _ | None -> acc)
+            t.guests []
+          |> List.sort (fun a b ->
+                 match compare a.req.vcpus b.req.vcpus with
+                 | 0 -> compare a.req.name b.req.name
+                 | c -> c)
+        in
+        match candidates with
+        | [] -> continue_ := false
+        | g :: _ -> (
+          let p = Option.get g.placement in
+          group_remove t g.req.group p.Control_plane.server;
+          Control_plane.release t.cp g.req.name;
+          g.placement <- None;
+          let avoid = donor :: group_hosts t g.req.group in
+          match
+            Control_plane.place t.cp ~name:g.req.name ~vcpus:g.req.vcpus
+              ~prefer:p.Control_plane.substrate ~strategy:Control_plane.Spread ~avoid
+              ~image:Image.centos7 ()
+          with
+          | Ok p' ->
+            g.placement <- Some p';
+            group_add t g.req.group p'.Control_plane.server;
+            Metrics.incr_opt t.metrics "cloud.sched.moves";
+            moves := (g.req.name, donor, p'.Control_plane.server) :: !moves;
+            decr budget
+          | Error _ ->
+            (* Nowhere better — put it back where it was and stop
+               draining this donor. *)
+            (match replace_guest t g ~first:(Some p.Control_plane.substrate) with
+            | Ok _ -> ()
+            | Error _ -> Metrics.incr_opt t.metrics "cloud.sched.stranded");
+            continue_ := false)
+      done)
+    ids;
+  List.rev !moves
+
+(* --- views ----------------------------------------------------------- *)
+
+let lookup t name =
+  match Hashtbl.find_opt t.guests name with Some g -> g.placement | None -> None
+
+let request_of t name =
+  match Hashtbl.find_opt t.guests name with Some g -> Some g.req | None -> None
+
+let assignments t =
+  Hashtbl.fold
+    (fun name g acc -> match g.placement with Some p -> (name, p) :: acc | None -> acc)
+    t.guests []
+  |> List.sort compare
+
+let stranded t =
+  Hashtbl.fold (fun name g acc -> if g.placement = None then name :: acc else acc) t.guests []
+  |> List.sort compare
+
+let guest_count t = Hashtbl.length t.guests
+
+let guests_on t ~server =
+  Hashtbl.fold
+    (fun name g acc ->
+      match g.placement with
+      | Some p when p.Control_plane.server = server -> name :: acc
+      | Some _ | None -> acc)
+    t.guests []
+  |> List.sort compare
+
+let occupancy t =
+  let counts = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ g ->
+      match g.placement with
+      | Some p ->
+        Hashtbl.replace counts p.Control_plane.server
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts p.Control_plane.server))
+      | None -> ())
+    t.guests;
+  List.map
+    (fun id -> (id, Option.value ~default:0 (Hashtbl.find_opt counts id)))
+    (Control_plane.server_ids t.cp)
+
+let anti_affinity_violations t =
+  let by_group_host = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ g ->
+      match (g.req.group, g.placement) with
+      | Some grp, Some p ->
+        let key = (grp, p.Control_plane.server) in
+        Hashtbl.replace by_group_host key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_group_host key))
+      | _ -> ())
+    t.guests;
+  Hashtbl.fold (fun (grp, host) n acc -> if n > 1 then (grp, host) :: acc else acc) by_group_host []
+  |> List.sort compare

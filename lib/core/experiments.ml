@@ -11,11 +11,16 @@ type outcome = {
   notes : string list;
 }
 
+type fleet_opts = { fleet_hosts : int option; fleet_guests : int option; fleet_tenants : int option }
+
+let default_fleet = { fleet_hosts = None; fleet_guests = None; fleet_tenants = None }
+
 type spec = {
   id : string;
   title : string;
   paper_ref : string;
   run :
+    fleet:fleet_opts ->
     faults:Fault.plan option ->
     trace:Trace.t option ->
     metrics:Metrics.t option ->
@@ -31,7 +36,7 @@ let within ~tolerance ~target value =
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
 
-let run_table1 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_table1 ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   {
     id = "table1";
     title = "Table 1: comparison of three cloud services";
@@ -43,7 +48,7 @@ let run_table1 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* Table 2 *)
 
-let run_table2 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
+let run_table2 ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
   let vms = if quick then 30_000 else 300_000 in
   let rng = Rng.create ~seed in
   let s = Fleet.survey_exits rng ~vms in
@@ -70,7 +75,7 @@ let run_table2 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 1 *)
 
-let run_fig1 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
+let run_fig1 ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
   let vms = if quick then 2_000 else 20_000 in
   let hours = if quick then 8 else 24 in
   let rng = Rng.create ~seed in
@@ -112,7 +117,7 @@ let run_fig1 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let run_table3 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_table3 ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let rows =
     List.map
       (fun i ->
@@ -138,7 +143,7 @@ let run_table3 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: SPEC CINT2006 *)
 
-let run_fig7 ~faults:_ ~trace ~metrics ~topo:_ ~quick:_ ~seed =
+let run_fig7 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick:_ ~seed =
   let spec_on make =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let inst = make tb in
@@ -172,7 +177,7 @@ let run_fig7 ~faults:_ ~trace ~metrics ~topo:_ ~quick:_ ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: STREAM *)
 
-let run_fig8 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig8 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let elements = if quick then 20_000_000 else 200_000_000 in
   let runs = if quick then 3 else 10 in
   let stream_on make =
@@ -209,7 +214,7 @@ let run_fig8 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: UDP PPS *)
 
-let run_fig9 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig9 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 40.0 else Simtime.ms 400.0 in
   let pps_of pair =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -242,7 +247,7 @@ let run_fig9 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: latency *)
 
-let run_fig10 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig10 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let lat pair path =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -281,7 +286,7 @@ let run_fig10 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: storage latency *)
 
-let run_fig11 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig11 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 300.0 else Simtime.sec 4.0 in
   let fio_on make pattern =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -324,7 +329,7 @@ let nginx_rps_at tb ~server ~concurrency ~requests =
   Nginx.serve server ();
   Nginx.ab tb.Testbed.sim ~client ~server ~concurrency ~requests
 
-let run_fig12 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig12 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let concurrencies = if quick then [ 100; 400 ] else [ 50; 100; 200; 400; 800 ] in
   let per_level = if quick then 60 else 150 in
   let run_level make concurrency =
@@ -366,7 +371,7 @@ let sysbench_on ?trace ?metrics ~seed ~pattern ~duration make =
   Mariadb.serve tb.Testbed.sim (Rng.create ~seed:(seed + 13)) server ();
   Mariadb.sysbench tb.Testbed.sim ~client ~server ~pattern ~duration ()
 
-let run_mariadb ~id ~title ~patterns ~paper_notes ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_mariadb ~id ~title ~patterns ~paper_notes ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 200.0 else Simtime.sec 2.0 in
   let rows =
     List.map
@@ -416,7 +421,7 @@ let redis_on ?trace ?metrics ~seed make ~clients ~value_bytes ~requests =
   Redis_bench.serve tb.Testbed.sim server ();
   Redis_bench.benchmark tb.Testbed.sim ~client ~server ~clients ~value_bytes ~requests ()
 
-let run_fig15 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig15 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let clients_list = if quick then [ 1000; 4000 ] else [ 1000; 2000; 4000; 7000; 10000 ] in
   let requests = if quick then 8_000 else 40_000 in
   let rows =
@@ -448,7 +453,7 @@ let run_fig15 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
     notes = [ "Paper: bm 20-40% more requests/s across 1K..10K clients." ];
   }
 
-let run_fig16 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig16 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let sizes = if quick then [ 4; 1024 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
   let requests = if quick then 8_000 else 40_000 in
   let results =
@@ -508,7 +513,7 @@ let run_fig16 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §2.3: nested virtualization *)
 
-let run_sec2_3 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec2_3 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let exec_time nested =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let host = Testbed.vm_host tb in
@@ -567,7 +572,7 @@ let run_sec2_3 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §3.5: cost efficiency *)
 
-let run_sec3_5 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_sec3_5 ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let d = Cost_model.density () in
   let vm_w = Cost_model.vm_watts_per_vcpu () in
   let bm_w = Cost_model.bm_single_board_watts_per_vcpu () in
@@ -595,7 +600,7 @@ let run_sec3_5 ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
 (* ------------------------------------------------------------------ *)
 (* §4.3 network: TCP throughput + unrestricted PPS *)
 
-let run_sec4_3net ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec4_3net ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   (* Cross-server throughput at the 10 Gbit/s cap. *)
   let tcp make =
@@ -653,7 +658,7 @@ let run_sec4_3net ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §4.3 storage: unrestricted local SSD *)
 
-let run_sec4_3blk ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec4_3blk ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 100.0 else Simtime.ms 800.0 in
   let unlimited () = Bm_cloud.Limits.unlimited_blk () in
   let small make =
@@ -701,7 +706,7 @@ let run_sec4_3blk ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* §6: ASIC IO-Bond ablation *)
 
-let run_sec6 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec6 ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let probe profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, inst = Testbed.bm_guest ~profile tb in
@@ -749,7 +754,7 @@ let run_sec6 ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* How much does IO-Bond's register latency matter? Sweep the per-hop
    cost (the FPGA -> ASIC axis, extended) against the two things it
    touches: the emulated config path and end-to-end message latency. *)
-let run_ablation_reg ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_reg ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let count = if quick then 200 else 1000 in
   let probe_and_lat profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -786,7 +791,7 @@ let run_ablation_reg ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 
 (* How big must the DMA engine be? The paper picked 50 Gbit/s; sweep it
    against unrestricted guest throughput. *)
-let run_ablation_dma ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_dma ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let tput dma_gbit_s =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -826,7 +831,7 @@ let run_ablation_dma ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 
 (* How much do batched doorbells/PMD bursts buy? Sweep the burst size the
    guest stack hands to virtio. *)
-let run_ablation_batch ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_batch ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let pps batch =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -852,7 +857,7 @@ let run_ablation_batch ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
 (* S6's offload plan: with IO-Bond classifying flows, known traffic
    bypasses the bm-hypervisor's PMD entirely. Measure PPS and base-core
    utilization with and without it. *)
-let run_ablation_offload ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_offload ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let run offload =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -949,7 +954,7 @@ let mttr_of (plan : Fault.plan) completions =
       |> Option.map (fun c -> c -. e.Fault.at))
     plan.Fault.events
 
-let run_availability ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_availability ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
   let workers = if quick then 2 else 4 in
   let plan =
     match faults with
@@ -1070,7 +1075,7 @@ let run_availability ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
 (* ------------------------------------------------------------------ *)
 (* Evacuation after a base-server failure *)
 
-let run_evacuation ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_evacuation ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let open Bm_cloud in
   let strategies =
     [
@@ -1150,7 +1155,7 @@ let run_evacuation ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
    storage admission queue, drop-tail backlogs. The acceptance shape is
    the hockey stick — bounded goodput stays at the ceiling with flat
    latency while blocking latency diverges with the backlog. *)
-let run_overload ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_overload ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
   let open Bm_cloud in
   let net_duration = if quick then Simtime.ms 8.0 else Simtime.ms 60.0 in
   let blk_duration = if quick then Simtime.ms 40.0 else Simtime.ms 250.0 in
@@ -1338,7 +1343,7 @@ let link_note net ~now =
       (Report.si (float_of_int s.delivered_pkts))
       (Report.si (float_of_int s.dropped_pkts))
 
-let run_xhost_rr ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_rr ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let rr tb (a, b) = Netperf.tcp_rr tb.Testbed.sim ~src:a ~dst:b ~count () in
   (* On-host baseline: the pre-fabric fast path, same server. *)
@@ -1414,7 +1419,7 @@ let run_xhost_rr ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
       ];
   }
 
-let run_xhost_stream ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_stream ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   let stream tb (a, b) = Netperf.tcp_stream tb.Testbed.sim ~src:a ~dst:b ~duration () in
   let topo_idle = Option.value topo ~default:(Topology.clos ~hosts:2 ~tors:2 ~spines:2 ()) in
@@ -1470,7 +1475,7 @@ let run_xhost_stream ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
       ];
   }
 
-let run_xhost_migrate ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_migrate ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
   let mem_gb = if quick then 4 else 16 in
   let dirty = 2.0 in
   let migrate_in tb bm via =
@@ -1543,6 +1548,106 @@ let run_xhost_migrate ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Fleet scale: the live fleet simulation *)
+
+let run_fleet_scale ~fleet ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+  let base = if quick then Fleet.Live.quick_config else Fleet.Live.default_config in
+  let cfg =
+    {
+      base with
+      Fleet.Live.hosts = Option.value fleet.fleet_hosts ~default:base.Fleet.Live.hosts;
+      guests = Option.value fleet.fleet_guests ~default:base.Fleet.Live.guests;
+      tenants = Option.value fleet.fleet_tenants ~default:base.Fleet.Live.tenants;
+    }
+  in
+  let live = Fleet.Live.build ?trace ?metrics ?topo ~seed cfg in
+  let sched = Fleet.Live.scheduler live in
+  let cp = Bm_cloud.Scheduler.control_plane sched in
+  let net = Fleet.Live.fabric live in
+  Fleet.Live.serve live ~duration_ns:(Simtime.ms (if quick then 2.0 else 10.0));
+  (* Fail the busiest host, drain it through the fabric, repair it,
+     then rebalance — the full maintenance cycle. *)
+  let victim_host =
+    fst
+      (List.fold_left
+         (fun (bh, bc) (h, c) -> if c > bc then (h, c) else (bh, bc))
+         (0, -1)
+         (Bm_cloud.Scheduler.occupancy sched))
+  in
+  let evac = Fleet.Live.evacuate live ~server:victim_host in
+  let recovered = Fleet.Live.restore live ~server:victim_host in
+  let moves = Bm_cloud.Scheduler.rebalance sched () in
+  Fleet.Live.serve live ~duration_ns:(Simtime.ms (if quick then 1.0 else 2.0));
+  let survey = Fleet.Live.exit_survey live (Rng.create ~seed:(seed + 1)) in
+  let placed_now = List.length (Bm_cloud.Scheduler.assignments sched) in
+  let stranded_now = List.length (Bm_cloud.Scheduler.stranded sched) in
+  let max_util =
+    List.fold_left
+      (fun acc id -> Float.max acc (Bm_cloud.Control_plane.server_utilization cp id))
+      0.0
+      (Bm_cloud.Control_plane.server_ids cp)
+  in
+  let violations = Bm_cloud.Scheduler.anti_affinity_violations sched in
+  {
+    id = "fleet_scale";
+    title =
+      Printf.sprintf "Fleet scale: %d guests on %d fabric-attached hosts (%d tenants)" cfg.guests
+        cfg.hosts cfg.tenants;
+    header = [ "property"; "expect"; "measured"; "band" ];
+    rows =
+      [
+        Report.check
+          ~paper:(string_of_int cfg.guests)
+          ~measured:(string_of_int (Fleet.Live.placed live))
+          ~ok:(Fleet.Live.placed live = cfg.guests)
+          [ "all guests placed at build" ];
+        Report.check ~paper:"0"
+          ~measured:(string_of_int (List.length violations))
+          ~ok:(violations = [])
+          [ "anti-affinity violations" ];
+        Report.check
+          ~paper:(Printf.sprintf "<= %s" (Report.pct cfg.Fleet.Live.host_ceiling))
+          ~measured:(Report.pct max_util)
+          ~ok:(max_util <= cfg.Fleet.Live.host_ceiling +. 1e-9)
+          [ "max per-host utilization" ];
+        Report.check ~paper:"0 stranded"
+          ~measured:(Printf.sprintf "%d/%d re-placed" evac.Fleet.Live.replaced evac.Fleet.Live.victims)
+          ~ok:(evac.Fleet.Live.stranded = 0 && evac.Fleet.Live.replaced = evac.Fleet.Live.victims)
+          [ "mass evacuation" ];
+        Report.check ~paper:"0"
+          ~measured:(string_of_int (Fabric.dropped net))
+          ~ok:(Fabric.dropped net = 0)
+          [ "fabric drops (flows + pre-copy)" ];
+        Report.check
+          ~paper:(string_of_int cfg.guests)
+          ~measured:(Printf.sprintf "%d placed + %d stranded" placed_now stranded_now)
+          ~ok:(placed_now + stranded_now = cfg.guests)
+          [ "guest conservation" ];
+        Report.check ~paper:"3.82%"
+          ~measured:(Report.pct survey.Fleet.over_10k)
+          ~ok:(within ~tolerance:0.5 ~target:0.0382 survey.Fleet.over_10k)
+          [ "Table 2 > 10K exits/s, live population" ];
+      ];
+    notes =
+      [
+        Printf.sprintf "topology: %s" (Bm_fabric.Topology.render (Fabric.topology net));
+        Printf.sprintf "serve: %d east-west bursts; fabric injected %d = delivered %d + dropped %d"
+          (Fleet.Live.flow_bursts live) (Fabric.injected net) (Fabric.delivered net)
+          (Fabric.dropped net);
+        Printf.sprintf "evacuated host %d: %d victims, %.1f GB pre-copied in %.1f ms" victim_host
+          evac.Fleet.Live.victims
+          (float_of_int evac.Fleet.Live.bytes_streamed /. 1e9)
+          (evac.Fleet.Live.stream_ns /. 1e6);
+        Printf.sprintf "restore recovered %d stranded; rebalance moved %d guests" recovered
+          (List.length moves);
+        Printf.sprintf "live Table 2 tail: > 50K %s (paper 0.37%%), > 100K %s (paper 0.13%%)"
+          (Report.pct survey.Fleet.over_50k) (Report.pct survey.Fleet.over_100k);
+        Report.tenant_table ~title:"tenant metering (first 5)"
+          (List.filteri (fun i _ -> i < 5) (Bm_cloud.Scheduler.tenants sched));
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1575,15 +1680,17 @@ let all =
     { id = "xhost_rr"; title = "Cross-host TCP_RR"; paper_ref = "S2/S5 fleet"; run = run_xhost_rr };
     { id = "xhost_stream"; title = "Cross-host TCP throughput"; paper_ref = "S2/S5 fleet"; run = run_xhost_stream };
     { id = "xhost_migrate"; title = "Migration over the fabric"; paper_ref = "S6 + fleet"; run = run_xhost_migrate };
+    { id = "fleet_scale"; title = "Live fleet at scale"; paper_ref = "S2/S3 fleet"; run = run_fleet_scale };
   ]
 
 let find id = List.find_opt (fun s -> s.id = id) all
 let ids () = List.map (fun s -> s.id) all
 
-let run_one ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?topo id =
+let run_one ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?faults ?trace ?metrics ?topo
+    id =
   match find id with
   | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
-  | Some spec -> Ok (spec.run ~faults ~trace ~metrics ~topo ~quick ~seed)
+  | Some spec -> Ok (spec.run ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed)
 
 (* Trace/metrics sinks are single mutable buffers shared by every cell;
    recording from several domains would race, so their presence forces a
@@ -1592,7 +1699,8 @@ let run_one ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?topo id =
 let effective_jobs ~trace ~metrics jobs =
   if trace <> None || metrics <> None then 1 else max 1 jobs
 
-let run_many ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?topo ?(jobs = 1) targets =
+let run_many ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?faults ?trace ?metrics
+    ?topo ?(jobs = 1) targets =
   let specs =
     List.map
       (fun id ->
@@ -1608,13 +1716,14 @@ let run_many ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?topo ?(job
     (fun spec ->
       match spec with
       | Error _ as e -> e
-      | Ok spec -> Ok (spec.run ~faults ~trace ~metrics ~topo ~quick ~seed))
+      | Ok spec -> Ok (spec.run ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed))
     specs
   |> List.map2 (fun id r -> (id, r)) targets
 
-let run_all ?(quick = false) ?(seed = 2020) ?faults ?trace ?metrics ?topo ?(jobs = 1) () =
+let run_all ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?faults ?trace ?metrics ?topo
+    ?(jobs = 1) () =
   let jobs = effective_jobs ~trace ~metrics jobs in
-  Parallel.map ~jobs (fun spec -> spec.run ~faults ~trace ~metrics ~topo ~quick ~seed) all
+  Parallel.map ~jobs (fun spec -> spec.run ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed) all
 
 let print_outcome (o : outcome) =
   print_endline "";

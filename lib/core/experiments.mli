@@ -16,11 +16,24 @@ type outcome = {
   notes : string list;
 }
 
+type fleet_opts = {
+  fleet_hosts : int option;  (** override the fleet's host count *)
+  fleet_guests : int option;  (** override the guest population *)
+  fleet_tenants : int option;  (** override the tenant count *)
+}
+(** Size overrides for the fleet-scale experiments ([fleet_scale]);
+    [None] fields keep the experiment's quick/full default. Other
+    experiments ignore them. *)
+
+val default_fleet : fleet_opts
+(** All [None]. *)
+
 type spec = {
   id : string;
   title : string;
   paper_ref : string;  (** table/figure/section in the paper *)
   run :
+    fleet:fleet_opts ->
     faults:Bm_engine.Fault.plan option ->
     trace:Bm_engine.Trace.t option ->
     metrics:Bm_engine.Metrics.t option ->
@@ -33,8 +46,10 @@ type spec = {
           with and without sinks attached. [faults] arms a fault plan in
           those testbeds; experiments that model no failure semantics
           ignore it. [topo] overrides the fabric topology in the
-          cross-host experiments ([xhost_*]); single-server experiments
-          ignore it. Same seed + same plan ⇒ bit-identical outcome. *)
+          cross-host experiments ([xhost_*]) and the fleet experiments;
+          single-server experiments ignore it. [fleet] resizes the
+          fleet-scale experiments. Same seed + same plan ⇒ bit-identical
+          outcome. *)
 }
 
 val all : spec list
@@ -44,6 +59,7 @@ val ids : unit -> string list
 val run_one :
   ?quick:bool ->
   ?seed:int ->
+  ?fleet:fleet_opts ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
@@ -54,6 +70,7 @@ val run_one :
 val run_many :
   ?quick:bool ->
   ?seed:int ->
+  ?fleet:fleet_opts ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
@@ -71,6 +88,7 @@ val run_many :
 val run_all :
   ?quick:bool ->
   ?seed:int ->
+  ?fleet:fleet_opts ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->

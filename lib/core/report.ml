@@ -66,6 +66,9 @@ let fabric_table ?(title = "fabric links") fabric ~now =
     ~header:[ "link"; "gbit/s"; "util"; "depth p99"; "delivered"; "dropped"; "queued" ]
     rows
 
+let tenant_table ?(title = "tenants") tenants =
+  table ~title ~header:Bm_cloud.Tenant.row_header (List.map Bm_cloud.Tenant.row tenants)
+
 let metrics_table ?(title = "metrics") ?fabric ?(now = 0.0) m =
   let base = table ~title ~header:Bm_engine.Metrics.table_header (Bm_engine.Metrics.rows m) in
   match fabric with None -> base | Some f -> base ^ "\n" ^ fabric_table f ~now

@@ -23,6 +23,10 @@ val fabric_table : ?title:string -> Bm_fabric.Fabric.t -> now:float -> string
     busy time over elapsed time up to [now]), queue depth p99, delivered
     and dropped wire packets, bursts still queued. *)
 
+val tenant_table : ?title:string -> Bm_cloud.Tenant.t list -> string
+(** Per-tenant accounting ({!Bm_cloud.Tenant.row}): guests, vCPUs,
+    guest-seconds, bytes, IOPS, quota rejections. *)
+
 val metrics_table :
   ?title:string -> ?fabric:Bm_fabric.Fabric.t -> ?now:float -> Bm_engine.Metrics.t -> string
 (** Render a metrics snapshot as an aligned table (one row per

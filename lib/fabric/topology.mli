@@ -43,6 +43,14 @@ val two_host : ?gbit_s:float -> ?latency_ns:float -> ?queue_capacity:int -> unit
 (** The minimal form: two hosts under one ToR, no spine — the smallest
     topology on which traffic crosses a wire. *)
 
+val for_hosts : ?hosts_per_tor:int -> ?spine_gbit_s:float -> hosts:int -> unit -> t
+(** Auto-size a Clos for a fleet of [hosts] hosts: racks of up to
+    [hosts_per_tor] (default 32) hosts, and — past one rack — a spine
+    tier of [max 2 (ceil (tors / 4))] switches, the mild (4:1 worst
+    case) oversubscription of a production pod. Link parameters take
+    the {!clos} defaults. This is how the fleet-scale experiments turn
+    a [--hosts N] knob into a topology. *)
+
 val tor_of : t -> host:int -> int
 (** Block assignment: host [h] lives under ToR [h * tors / hosts]. *)
 

@@ -76,3 +76,402 @@ let survey_preemption rng ~vms ~hours =
         exclusive_p99 = percentile_of_array exclusive 99.0;
         exclusive_p999 = percentile_of_array exclusive 99.9;
       })
+
+(* ------------------------------------------------------------------ *)
+(* Live fleet                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Live = struct
+  module Cp = Bm_cloud.Control_plane
+  module Scheduler = Bm_cloud.Scheduler
+  module Tenant = Bm_cloud.Tenant
+  module Fabric = Bm_fabric.Fabric
+  module Packet = Bm_virtio.Packet
+
+  type config = {
+    hosts : int;
+    guests : int;
+    tenants : int;
+    bm_fraction : float;
+    host_ceiling : float;
+    chunk_mb : int;
+    mem_per_vcpu_gb : int;
+  }
+
+  let default_config =
+    {
+      hosts = 280;
+      guests = 12_000;
+      tenants = 40;
+      bm_fraction = 0.15;
+      host_ceiling = 0.9;
+      chunk_mb = 4;
+      mem_per_vcpu_gb = 2;
+    }
+
+  let quick_config = { default_config with hosts = 60; guests = 1_500; tenants = 12 }
+
+  (* Resource shapes per class: vCPUs, plus the datapath intensity the
+     metering fiber charges to the owning tenant. *)
+  let vcpus_of = function
+    | Idle -> 1
+    | Web -> 1
+    | Database -> 2
+    | Cache -> 2
+    | Hpc -> 4
+    | Io_heavy -> 2
+
+  (* Bytes/s and IOPS per vCPU while served — order-of-magnitude rates
+     so the per-tenant meters separate the classes. *)
+  let byte_rate_of = function
+    | Idle -> 1e4
+    | Web -> 5e6
+    | Database -> 2e7
+    | Cache -> 5e7
+    | Hpc -> 1e6
+    | Io_heavy -> 2e8
+
+  let io_rate_of = function
+    | Idle -> 1.0
+    | Web -> 200.0
+    | Database -> 2_000.0
+    | Cache -> 8_000.0
+    | Hpc -> 50.0
+    | Io_heavy -> 20_000.0
+
+  type guest_info = { cls : workload_class; mode : Preempt.mode }
+
+  type t = {
+    sim : Sim.t;
+    fabric : Fabric.t;
+    sched : Scheduler.t;
+    config : config;
+    metrics : Metrics.t option;
+    info : (string, guest_info) Hashtbl.t;
+    flow_rng : Rng.t;
+    mutable packet_id : int;
+    mutable placed : int;
+    mutable place_failures : int;
+    mutable flow_bursts : int;
+    mutable evac_bytes : int;
+  }
+
+  let sim t = t.sim
+  let fabric t = t.fabric
+  let scheduler t = t.sched
+  let config t = t.config
+  let placed t = t.placed
+  let place_failures t = t.place_failures
+  let flow_bursts t = t.flow_bursts
+  let evacuated_bytes t = t.evac_bytes
+
+  let pad_width n = String.length (string_of_int (max 1 (n - 1)))
+
+  (* Bresenham spread: host i is a BM-Hive base iff the running count
+     of bases crosses an integer at i — evenly interleaved, no RNG. *)
+  let is_bm_host cfg i =
+    let f = cfg.bm_fraction in
+    int_of_float (f *. float_of_int (i + 1)) > int_of_float (f *. float_of_int i)
+
+  let build ?trace ?metrics ?topo ~seed cfg =
+    if cfg.hosts < 2 then invalid_arg "Fleet.Live.build: hosts must be >= 2";
+    if cfg.guests < 1 then invalid_arg "Fleet.Live.build: guests must be >= 1";
+    if cfg.tenants < 1 then invalid_arg "Fleet.Live.build: tenants must be >= 1";
+    let root = Rng.create ~seed in
+    let fabric_rng = Rng.split root in
+    let class_rng = Rng.split root in
+    let flow_rng = Rng.split root in
+    let sim = Sim.create () in
+    let obs = Obs.create ?trace ?metrics ~now:(fun () -> Sim.now sim) () in
+    let topo =
+      match topo with
+      | Some topo when topo.Bm_fabric.Topology.hosts >= cfg.hosts -> topo
+      | Some _ | None -> Bm_fabric.Topology.for_hosts ~hosts:cfg.hosts ()
+    in
+    let fabric = Fabric.create ~obs sim fabric_rng topo in
+    let cp = Cp.create () in
+    (* Server id = fabric host port: both are claimed in call order. *)
+    for i = 0 to cfg.hosts - 1 do
+      let port = Fabric.attach fabric in
+      let id =
+        Cp.add_server ~ceiling:cfg.host_ceiling cp
+          (if is_bm_host cfg i then Cp.Bm_server { boards = 16; board_threads = 8 }
+           else Cp.Vm_server { sellable_threads = 88 })
+      in
+      assert (port = i && id = i)
+    done;
+    let sched = Scheduler.create ~obs cp in
+    let twidth = pad_width cfg.tenants in
+    let tenant_name i = Printf.sprintf "t%0*d" twidth i in
+    (* Twice the fair share: roomy enough that the round-robin owner
+       assignment below never rejects, tight enough that a hoarding
+       tenant would. *)
+    let quota =
+      Tenant.
+        {
+          max_guests = max 8 (2 * cfg.guests / cfg.tenants);
+          max_vcpus = max 32 (8 * cfg.guests / cfg.tenants);
+        }
+    in
+    for i = 0 to cfg.tenants - 1 do
+      Scheduler.register_tenant sched (Tenant.create ~obs ~name:(tenant_name i) quota)
+    done;
+    let gwidth = pad_width cfg.guests in
+    let info = Hashtbl.create (2 * cfg.guests) in
+    let reqs =
+      List.init cfg.guests (fun i ->
+          let cls = sample_class class_rng in
+          let name = Printf.sprintf "g%0*d" gwidth i in
+          let mode = if i mod 5 = 0 then Preempt.Exclusive else Preempt.Shared in
+          Hashtbl.replace info name { cls; mode };
+          (* Explicit substrates: a vm request must not strand a whole
+             compute board, and every 33rd guest buys bare metal. *)
+          let prefer = if i mod 33 = 0 then Cp.Bare_metal else Cp.Virtual in
+          let group = if i mod 25 < 3 then Some (Printf.sprintf "aa%0*d" gwidth (i / 25)) else None in
+          let vcpus = vcpus_of cls in
+          Scheduler.request ~name ~tenant:(tenant_name (i mod cfg.tenants)) ~vcpus
+            ~mem_gb:(cfg.mem_per_vcpu_gb * vcpus) ~prefer ?group ())
+    in
+    let t =
+      {
+        sim;
+        fabric;
+        sched;
+        config = cfg;
+        metrics = Obs.metrics obs;
+        info;
+        flow_rng;
+        packet_id = 0;
+        placed = 0;
+        place_failures = 0;
+        flow_bursts = 0;
+        evac_bytes = 0;
+      }
+    in
+    List.iter
+      (fun (_, r) ->
+        match r with
+        | Ok _ -> t.placed <- t.placed + 1
+        | Error _ -> t.place_failures <- t.place_failures + 1)
+      (Scheduler.place_batch sched reqs);
+    t
+
+  (* --- serving ------------------------------------------------------ *)
+
+  let meter_all t ~tick_ns =
+    let tick_s = tick_ns /. 1e9 in
+    List.iter
+      (fun (name, _) ->
+        match Scheduler.request_of t.sched name with
+        | None -> ()
+        | Some req -> (
+          match Scheduler.tenant t.sched req.Scheduler.tenant with
+          | None -> ()
+          | Some tn ->
+            let { cls; _ } = Hashtbl.find t.info name in
+            let v = float_of_int req.Scheduler.vcpus in
+            Tenant.meter tn ~guest_ns:tick_ns
+              ~bytes:(byte_rate_of cls *. v *. tick_s)
+              ~ios:(io_rate_of cls *. v *. tick_s)
+              ()))
+      (Scheduler.assignments t.sched)
+
+  let next_packet t = t.packet_id <- t.packet_id + 1; t.packet_id
+
+  let serve t ~duration_ns =
+    if not (duration_ns > 0.0) then invalid_arg "Fleet.Live.serve: duration must be > 0";
+    let cfg = t.config in
+    (* Metering fiber: eight accounting ticks over the window. *)
+    Sim.spawn t.sim (fun () ->
+        let tick = duration_ns /. 8.0 in
+        for _ = 1 to 8 do
+          Sim.delay tick;
+          meter_all t ~tick_ns:tick
+        done);
+    (* Sampled east-west traffic: 2 x hosts cross-host bursts spread
+       over the window, exercising ECMP and the shared spine. *)
+    let flows = 2 * cfg.hosts in
+    let base = Sim.now t.sim in
+    for k = 0 to flows - 1 do
+      let src = Rng.int t.flow_rng cfg.hosts in
+      let dst = Rng.int t.flow_rng cfg.hosts in
+      let id = next_packet t in
+      let at = duration_ns *. float_of_int k /. float_of_int flows in
+      Sim.schedule t.sim ~delay:at (fun () ->
+          let pkt =
+            Packet.make ~id ~src ~dst ~size:65_536 ~count:43 ~protocol:Packet.Tcp
+              ~sent_at:(base +. at) ()
+          in
+          Fabric.send t.fabric ~src_host:src ~dst_host:dst
+            ~deliver:(fun _ ->
+              t.flow_bursts <- t.flow_bursts + 1;
+              Metrics.incr_opt t.metrics "fleet.flows.delivered")
+            pkt)
+    done;
+    Sim.run t.sim
+
+  (* --- evacuation --------------------------------------------------- *)
+
+  type evac_report = {
+    victims : int;
+    replaced : int;
+    stranded : int;
+    bytes_streamed : int;
+    stream_ns : float;
+  }
+
+  (* Stream each re-placed victim's memory from the drained host to its
+     new host in [chunk_mb] bursts, keeping a single fleet-wide window
+     of 32 bursts in flight so the drained host's uplink queue (64
+     bursts) never overflows: mass evacuation is drop-free by
+     construction, as pre-copy migration must be. *)
+  let stream t ~src ~moves =
+    let chunk = t.config.chunk_mb * 1024 * 1024 in
+    let work = Queue.create () in
+    List.iter
+      (fun (dst, bytes) ->
+        let rec split remaining =
+          if remaining > 0 then begin
+            Queue.add (dst, min chunk remaining) work;
+            split (remaining - chunk)
+          end
+        in
+        split bytes)
+      moves;
+    let started = Sim.now t.sim in
+    let rec pump () =
+      match Queue.take_opt work with
+      | None -> ()
+      | Some (dst, size) ->
+        let id = next_packet t in
+        let pkt =
+          Packet.make ~id ~src ~dst ~size ~count:(max 1 (size / 1500)) ~protocol:Packet.Tcp
+            ~sent_at:(Sim.now t.sim) ()
+        in
+        Fabric.send t.fabric ~src_host:src ~dst_host:dst
+          ~deliver:(fun p ->
+            t.evac_bytes <- t.evac_bytes + p.Packet.size;
+            Metrics.incr_opt t.metrics ~by:(float_of_int p.Packet.size) "fleet.evac.bytes";
+            pump ())
+          pkt
+    in
+    for _ = 1 to 32 do
+      pump ()
+    done;
+    Sim.run t.sim;
+    Sim.now t.sim -. started
+
+  let evacuate ?(stream_memory = true) t ~server =
+    let results = Scheduler.drain t.sched ~server in
+    let moves =
+      List.filter_map
+        (fun (name, r) ->
+          match r with
+          | Error _ -> None
+          | Ok p ->
+            let req = Option.get (Scheduler.request_of t.sched name) in
+            Some (p.Cp.server, req.Scheduler.mem_gb * 1024 * 1024 * 1024))
+        results
+    in
+    let stream_ns = if stream_memory && moves <> [] then stream t ~src:server ~moves else 0.0 in
+    let replaced = List.length moves in
+    {
+      victims = List.length results;
+      replaced;
+      stranded = List.length results - replaced;
+      bytes_streamed = List.fold_left (fun acc (_, b) -> acc + b) 0 (if stream_memory then moves else []);
+      stream_ns;
+    }
+
+  let restore t ~server =
+    Cp.restore_server (Scheduler.control_plane t.sched) server;
+    let recovered =
+      List.length (List.filter (fun (_, r) -> Result.is_ok r) (Scheduler.retry_stranded t.sched))
+    in
+    recovered
+
+  (* --- views -------------------------------------------------------- *)
+
+  let occupancy_table t =
+    let cp = Scheduler.control_plane t.sched in
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun (id, count) ->
+        Buffer.add_string b
+          (Printf.sprintf "host %4d %s util %.3f guests %4d\n" id
+             (if Cp.server_failed cp id then "down" else "up  ")
+             (Cp.server_utilization cp id)
+             count))
+      (Scheduler.occupancy t.sched);
+    Buffer.add_string b
+      (Printf.sprintf "placed %d stranded %d\n" (List.length (Scheduler.assignments t.sched))
+         (List.length (Scheduler.stranded t.sched)));
+    Buffer.contents b
+
+  let utilization_histogram t =
+    let cp = Scheduler.control_plane t.sched in
+    let buckets = Array.make 10 0 in
+    List.iter
+      (fun id ->
+        let u = Cp.server_utilization cp id in
+        let i = min 9 (int_of_float (u *. 10.0)) in
+        buckets.(i) <- buckets.(i) + 1)
+      (Cp.server_ids cp);
+    Array.to_list (Array.mapi (fun i n -> (float_of_int i /. 10.0, n)) buckets)
+
+  (* --- surveys: the sampler API, driven by the live population ------- *)
+
+  let exit_survey t rng =
+    let names = List.map fst (Scheduler.assignments t.sched) in
+    let vms = List.length names in
+    if vms = 0 then { vms = 0; over_10k = 0.0; over_50k = 0.0; over_100k = 0.0 }
+    else begin
+      let over_10k = ref 0 and over_50k = ref 0 and over_100k = ref 0 in
+      List.iter
+        (fun name ->
+          let { cls; _ } = Hashtbl.find t.info name in
+          let rate = sample_exit_rate rng cls in
+          if rate > 10_000.0 then incr over_10k;
+          if rate > 50_000.0 then incr over_50k;
+          if rate > 100_000.0 then incr over_100k)
+        names;
+      let frac r = float_of_int !r /. float_of_int vms in
+      { vms; over_10k = frac over_10k; over_50k = frac over_50k; over_100k = frac over_100k }
+    end
+
+  let preemption_survey t rng ~hours =
+    if hours < 1 then invalid_arg "Fleet.Live.preemption_survey: hours must be >= 1";
+    let cp = Scheduler.control_plane t.sched in
+    let guests =
+      List.map
+        (fun (name, p) ->
+          let { mode; _ } = Hashtbl.find t.info name in
+          (mode, Cp.server_utilization cp p.Cp.server))
+        (Scheduler.assignments t.sched)
+    in
+    List.init hours (fun hour ->
+        (* Scale each host's packed utilization by the diurnal activity
+           curve: placement gives the spatial load, the curve the
+           temporal swing. *)
+        let swing = diurnal_load ~hour /. 0.55 in
+        let draw want =
+          Array.of_list
+            (List.filter_map
+               (fun (mode, util) ->
+                 if mode = want then
+                   let host_load = Float.max 0.01 (Float.min 0.98 (util *. swing)) in
+                   Some (Preempt.sample_window_fraction rng ~mode ~host_load)
+                 else None)
+               guests)
+        in
+        let shared = draw Preempt.Shared in
+        let exclusive = draw Preempt.Exclusive in
+        let pct a p = if Array.length a = 0 then 0.0 else percentile_of_array a p in
+        {
+          hour;
+          shared_p99 = pct shared 99.0;
+          shared_p999 = pct shared 99.9;
+          exclusive_p99 = pct exclusive 99.0;
+          exclusive_p999 = pct exclusive 99.9;
+        })
+end

@@ -1,11 +1,31 @@
-(** Fleet-scale Monte-Carlo telemetry (Table 2, Fig. 1).
+(** Fleet telemetry (Table 2, Fig. 1) and the live fleet simulation.
 
     The paper measures 300,000 production VMs for five minutes (Table 2:
     VM exits per second per vCPU) and 20,000 VMs for 24 hours (Fig. 1:
     preemption percentiles). We cannot replay production traces, so this
     module samples the same statistics from the mechanism models: each VM
     draws a workload class, the class implies an exit-rate distribution
-    (and interacts with the host-load model for preemption). *)
+    (and interacts with the host-load model for preemption).
+
+    Two fleets live here:
+
+    - the original {e Monte-Carlo sampler} ({!survey_exits},
+      {!survey_preemption}) — population statistics with no placement,
+      no hosts, no network;
+    - the {e live fleet} ({!Live}) — hundreds of fabric-attached hosts,
+      a bin-packing {!Bm_cloud.Scheduler}, tenants with quotas and
+      metering, and mass evacuation streamed over the {!Bm_fabric.Fabric}.
+
+    The live fleet {e reuses} the sampler's population model —
+    {!class_mix}, {!sample_class}, {!sample_exit_rate},
+    {!Preempt.sample_window_fraction} — so the two paths cannot drift:
+    {!Live.exit_survey} draws from the same distributions as
+    {!survey_exits}, conditioned on the classes of the guests actually
+    placed. New code should prefer {!Live}; the standalone sampler
+    functions below are kept for the Table-2/Fig-1 calibration
+    experiments and as the shared population model, and are {b soft-
+    deprecated} as a fleet abstraction: they model a population, not a
+    fleet. *)
 
 type workload_class = Idle | Web | Database | Cache | Hpc | Io_heavy
 
@@ -43,3 +63,104 @@ val survey_preemption :
 
 val diurnal_load : hour:int -> float
 (** The host-load curve used by {!survey_preemption}. *)
+
+(** The live fleet: placement, tenants, serving traffic, mass
+    evacuation. Everything is a pure function of [(seed, config, topo)]
+    — the property and golden tests depend on it. *)
+module Live : sig
+  type config = {
+    hosts : int;  (** fabric-attached servers *)
+    guests : int;  (** instances requested at build time *)
+    tenants : int;  (** owners; guests assigned round-robin *)
+    bm_fraction : float;  (** fraction of hosts that are BM-Hive bases *)
+    host_ceiling : float;  (** per-host sellable fraction (PR-3 ceiling) *)
+    chunk_mb : int;  (** evacuation burst size *)
+    mem_per_vcpu_gb : int;  (** guest memory footprint per vCPU *)
+  }
+
+  val default_config : config
+  (** 280 hosts (15%% BM bases of 16 boards, the rest 88-thread
+      virtualization servers), 12,000 guests, 40 tenants, 0.9 per-host
+      ceiling, 4 MB evacuation chunks. Sized so the packed fleet runs at
+      ~80%% of its ceiling-limited capacity — evacuation headroom. *)
+
+  val quick_config : config
+  (** 60 hosts / 1,500 guests / 12 tenants — same proportions, CI-sized. *)
+
+  type t
+
+  val build :
+    ?trace:Bm_engine.Trace.t ->
+    ?metrics:Bm_engine.Metrics.t ->
+    ?topo:Bm_fabric.Topology.t ->
+    seed:int ->
+    config ->
+    t
+  (** Construct the fleet: auto-size a Clos ({!Bm_fabric.Topology.for_hosts})
+      unless [topo] is given and large enough, attach every host (server
+      id = fabric port), register tenants (quota: twice the fair share),
+      draw each guest's workload class from {!class_mix}, and place the
+      whole population first-fit-decreasing. Every 33rd guest requests
+      bare metal; three of every 25 guests form an anti-affinity group.
+      Same [seed] + [config] ⇒ identical fleet, byte for byte. *)
+
+  val sim : t -> Bm_engine.Sim.t
+  val fabric : t -> Bm_fabric.Fabric.t
+  val scheduler : t -> Bm_cloud.Scheduler.t
+  val config : t -> config
+
+  val placed : t -> int
+  (** Guests successfully placed at build time. *)
+
+  val place_failures : t -> int
+
+  val serve : t -> duration_ns:float -> unit
+  (** Run the fleet for a window of simulated time: a metering fiber
+      charges guest-seconds, bytes and IOPS to each owning tenant in
+      eight ticks (class-dependent rates), while [2 x hosts] sampled
+      east-west bursts cross the fabric. Runs the simulation to
+      quiescence. *)
+
+  val flow_bursts : t -> int
+  (** East-west bursts delivered by {!serve} so far. *)
+
+  type evac_report = {
+    victims : int;  (** guests on the failed host *)
+    replaced : int;  (** re-placed elsewhere *)
+    stranded : int;  (** admitted but nowhere to go *)
+    bytes_streamed : int;  (** memory moved over the fabric *)
+    stream_ns : float;  (** simulated time the pre-copy stream took *)
+  }
+
+  val evacuate : ?stream_memory:bool -> t -> server:int -> evac_report
+  (** Fail [server] and drain it ({!Bm_cloud.Scheduler.drain}), then —
+      unless [stream_memory] is [false] — stream each re-placed victim's
+      memory to its new host in [chunk_mb] bursts over the fabric,
+      keeping a fleet-wide window of 32 bursts in flight so the drained
+      host's uplink queue (64) never drops: the pre-copy phase of mass
+      live migration. Runs the simulation to quiescence. *)
+
+  val evacuated_bytes : t -> int
+
+  val restore : t -> server:int -> int
+  (** Repair [server] ({!Bm_cloud.Control_plane.restore_server}) and
+      retry every stranded guest; returns how many recovered. *)
+
+  val occupancy_table : t -> string
+  (** One line per host — id, up/down, thread utilization, guest count —
+      plus a placed/stranded total. The golden-trajectory regression
+      commits this string verbatim. *)
+
+  val utilization_histogram : t -> (float * int) list
+  (** Ten deciles of per-host thread utilization: [(lower bound, hosts)]. *)
+
+  val exit_survey : t -> Bm_engine.Rng.t -> exit_survey
+  (** Table 2 over the {e placed} population: same
+      {!sample_exit_rate} draws as {!survey_exits}, conditioned on each
+      placed guest's class. *)
+
+  val preemption_survey : t -> Bm_engine.Rng.t -> hours:int -> preempt_window list
+  (** Fig. 1 over the placed population: each guest's host load is its
+      server's packed utilization scaled by {!diurnal_load}'s swing;
+      exclusive guests (every 5th) use [Preempt.Exclusive]. *)
+end
