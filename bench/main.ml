@@ -9,6 +9,10 @@
      bench/main.exe --metrics       print the datapath metrics table afterwards
      bench/main.exe --faults S:SPEC deterministic fault plan, e.g. 42:default
                                     or 7:link_down=2,firmware_wedge=1
+     bench/main.exe --scenario S:SPEC
+                                    game-day scenario timeline for the
+                                    game_day experiment, e.g. 42:default
+                                    or 7:hosts=2,links=1,congest=1,evac=1
      bench/main.exe --jobs N        run up to N experiment cells on parallel
                                     domains (0 = all cores); output is
                                     byte-identical for any N
@@ -27,8 +31,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--faults SEED:SPEC] \
-     [--jobs N] [--topology SPEC] [--hosts N] [--guests N] [--tenants N] [--list] [--bechamel] \
-     [experiment ids...]"
+     [--scenario SEED:SPEC] [--jobs N] [--topology SPEC] [--hosts N] [--guests N] [--tenants N] \
+     [--list] [--bechamel] [experiment ids...]"
 
 type options = {
   quick : bool;
@@ -36,6 +40,7 @@ type options = {
   trace_file : string option;
   metrics : bool;
   faults : Bm_engine.Fault.plan option;
+  scenario : string option;
   topo : Bm_fabric.Topology.t option;
   fleet : Bmhive.Experiments.fleet_opts;
   jobs : int;
@@ -52,6 +57,7 @@ let default_options =
     trace_file = None;
     metrics = false;
     faults = None;
+    scenario = None;
     topo = None;
     fleet = Bmhive.Experiments.default_fleet;
     jobs = 1;
@@ -85,6 +91,11 @@ let rec parse opts = function
     | Ok plan -> parse { opts with faults = Some plan } rest
     | Error e -> fail "--faults: %s" e)
   | [ "--faults" ] -> fail "--faults expects <seed>:<spec>"
+  | "--scenario" :: spec :: rest -> (
+    match Bmhive.Scenario.parse_spec spec with
+    | Ok _ -> parse { opts with scenario = Some spec } rest
+    | Error e -> fail "--scenario: %s" e)
+  | [ "--scenario" ] -> fail "--scenario expects <seed>:<spec> (e.g. 42:default)"
   | "--topology" :: spec :: rest -> (
     match Bm_fabric.Topology.parse_spec spec with
     | Ok topo -> parse { opts with topo = Some topo } rest
@@ -122,8 +133,9 @@ let bechamel_suite seed =
         Test.make ~name:spec.Bmhive.Experiments.id
           (Staged.stage (fun () ->
                ignore
-                 (spec.Bmhive.Experiments.run ~fleet:Bmhive.Experiments.default_fleet
-                    ~faults:None ~trace:None ~metrics:None ~topo:None ~quick:true ~seed))))
+                 (spec.Bmhive.Experiments.run ~scenario:None
+                    ~fleet:Bmhive.Experiments.default_fleet ~faults:None ~trace:None ~metrics:None
+                    ~topo:None ~quick:true ~seed))))
       Bmhive.Experiments.all
   in
   Test.make_grouped ~name:"experiments" tests
@@ -168,7 +180,8 @@ let () =
           prerr_endline e;
           exit 1)
       (Bmhive.Experiments.run_many ~quick:opts.quick ~seed:opts.seed ~fleet:opts.fleet
-         ?faults:opts.faults ?trace ?metrics ?topo:opts.topo ~jobs:opts.jobs targets);
+         ?scenario:opts.scenario ?faults:opts.faults ?trace ?metrics ?topo:opts.topo
+         ~jobs:opts.jobs targets);
     (match metrics with
     | Some m when not (Bm_engine.Metrics.is_empty m) ->
       print_endline "";

@@ -1,0 +1,122 @@
+(* Game-day scenario engine benchmark: host-side cost of running the
+   composed default scenario (ramp + host/link failures + congestion +
+   brownout + evacuation) over a live fleet, open-loop and with the
+   degradation ladder, plus spec-parsing throughput and a double-run
+   determinism check. Writes BENCH_scenario.json (repo root holds the
+   committed baseline).
+
+   Usage:
+     scenario_bench.exe [--quick] [--seed N] [--out FILE]
+
+   Sections:
+     open_loop   events/sec of the default scenario with degrade:false
+     ladder      events/sec with the degradation ladder engaged
+     parse       parse_spec calls/sec on a representative spec string
+     determinism scorecards of two identical ladder runs compared *)
+
+module Scenario = Bmhive.Scenario
+module Fleet = Bm_hyp.Fleet
+
+let quick = ref false
+let seed = ref 2020
+let out_file = ref "BENCH_scenario.json"
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--seed" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some s -> seed := s
+      | None ->
+        prerr_endline "--seed expects an integer";
+        exit 2);
+      parse rest
+    | "--out" :: f :: rest ->
+      out_file := f;
+      parse rest
+    | a :: _ ->
+      Printf.eprintf "unknown argument %S\n" a;
+      prerr_endline "usage: scenario_bench.exe [--quick] [--seed N] [--out FILE]";
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let fleet () = if !quick then Fleet.Live.quick_config else Fleet.Live.default_config
+
+let run_bench ~degrade =
+  let spec = Scenario.default_spec ~seed:!seed () in
+  let o, wall_s = time (fun () -> Scenario.run ~degrade ~fleet:(fleet ()) spec) in
+  (o, wall_s, float_of_int o.Scenario.sim_events /. wall_s)
+
+let parse_bench ~calls =
+  let spec_s = "7:hosts=2,links=1,congest=1,evac=1,brownout=1,ramp=0.5-2.0" in
+  let (), wall_s =
+    time (fun () ->
+        for _ = 1 to calls do
+          match Scenario.parse_spec spec_s with
+          | Ok _ -> ()
+          | Error e -> failwith e
+        done)
+  in
+  float_of_int calls /. wall_s
+
+let progress fmt = Printf.ksprintf (fun m -> prerr_endline ("[scenario_bench] " ^ m)) fmt
+
+let () =
+  let cfg = fleet () in
+  progress "open loop: default scenario over %d hosts / %d guests" cfg.Fleet.Live.hosts
+    cfg.Fleet.Live.guests;
+  let open_o, open_wall, open_eps = run_bench ~degrade:false in
+  progress "ladder: same scenario with degradation";
+  let lad_o, lad_wall, lad_eps = run_bench ~degrade:true in
+  progress "determinism: ladder run repeated";
+  let lad_o2, _, _ = run_bench ~degrade:true in
+  let identical = lad_o.Scenario.scorecard = lad_o2.Scenario.scorecard in
+  let calls = if !quick then 20_000 else 200_000 in
+  progress "parse: %d parse_spec calls" calls;
+  let parse_cps = parse_bench ~calls in
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "{\n";
+  p "  \"seed\": %d,\n" !seed;
+  p "  \"quick\": %b,\n" !quick;
+  p "  \"fleet\": { \"hosts\": %d, \"guests\": %d, \"tenants\": %d },\n" cfg.Fleet.Live.hosts
+    cfg.Fleet.Live.guests cfg.Fleet.Live.tenants;
+  p "  \"open_loop\": {\n";
+  p "    \"sim_events\": %d,\n" open_o.Scenario.sim_events;
+  p "    \"wall_s\": %.4f,\n" open_wall;
+  p "    \"events_per_sec\": %.0f,\n" open_eps;
+  p "    \"slo_met\": %d,\n" open_o.Scenario.met;
+  p "    \"slo_missed\": %d\n" open_o.Scenario.missed;
+  p "  },\n";
+  p "  \"ladder\": {\n";
+  p "    \"sim_events\": %d,\n" lad_o.Scenario.sim_events;
+  p "    \"wall_s\": %.4f,\n" lad_wall;
+  p "    \"events_per_sec\": %.0f,\n" lad_eps;
+  p "    \"slo_met\": %d,\n" lad_o.Scenario.met;
+  p "    \"slo_missed\": %d,\n" lad_o.Scenario.missed;
+  p "    \"max_stage\": %d,\n" lad_o.Scenario.max_stage;
+  p "    \"evacuated_guests\": %d\n" lad_o.Scenario.evacuated_guests;
+  p "  },\n";
+  p "  \"parse\": {\n";
+  p "    \"calls\": %d,\n" calls;
+  p "    \"calls_per_sec\": %.0f\n" parse_cps;
+  p "  },\n";
+  p "  \"determinism\": { \"scorecards_identical\": %b }\n" identical;
+  p "}\n";
+  let oc = open_out !out_file in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf
+    "scenario bench: %.0f events/s open loop, %.0f events/s with ladder (SLO met %d -> %d); \
+     parse %.0f/s; deterministic: %b\n"
+    open_eps lad_eps open_o.Scenario.met lad_o.Scenario.met parse_cps identical;
+  Printf.printf "written: %s\n" !out_file

@@ -42,6 +42,21 @@ let faults_arg =
   in
   Arg.(value & opt (some fault_conv) None & info [ "faults" ] ~docv:"SEED:SPEC" ~doc)
 
+let scenario_arg =
+  let doc =
+    "Game-day scenario timeline for the $(b,game_day) experiment, as $(i,SEED):$(i,SPEC) where \
+     SPEC is $(b,default) or comma-separated $(i,key)=$(i,value) pairs (keys: hosts, links, \
+     congest, evac, brownout, ramp=$(i,lo)-$(i,hi), horizon=$(i,NS)). Example: \
+     42:hosts=2,links=1,congest=1,evac=1. Other experiments ignore it."
+  in
+  let scenario_conv =
+    Arg.conv ~docv:"SEED:SPEC"
+      ( (fun s ->
+          match Bmhive.Scenario.parse_spec s with Ok _ -> Ok s | Error e -> Error (`Msg e)),
+        Format.pp_print_string )
+  in
+  Arg.(value & opt (some scenario_conv) None & info [ "scenario" ] ~docv:"SEED:SPEC" ~doc)
+
 let topology_arg =
   let doc =
     "Fabric topology for the cross-host experiments ($(b,xhost_rr), $(b,xhost_stream), \
@@ -97,7 +112,7 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,list)); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed faults topo hosts guests tenants trace_file metrics_wanted jobs ids =
+  let run quick seed scenario faults topo hosts guests tenants trace_file metrics_wanted jobs ids =
     if jobs < 0 then invalid_arg "--jobs must be non-negative";
     let jobs = if jobs = 0 then Bmhive.Parallel.default_jobs () else jobs in
     let fleet =
@@ -133,14 +148,16 @@ let run_cmd =
           go rest
         | Error e -> `Error (false, e))
     in
-    go (Bmhive.Experiments.run_many ~quick ~seed ~fleet ?faults ?topo ?trace ?metrics ~jobs targets)
+    go
+      (Bmhive.Experiments.run_many ~quick ~seed ~fleet ?scenario ?faults ?topo ?trace ?metrics
+         ~jobs targets)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures from the simulation.")
     Term.(
       ret
-        (const run $ quick_arg $ seed_arg $ faults_arg $ topology_arg $ hosts_arg $ guests_arg
-       $ tenants_arg $ trace_arg $ metrics_arg $ jobs_arg $ ids_arg))
+        (const run $ quick_arg $ seed_arg $ scenario_arg $ faults_arg $ topology_arg $ hosts_arg
+       $ guests_arg $ tenants_arg $ trace_arg $ metrics_arg $ jobs_arg $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

@@ -18,6 +18,7 @@ type t = {
   mutable unknown_dropped : int;
   mutable egress_dropped : int;
   mutable stale_dropped : int;
+  mutable evac_stale_dropped : int;
   mutable queued : int; (* bursts in flight between schedule and delivery *)
   obs : Obs.t;
 }
@@ -28,11 +29,20 @@ and fabric = {
   rtt_ns : float;
   net : Bm_fabric.Fabric.t option; (* explicit link-level network model *)
   routes : (int, t) Hashtbl.t; (* endpoint -> owning switch *)
+  evacuated : (int, unit) Hashtbl.t; (* endpoints retired by a migration *)
   mutable next_endpoint : int;
 }
 
 let create_fabric sim ?(gbit_s = 100.0) ?(rtt_ns = 10_000.0) ?net () =
-  { fsim = sim; nic_gbit_s = gbit_s; rtt_ns; net; routes = Hashtbl.create 64; next_endpoint = 1 }
+  {
+    fsim = sim;
+    nic_gbit_s = gbit_s;
+    rtt_ns;
+    net;
+    routes = Hashtbl.create 64;
+    evacuated = Hashtbl.create 16;
+    next_endpoint = 1;
+  }
 
 let net fabric = fabric.net
 
@@ -56,6 +66,7 @@ let create ?(obs = Obs.none) sim ~fabric ~cores ?(per_packet_ns = 300.0) ?(hop_n
     unknown_dropped = 0;
     egress_dropped = 0;
     stale_dropped = 0;
+    evac_stale_dropped = 0;
     queued = 0;
     obs;
   }
@@ -67,16 +78,27 @@ let note_queue_depth t =
     (float_of_int t.queued)
 
 (* Unknown destination: the MAC resolves to no local endpoint and no
-   peer switch. Counted under its own name (on top of the total) and
-   announced on the trace — a silently black-holed address is the kind
-   of misconfiguration the observability layer exists to surface. *)
+   peer switch. An address retired by an evacuation (guest moved, stale
+   flows still in flight) is migration noise and counted under its own
+   [evac_stale_dropped] name so scorecards don't blame tenants for it;
+   a genuinely unknown address is counted under [unknown_dst_dropped]
+   and announced on the trace — a silently black-holed address is the
+   kind of misconfiguration the observability layer exists to surface. *)
 let note_unknown_drop t (pkt : Packet.t) =
   t.dropped <- t.dropped + pkt.Packet.count;
-  t.unknown_dropped <- t.unknown_dropped + pkt.Packet.count;
   Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count) "cloud.vswitch.dropped";
-  Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count)
-    "cloud.vswitch.unknown_dst_dropped";
-  Trace.instant_opt (Obs.trace t.obs) ~track:"cloud.vswitch" "unknown_dst" ~now:(Sim.now t.sim)
+  if Hashtbl.mem t.fabric.evacuated pkt.Packet.dst then begin
+    t.evac_stale_dropped <- t.evac_stale_dropped + pkt.Packet.count;
+    Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count)
+      "cloud.vswitch.evac_stale_dropped";
+    Trace.instant_opt (Obs.trace t.obs) ~track:"cloud.vswitch" "evac_stale" ~now:(Sim.now t.sim)
+  end
+  else begin
+    t.unknown_dropped <- t.unknown_dropped + pkt.Packet.count;
+    Metrics.incr_opt (Obs.metrics t.obs) ~by:(float_of_int pkt.Packet.count)
+      "cloud.vswitch.unknown_dst_dropped";
+    Trace.instant_opt (Obs.trace t.obs) ~track:"cloud.vswitch" "unknown_dst" ~now:(Sim.now t.sim)
+  end
 
 let note_egress_drop t (pkt : Packet.t) =
   t.dropped <- t.dropped + pkt.Packet.count;
@@ -97,9 +119,10 @@ let register t ~deliver =
   Hashtbl.replace t.fabric.routes addr t;
   addr
 
-let unregister t addr =
+let unregister ?(evacuated = false) t addr =
   Hashtbl.remove t.local addr;
-  Hashtbl.remove t.fabric.routes addr
+  Hashtbl.remove t.fabric.routes addr;
+  if evacuated then Hashtbl.replace t.fabric.evacuated addr ()
 
 let switch_cpu t (pkt : Packet.t) =
   Cores.execute_ns t.cores (t.per_packet_ns *. float_of_int pkt.Packet.count)
@@ -182,3 +205,4 @@ let dropped t = t.dropped
 let unknown_dropped t = t.unknown_dropped
 let egress_dropped t = t.egress_dropped
 let stale_dropped t = t.stale_dropped
+let evac_stale_dropped t = t.evac_stale_dropped

@@ -63,7 +63,14 @@ val register : t -> deliver:(Bm_virtio.Packet.t -> unit) -> int
     arriving burst (called in scheduler context — it should hand off to a
     process quickly). *)
 
-val unregister : t -> int -> unit
+val unregister : ?evacuated:bool -> t -> int -> unit
+(** Detach an endpoint. With [evacuated] (default [false]) the address
+    is retired by a migration/evacuation: bursts still in flight towards
+    it are counted under {!evac_stale_dropped} (metric
+    ["cloud.vswitch.evac_stale_dropped"]) instead of
+    {!unknown_dropped}, so SLO scorecards can separate migration noise
+    from genuinely black-holed addresses. Endpoint addresses are never
+    reused, so the retired set only grows with migrations. *)
 
 val send : t -> Bm_virtio.Packet.t -> unit
 (** Forward a burst to [Packet.dst]. Must be called from a process:
@@ -90,3 +97,8 @@ val egress_dropped : t -> int
 
 val stale_dropped : t -> int
 (** Packets dropped because the destination unregistered mid-flight. *)
+
+val evac_stale_dropped : t -> int
+(** Packets dropped because the destination address was retired by an
+    evacuation ([unregister ~evacuated:true]) — migration noise, kept
+    out of {!unknown_dropped}. *)

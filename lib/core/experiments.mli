@@ -33,6 +33,7 @@ type spec = {
   title : string;
   paper_ref : string;  (** table/figure/section in the paper *)
   run :
+    scenario:string option ->
     fleet:fleet_opts ->
     faults:Bm_engine.Fault.plan option ->
     trace:Bm_engine.Trace.t option ->
@@ -48,7 +49,10 @@ type spec = {
           ignore it. [topo] overrides the fabric topology in the
           cross-host experiments ([xhost_*]) and the fleet experiments;
           single-server experiments ignore it. [fleet] resizes the
-          fleet-scale experiments. Same seed + same plan ⇒ bit-identical
+          fleet-scale experiments. [scenario] is the raw
+          ["SEED:SPEC"] string of [--scenario], consumed by the
+          [game_day] experiment ({!Scenario.parse_spec}); everything
+          else ignores it. Same seed + same plan ⇒ bit-identical
           outcome. *)
 }
 
@@ -60,6 +64,7 @@ val run_one :
   ?quick:bool ->
   ?seed:int ->
   ?fleet:fleet_opts ->
+  ?scenario:string ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
@@ -71,6 +76,7 @@ val run_many :
   ?quick:bool ->
   ?seed:int ->
   ?fleet:fleet_opts ->
+  ?scenario:string ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
@@ -89,6 +95,7 @@ val run_all :
   ?quick:bool ->
   ?seed:int ->
   ?fleet:fleet_opts ->
+  ?scenario:string ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->

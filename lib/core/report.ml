@@ -69,6 +69,9 @@ let fabric_table ?(title = "fabric links") fabric ~now =
 let tenant_table ?(title = "tenants") tenants =
   table ~title ~header:Bm_cloud.Tenant.row_header (List.map Bm_cloud.Tenant.row tenants)
 
+let slo_scorecard ?(title = "per-tenant SLO scorecard") scores =
+  table ~title ~header:Bm_cloud.Slo.row_header (List.map Bm_cloud.Slo.row scores)
+
 let metrics_table ?(title = "metrics") ?fabric ?(now = 0.0) m =
   let base = table ~title ~header:Bm_engine.Metrics.table_header (Bm_engine.Metrics.rows m) in
   match fabric with None -> base | Some f -> base ^ "\n" ^ fabric_table f ~now

@@ -27,6 +27,11 @@ val tenant_table : ?title:string -> Bm_cloud.Tenant.t list -> string
 (** Per-tenant accounting ({!Bm_cloud.Tenant.row}): guests, vCPUs,
     guest-seconds, bytes, IOPS, quota rejections. *)
 
+val slo_scorecard : ?title:string -> Bm_cloud.Slo.tenant_score list -> string
+(** Per-tenant SLO scorecard ({!Bm_cloud.Slo.row}): tier, resolutions,
+    aggregate availability / p99 / goodput, compliant windows, met/MISS.
+    The game-day determinism smoke diffs this string byte-for-byte. *)
+
 val metrics_table :
   ?title:string -> ?fabric:Bm_fabric.Fabric.t -> ?now:float -> Bm_engine.Metrics.t -> string
 (** Render a metrics snapshot as an aligned table (one row per

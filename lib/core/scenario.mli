@@ -1,0 +1,179 @@
+(** Game-day scenario engine: composed fault timelines over a live
+    fleet, graceful degradation, and per-tenant SLO scorecards.
+
+    Production game days rehearse the bad afternoon: traffic ramps
+    toward the diurnal peak while hosts die, a spine link goes dark,
+    background load congests the fabric, and the control plane browns
+    out exactly when the operators need it. This module scripts that
+    afternoon as a {e seeded, deterministic timeline} over one
+    {!Bm_hyp.Fleet.Live} run and scores every tenant against its
+    declared SLO ({!Bm_cloud.Slo}).
+
+    A {!timeline} is built from the {!at} / {!every} / {!ramp}
+    combinators (or parsed from the [--scenario SEED:SPEC] command-line
+    form, {!parse_spec}). The runner compiles fault actions into a
+    {!Bm_engine.Fault} plan — host failures become [Server_failure]
+    windows, fabric-link failures become [Fabric_link_down] windows
+    mapped onto real {!Bm_fabric.Fabric} spine links, control-plane
+    brownouts become [Pmd_crash] windows — so fault bookkeeping
+    (injection counts, terminal recovery at the horizon, the fault
+    summary) is shared with every other fault consumer in the tree.
+
+    {b Degradation ladder.} With [degrade:true] a monitor fiber walks a
+    three-stage ladder at window boundaries, driven by
+    {!Bm_cloud.Slo.window_pressure} and by failed-host detection:
+
+    + shed the lowest tier — Bronze tenants' traffic is pushed through a
+      tight {!Bm_cloud.Limits} [Shed] token bucket;
+    + tighten the global admission ceiling
+      ({!Bm_cloud.Control_plane.set_admission_ceiling});
+    + evacuate failed hosts ({!Bm_cloud.Scheduler.drain}, post-copy:
+      placement switches instantly, memory streams over the fabric in
+      the background).
+
+    Every stage transition runs under a {!Bm_engine.Fault.Guard}
+    (retry, exponential backoff, circuit breaker): a control-plane
+    brownout makes the stage action fail, the guard retries, and the
+    breaker defers the ladder to the next window rather than hammering
+    a browned-out control plane. Calm windows walk the ladder back
+    down, undoing each stage in reverse.
+
+    Determinism: same [spec] + same fleet config + same [degrade] ⇒
+    byte-identical {!outcome.scorecard}. All scenario randomness comes
+    from SplitMix64 streams split off the spec seed; observability
+    never perturbs the run. *)
+
+(** {2 Timeline DSL} *)
+
+type action =
+  | Traffic of float
+      (** Set the open-loop traffic multiplier (diurnal scale). *)
+  | Host_fail of { victim : int; duration_ns : float }
+      (** Fail victim host [victim] (see {e victim resolution} below)
+          for [duration_ns], then restore it. Guests stay placed on the
+          dead host — and their traffic fails — until the degradation
+          ladder (or a {!Evacuate} entry) drains it. *)
+  | Link_fail of { victim : int; duration_ns : float }
+      (** Take the [victim]-th spine link dark for [duration_ns]:
+          traffic offered to it drops (ECMP does not route around). *)
+  | Congest of { duration_ns : float }
+      (** Cross-rack background burst trains sharing the spine for
+          [duration_ns]: queueing delay first, loss second. *)
+  | Evacuate of { victim : int }
+      (** Planned maintenance: drain victim host [victim] now (guests
+          re-place immediately, memory streams post-copy), restore the
+          host and retry stranded guests shortly after. *)
+  | Brownout of { duration_ns : float }
+      (** Control-plane brownout: ladder stage actions fail while the
+          window is open — the {!Bm_engine.Fault.Guard} machinery earns
+          its keep. *)
+
+type entry = { at : float; action : action }
+
+type timeline = entry list
+
+val at : float -> action -> timeline
+(** A single entry at absolute simulated time [at] (ns). *)
+
+val every : period_ns:float -> until_ns:float -> ?start_ns:float -> action -> timeline
+(** The action at [start_ns] (default 0), [start_ns + period_ns], …,
+    strictly before [until_ns]. *)
+
+val ramp : ?steps:int -> from_ns:float -> until_ns:float -> lo:float -> hi:float -> unit -> timeline
+(** A diurnal traffic ramp: [steps] (default 8) {!Traffic} entries
+    tracing a half-sine from [lo] up to [hi] and back down over
+    [\[from_ns, until_ns)]. *)
+
+(** {2 Scenario specs} *)
+
+type spec = {
+  seed : int;
+  horizon_ns : float;
+  timeline : entry list;  (** sorted by time, ties in submission order *)
+}
+
+val default_horizon_ns : float
+(** 2 ms of simulated time — matching {!Bm_engine.Fault.make_plan}. *)
+
+val windows : int
+(** SLO scoring windows per scenario (24): the ladder gets enough
+    boundaries to escalate, act and de-escalate within one horizon. *)
+
+val make : seed:int -> ?horizon_ns:float -> timeline -> spec
+(** Sort the timeline (stable) and validate every entry lies within
+    [\[0, horizon_ns)]. Raises [Invalid_argument] otherwise. *)
+
+val default_spec : ?horizon_ns:float -> seed:int -> unit -> spec
+(** The committed game day: a 0.6→1.5 diurnal ramp, two host failures
+    (victims 0 and 1) at 22%% and 26%% of the horizon lasting over half
+    of it, one spine-link failure, one congestion episode, one
+    control-plane brownout overlapping the ladder's first escalation,
+    and one planned maintenance evacuation (victim 2) at 80%%. *)
+
+val parse_spec : string -> (spec, string) result
+(** Parse a ["<seed>:<spec>"] command-line scenario, where <spec> is a
+    comma-separated list of tokens:
+
+    - [default] — the {!default_spec} timeline;
+    - [hosts=<n>] / [links=<n>] / [congest=<n>] / [evac=<n>] /
+      [brownout=<n>] — [n] events of that kind at seeded times;
+    - [ramp=<lo>-<hi>] — a diurnal ramp between the two multipliers;
+    - [horizon=<ns>] — override the horizon.
+
+    Event times are drawn per kind from SplitMix64 streams split off
+    the seed, so adding events of one kind never moves another kind's
+    times. Examples: ["42:default"],
+    ["7:hosts=2,links=1,congest=1,ramp=0.5-2.0"]. *)
+
+val render : spec -> string
+(** One line per entry (plus a header) — committed by the determinism
+    tests and the CI smoke. *)
+
+(** {2 Running} *)
+
+type outcome = {
+  degrade : bool;
+  scores : Bm_cloud.Slo.tenant_score list;
+  met : int;  (** tenants meeting their SLO *)
+  missed : int;
+  delivered : int;  (** requests delivered fleet-wide *)
+  failed : int;
+  shed : int;
+  max_stage : int;  (** highest ladder stage reached (0 = never) *)
+  stage_actions : int;  (** successful guarded stage transitions *)
+  guard_retries : int;
+  breaker_opens : int;
+  evacuated_guests : int;  (** ladder + maintenance re-placements *)
+  evac_bytes : int;  (** post-copy memory streamed over the fabric *)
+  sim_events : int;
+      (** simulation events executed — the scenario bench's events/s
+          numerator *)
+  fault_summary : string;  (** {!Bm_engine.Fault.summary} of the run *)
+  scorecard : string;
+      (** {!Report.slo_scorecard} plus the fault and ladder summary
+          lines: the byte-identical artefact the CI smoke diffs. *)
+}
+
+val run :
+  ?trace:Bm_engine.Trace.t ->
+  ?metrics:Bm_engine.Metrics.t ->
+  ?degrade:bool ->
+  ?fleet:Bm_hyp.Fleet.Live.config ->
+  spec ->
+  outcome
+(** Build a {!Bm_hyp.Fleet.Live} fleet seeded with [spec.seed]
+    ([fleet] defaults to {!Bm_hyp.Fleet.Live.default_config}), declare
+    every tenant's SLO (tiers round-robin Gold/Silver/Bronze), arm the
+    compiled fault plan, spawn the traffic, metering and monitor
+    fibers, run to quiescence and score
+    [windows] rolling windows over the horizon.
+
+    {e Victim resolution}: host victim [k] is the host of the [k]-th
+    tenant's hottest guest (distinct hosts, in tenant order) — game
+    days aim at the blast radius, not at random — falling back to
+    seeded distinct hosts once tenants run out. Link victim [k] is the
+    [k]-th ToR→spine link in a seeded shuffle.
+
+    [degrade] (default [true]) enables the degradation ladder; with it
+    disabled the same timeline runs open-loop, which is exactly the
+    comparison the [game_day] experiment prints. *)

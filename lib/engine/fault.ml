@@ -5,9 +5,13 @@ type kind =
   | Firmware_wedge
   | Pmd_crash
   | Server_failure
+  | Fabric_link_down
 
 let all_kinds =
-  [ Link_down; Dma_stall; Mailbox_drop; Firmware_wedge; Pmd_crash; Server_failure ]
+  [
+    Link_down; Dma_stall; Mailbox_drop; Firmware_wedge; Pmd_crash; Server_failure;
+    Fabric_link_down;
+  ]
 
 let kind_index = function
   | Link_down -> 0
@@ -16,8 +20,9 @@ let kind_index = function
   | Firmware_wedge -> 3
   | Pmd_crash -> 4
   | Server_failure -> 5
+  | Fabric_link_down -> 6
 
-let nkinds = 6
+let nkinds = 7
 
 let kind_name = function
   | Link_down -> "link_down"
@@ -26,6 +31,7 @@ let kind_name = function
   | Firmware_wedge -> "firmware_wedge"
   | Pmd_crash -> "pmd_crash"
   | Server_failure -> "server_failure"
+  | Fabric_link_down -> "fabric_link_down"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -39,6 +45,7 @@ let default_duration_ns = function
   | Firmware_wedge -> 100_000.0
   | Pmd_crash -> 200_000.0
   | Server_failure -> infinity
+  | Fabric_link_down -> 150_000.0
 
 type event = { kind : kind; at : float; duration_ns : float }
 
@@ -134,6 +141,9 @@ type t = {
   mutable subs : (kind * (event -> unit)) list; (* reversed *)
   mutable armed : bool;
   mutable opened : int;
+  mutable closed : int;
+  opened_k : int array;
+  closed_k : int array;
   obs : Obs.t;
 }
 
@@ -145,6 +155,9 @@ let none =
     subs = [];
     armed = false;
     opened = 0;
+    closed = 0;
+    opened_k = Array.make nkinds 0;
+    closed_k = Array.make nkinds 0;
     obs = Obs.none;
   }
 
@@ -156,21 +169,41 @@ let create ?(obs = Obs.none) sim plan =
     subs = [];
     armed = false;
     opened = 0;
+    closed = 0;
+    opened_k = Array.make nkinds 0;
+    closed_k = Array.make nkinds 0;
     obs;
   }
 
 let plan_of t = t.the_plan
 let injected t = t.opened
+let recovered t = t.closed
 
 let subscribe t kind f = if t.sim <> None then t.subs <- (kind, f) :: t.subs
 
 let open_window t sim e =
   t.opened <- t.opened + 1;
   let k = kind_index e.kind in
+  t.opened_k.(k) <- t.opened_k.(k) + 1;
   t.until.(k) <- Float.max t.until.(k) (Sim.now sim +. e.duration_ns);
   Trace.instant_opt (Obs.trace t.obs) ~track:"fault" (kind_name e.kind) ~now:(Sim.now sim);
   Metrics.incr_opt (Obs.metrics t.obs) ("fault.injected." ^ kind_name e.kind);
   List.iter (fun (kind, f) -> if kind = e.kind then f e) (List.rev t.subs)
+
+(* Terminal recovery accounting. Every injected window is reported
+   recovered exactly once, at its natural close or — for windows that
+   would outlive the plan (including ones ending exactly at the horizon
+   and the permanent [Server_failure] windows) — at the plan horizon,
+   so availability accounting is conservative: a fault is "down" for
+   its whole window and never silently forgotten at simulation end. *)
+let close_window t sim e =
+  t.closed <- t.closed + 1;
+  t.closed_k.(kind_index e.kind) <- t.closed_k.(kind_index e.kind) + 1;
+  Trace.instant_opt (Obs.trace t.obs)
+    ~track:"fault"
+    (kind_name e.kind ^ ".recovered")
+    ~now:(Sim.now sim);
+  Metrics.incr_opt (Obs.metrics t.obs) ("fault.recovered." ^ kind_name e.kind)
 
 let arm t =
   match t.sim with
@@ -179,9 +212,24 @@ let arm t =
     if not t.armed then begin
       t.armed <- true;
       List.iter
-        (fun e -> Sim.schedule sim ~delay:e.at (fun () -> open_window t sim e))
+        (fun e ->
+          Sim.schedule sim ~delay:e.at (fun () -> open_window t sim e);
+          let close_at = Float.min (e.at +. e.duration_ns) t.the_plan.horizon_ns in
+          Sim.schedule sim ~delay:close_at (fun () -> close_window t sim e))
         t.the_plan.events
     end
+
+let summary t =
+  let per_kind =
+    List.filter_map
+      (fun k ->
+        let i = kind_index k in
+        if t.opened_k.(i) = 0 && t.closed_k.(i) = 0 then None
+        else Some (Printf.sprintf "%s %d/%d" (kind_name k) t.closed_k.(i) t.opened_k.(i)))
+      all_kinds
+  in
+  Printf.sprintf "faults recovered/injected: %d/%d%s" t.closed t.opened
+    (if per_kind = [] then "" else " (" ^ String.concat ", " per_kind ^ ")")
 
 let active_until t kind = t.until.(kind_index kind)
 

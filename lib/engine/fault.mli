@@ -25,6 +25,11 @@ type kind =
           virtio status dance and resumes from the shadow rings *)
   | Pmd_crash  (** a bm-hypervisor backend process dies and respawns *)
   | Server_failure  (** the base server fails; victims must evacuate *)
+  | Fabric_link_down
+      (** a datacenter fabric link goes dark; traffic offered to it is
+          dropped until repair. The single-host datapath ignores this
+          kind — fleet-level consumers ({!Bmhive.Scenario}) subscribe
+          and map each window onto a {!Bm_fabric.Fabric} link. *)
 
 val all_kinds : kind list
 val kind_name : kind -> string
@@ -80,7 +85,13 @@ val create : ?obs:Obs.t -> Sim.t -> plan -> t
 val arm : t -> unit
 (** Schedule every event of the plan on the simulation agenda: at
     [event.at] the window opens (subscribers fire, in subscription
-    order); it closes [duration_ns] later. Idempotent. *)
+    order); it closes [duration_ns] later. Every window additionally
+    emits a terminal {e recovery} event at
+    [min (at +. duration_ns) horizon_ns] — so a window that ends exactly
+    at the plan horizon, or one that would outlive it (including the
+    permanent [Server_failure] windows), is still reported recovered at
+    the horizon and availability accounting stays conservative.
+    Idempotent. *)
 
 val subscribe : t -> kind -> (event -> unit) -> unit
 (** Called from scheduler context when a window of [kind] opens. *)
@@ -98,6 +109,15 @@ val block_until_clear : t -> kind -> unit
 
 val injected : t -> int
 (** Events whose windows have opened so far. *)
+
+val recovered : t -> int
+(** Windows reported recovered so far (natural close or terminal
+    recovery at the plan horizon). At or past the horizon,
+    [recovered = injected]: no window is ever left unaccounted. *)
+
+val summary : t -> string
+(** One line of recovered/injected accounting, total and per kind —
+    the fault summary the game-day scorecard embeds. *)
 
 val plan_of : t -> plan
 

@@ -16,6 +16,7 @@ and link = {
   params : Topology.link_params;
   queue : job Sim.Bounded.bounded;
   depth : Stats.Histogram.t;
+  mutable up : bool;  (* a down link drops everything offered to it *)
   mutable busy_ns : float;  (* time spent serializing bursts *)
   mutable delivered_pkts : int;
   mutable dropped_pkts : int;
@@ -51,27 +52,33 @@ let all_links t =
 
 let serialize_ns (p : Topology.link_params) bytes = float_of_int bytes *. 8.0 /. p.gbit_s
 
-(* Hand a job to a link's egress queue. Drop_tail send never blocks, so
-   this is safe from both process and scheduler context; a full queue
-   drops the arriving burst right here (counted, traced, reported). *)
-let offer fab link job =
+let drop_at fab link job =
   let m = Obs.metrics fab.obs in
-  match Sim.Bounded.send link.queue job with
-  | `Sent ->
-    let d = float_of_int (Sim.Bounded.length link.queue) in
-    Stats.Histogram.add link.depth d;
-    Metrics.observe_opt m ~lo:1.0 ~hi:1e4 ("fabric.link." ^ link.name ^ ".depth") d;
-    Trace.counter_opt (Obs.trace fab.obs) ~track:("fabric." ^ link.name) "depth"
-      ~now:(Obs.now fab.obs) d
-  | `Dropped ->
-    link.dropped_pkts <- link.dropped_pkts + job.pkt.count;
-    fab.dropped <- fab.dropped + job.pkt.count;
-    Metrics.incr_opt m ("fabric.link." ^ link.name ^ ".dropped");
-    Metrics.incr_opt m ~by:(float_of_int job.pkt.count) "fabric.dropped";
-    Trace.instant_opt (Obs.trace fab.obs) ~track:("fabric." ^ link.name) "drop"
-      ~now:(Obs.now fab.obs);
-    (match job.on_drop with None -> () | Some f -> f job.pkt)
-  | `Rejected -> assert false (* Drop_tail never rejects *)
+  link.dropped_pkts <- link.dropped_pkts + job.pkt.count;
+  fab.dropped <- fab.dropped + job.pkt.count;
+  Metrics.incr_opt m ("fabric.link." ^ link.name ^ ".dropped");
+  Metrics.incr_opt m ~by:(float_of_int job.pkt.count) "fabric.dropped";
+  Trace.instant_opt (Obs.trace fab.obs) ~track:("fabric." ^ link.name) "drop"
+    ~now:(Obs.now fab.obs);
+  match job.on_drop with None -> () | Some f -> f job.pkt
+
+(* Hand a job to a link's egress queue. Drop_tail send never blocks, so
+   this is safe from both process and scheduler context; a full queue —
+   or a failed link — drops the arriving burst right here (counted,
+   traced, reported). *)
+let offer fab link job =
+  if not link.up then drop_at fab link job
+  else
+    match Sim.Bounded.send link.queue job with
+    | `Sent ->
+      let m = Obs.metrics fab.obs in
+      let d = float_of_int (Sim.Bounded.length link.queue) in
+      Stats.Histogram.add link.depth d;
+      Metrics.observe_opt m ~lo:1.0 ~hi:1e4 ("fabric.link." ^ link.name ^ ".depth") d;
+      Trace.counter_opt (Obs.trace fab.obs) ~track:("fabric." ^ link.name) "depth"
+        ~now:(Obs.now fab.obs) d
+    | `Dropped -> drop_at fab link job
+    | `Rejected -> assert false (* Drop_tail never rejects *)
 
 let arrive fab job =
   match job.rest with
@@ -111,6 +118,7 @@ let mk_link name params =
       Sim.Bounded.create ~capacity:params.Topology.queue_capacity
         ~policy:Sim.Bounded.Drop_tail ();
     depth = Stats.Histogram.create ~lo:1.0 ~hi:1e4 ();
+    up = true;
     busy_ns = 0.0;
     delivered_pkts = 0;
     dropped_pkts = 0;
@@ -159,6 +167,31 @@ let create ?(obs = Obs.none) sim rng (topo : Topology.t) =
   in
   List.iter (drain_link t) (all_links t);
   t
+
+(* --- link failure and repair --------------------------------------- *)
+
+let link_names t = List.map (fun l -> l.name) (all_links t)
+
+let find_link t name =
+  match List.find_opt (fun l -> l.name = name) (all_links t) with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Fabric: unknown link %S" name)
+
+let set_link t name up =
+  let l = find_link t name in
+  if l.up <> up then begin
+    l.up <- up;
+    Metrics.incr_opt (Obs.metrics t.obs)
+      ("fabric.link." ^ name ^ if up then ".repaired" else ".failed");
+    Trace.instant_opt (Obs.trace t.obs) ~track:("fabric." ^ name)
+      (if up then "repair" else "fail")
+      ~now:(Obs.now t.obs)
+  end
+
+let fail_link t ~name = set_link t name false
+let repair_link t ~name = set_link t name true
+let link_up t ~name = (find_link t name).up
+let links_down t = List.length (List.filter (fun l -> not l.up) (all_links t))
 
 let attach t =
   if t.attached >= t.topo.hosts then

@@ -41,6 +41,27 @@ val attach : t -> int
 
 val hosts_attached : t -> int
 
+val link_names : t -> string list
+(** Every directed link name, in the {!link_stats} order. *)
+
+val fail_link : t -> name:string -> unit
+(** Take one directed link down: every burst subsequently offered to it
+    is dropped there (counted on the link and fabric-wide, [on_drop]
+    fires) until {!repair_link}. Bursts already queued on the link when
+    it fails continue to drain — the failure cuts admission, not work in
+    flight, so accounting stays conservative. ECMP does {e not} route
+    around a failed link: flows hashed onto it keep dying, which is
+    exactly the blast radius a game-day scenario wants to measure.
+    Idempotent; raises [Invalid_argument] on an unknown name. *)
+
+val repair_link : t -> name:string -> unit
+(** Bring a failed link back. Idempotent. *)
+
+val link_up : t -> name:string -> bool
+
+val links_down : t -> int
+(** Directed links currently failed. *)
+
 val send :
   t ->
   src_host:int ->

@@ -276,6 +276,14 @@ module Live = struct
               ()))
       (Scheduler.assignments t.sched)
 
+  (* Hooks for external orchestrators (the game-day scenario engine
+     drives metering itself instead of calling [serve], so it can
+     interleave accounting ticks with its own traffic and faults). *)
+  let meter_tick t ~tick_ns = meter_all t ~tick_ns
+
+  let guest_host t name = Option.map (fun p -> p.Cp.server) (Scheduler.lookup t.sched name)
+  let guest_class t name = Option.map (fun gi -> gi.cls) (Hashtbl.find_opt t.info name)
+
   let next_packet t = t.packet_id <- t.packet_id + 1; t.packet_id
 
   let serve t ~duration_ns =

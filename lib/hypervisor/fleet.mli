@@ -124,6 +124,20 @@ module Live : sig
   val flow_bursts : t -> int
   (** East-west bursts delivered by {!serve} so far. *)
 
+  val meter_tick : t -> tick_ns:float -> unit
+  (** Charge one accounting tick (guest-seconds, bytes, IOPS per owning
+      tenant) for every currently placed guest — the same accounting
+      {!serve} performs eight times per window, exposed so an external
+      orchestrator (the game-day scenario engine) can interleave
+      metering with its own traffic and fault timeline. *)
+
+  val guest_host : t -> string -> int option
+  (** The server (= fabric host port) a guest is currently placed on;
+      [None] for unknown or stranded guests. Tracks evacuations. *)
+
+  val guest_class : t -> string -> workload_class option
+  (** The workload class drawn for a guest at build time. *)
+
   type evac_report = {
     victims : int;  (** guests on the failed host *)
     replaced : int;  (** re-placed elsewhere *)

@@ -91,6 +91,31 @@ let test_null_injector () =
   Sim.run sim;
   check_bool "never active" false (Fault.is_active Fault.none Fault.Link_down)
 
+let test_recovery_at_horizon () =
+  (* Regression: a window ending exactly at the plan horizon — and a
+     permanent Server_failure window that would outlive it — must both
+     be reported recovered by the terminal recovery event, so
+     availability accounting never leaks an open window. *)
+  let sim = Sim.create () in
+  let plan =
+    {
+      Fault.seed = 0;
+      horizon_ns = 1_000.0;
+      events =
+        [
+          { Fault.kind = Fault.Link_down; at = 500.0; duration_ns = 500.0 };
+          { Fault.kind = Fault.Server_failure; at = 600.0; duration_ns = infinity };
+        ];
+    }
+  in
+  let f = Fault.create sim plan in
+  Fault.arm f;
+  Sim.run sim;
+  check_int "both windows opened" 2 (Fault.injected f);
+  check_int "recovered exactly once each" 2 (Fault.recovered f);
+  check_bool "summary balances" true
+    (Astring.String.is_infix ~affix:"recovered/injected: 2/2" (Fault.summary f))
+
 (* ------------------------------------------------------------------ *)
 (* Guard *)
 
@@ -284,6 +309,7 @@ let suites =
       [
         Alcotest.test_case "window opens and closes" `Quick test_window_opens_and_closes;
         Alcotest.test_case "null injector" `Quick test_null_injector;
+        Alcotest.test_case "recovery at horizon" `Quick test_recovery_at_horizon;
       ] );
     ( "faults.guard",
       [
