@@ -13,6 +13,9 @@
                                     game-day scenario timeline for the
                                     game_day experiment, e.g. 42:default
                                     or 7:hosts=2,links=1,congest=1,evac=1
+     bench/main.exe --policy NAME   degradation policy for the game_day
+                                    experiment: ladder (default),
+                                    selective, tiered or congestion
      bench/main.exe --jobs N        run up to N experiment cells on parallel
                                     domains (0 = all cores); output is
                                     byte-identical for any N
@@ -31,8 +34,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--faults SEED:SPEC] \
-     [--scenario SEED:SPEC] [--jobs N] [--topology SPEC] [--hosts N] [--guests N] [--tenants N] \
-     [--list] [--bechamel] [experiment ids...]"
+     [--scenario SEED:SPEC] [--policy NAME] [--jobs N] [--topology SPEC] [--hosts N] [--guests N] \
+     [--tenants N] [--list] [--bechamel] [experiment ids...]"
 
 type options = {
   quick : bool;
@@ -41,6 +44,7 @@ type options = {
   metrics : bool;
   faults : Bm_engine.Fault.plan option;
   scenario : string option;
+  policy : string option;
   topo : Bm_fabric.Topology.t option;
   fleet : Bmhive.Experiments.fleet_opts;
   jobs : int;
@@ -58,6 +62,7 @@ let default_options =
     metrics = false;
     faults = None;
     scenario = None;
+    policy = None;
     topo = None;
     fleet = Bmhive.Experiments.default_fleet;
     jobs = 1;
@@ -96,6 +101,13 @@ let rec parse opts = function
     | Ok _ -> parse { opts with scenario = Some spec } rest
     | Error e -> fail "--scenario: %s" e)
   | [ "--scenario" ] -> fail "--scenario expects <seed>:<spec> (e.g. 42:default)"
+  | "--policy" :: name :: rest -> (
+    match Bm_cloud.Policy.of_name name with
+    | Some _ -> parse { opts with policy = Some name } rest
+    | None ->
+      fail "--policy: unknown policy %S (try: %s)" name
+        (String.concat ", " (List.map Bm_cloud.Policy.name Bm_cloud.Policy.all)))
+  | [ "--policy" ] -> fail "--policy expects a name (ladder, selective, tiered, congestion)"
   | "--topology" :: spec :: rest -> (
     match Bm_fabric.Topology.parse_spec spec with
     | Ok topo -> parse { opts with topo = Some topo } rest
@@ -133,7 +145,7 @@ let bechamel_suite seed =
         Test.make ~name:spec.Bmhive.Experiments.id
           (Staged.stage (fun () ->
                ignore
-                 (spec.Bmhive.Experiments.run ~scenario:None
+                 (spec.Bmhive.Experiments.run ~scenario:None ~policy:None
                     ~fleet:Bmhive.Experiments.default_fleet ~faults:None ~trace:None ~metrics:None
                     ~topo:None ~quick:true ~seed))))
       Bmhive.Experiments.all
@@ -180,8 +192,8 @@ let () =
           prerr_endline e;
           exit 1)
       (Bmhive.Experiments.run_many ~quick:opts.quick ~seed:opts.seed ~fleet:opts.fleet
-         ?scenario:opts.scenario ?faults:opts.faults ?trace ?metrics ?topo:opts.topo
-         ~jobs:opts.jobs targets);
+         ?scenario:opts.scenario ?policy:opts.policy ?faults:opts.faults ?trace ?metrics
+         ?topo:opts.topo ~jobs:opts.jobs targets);
     (match metrics with
     | Some m when not (Bm_engine.Metrics.is_empty m) ->
       print_endline "";

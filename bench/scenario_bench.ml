@@ -11,11 +11,13 @@
    Sections:
      open_loop   events/sec of the default scenario with degrade:false
      ladder      events/sec with the degradation ladder engaged
+     policies    events/sec and SLOs met for every degradation policy
      parse       parse_spec calls/sec on a representative spec string
      determinism scorecards of two identical ladder runs compared *)
 
 module Scenario = Bmhive.Scenario
 module Fleet = Bm_hyp.Fleet
+module Policy = Bm_cloud.Policy
 
 let quick = ref false
 let seed = ref 2020
@@ -51,9 +53,9 @@ let time f =
 
 let fleet () = if !quick then Fleet.Live.quick_config else Fleet.Live.default_config
 
-let run_bench ~degrade =
+let run_bench ?policy ~degrade () =
   let spec = Scenario.default_spec ~seed:!seed () in
-  let o, wall_s = time (fun () -> Scenario.run ~degrade ~fleet:(fleet ()) spec) in
+  let o, wall_s = time (fun () -> Scenario.run ~degrade ?policy ~fleet:(fleet ()) spec) in
   (o, wall_s, float_of_int o.Scenario.sim_events /. wall_s)
 
 let parse_bench ~calls =
@@ -74,12 +76,20 @@ let () =
   let cfg = fleet () in
   progress "open loop: default scenario over %d hosts / %d guests" cfg.Fleet.Live.hosts
     cfg.Fleet.Live.guests;
-  let open_o, open_wall, open_eps = run_bench ~degrade:false in
+  let open_o, open_wall, open_eps = run_bench ~degrade:false () in
   progress "ladder: same scenario with degradation";
-  let lad_o, lad_wall, lad_eps = run_bench ~degrade:true in
+  let lad_o, lad_wall, lad_eps = run_bench ~degrade:true () in
   progress "determinism: ladder run repeated";
-  let lad_o2, _, _ = run_bench ~degrade:true in
+  let lad_o2, _, _ = run_bench ~degrade:true () in
   let identical = lad_o.Scenario.scorecard = lad_o2.Scenario.scorecard in
+  let policy_cells =
+    List.map
+      (fun kind ->
+        progress "policy %s: same scenario" (Policy.name kind);
+        let o, wall_s, eps = run_bench ~policy:kind ~degrade:true () in
+        (Policy.name kind, o, wall_s, eps))
+      Policy.all
+  in
   let calls = if !quick then 20_000 else 200_000 in
   progress "parse: %d parse_spec calls" calls;
   let parse_cps = parse_bench ~calls in
@@ -105,6 +115,19 @@ let () =
   p "    \"slo_missed\": %d,\n" lad_o.Scenario.missed;
   p "    \"max_stage\": %d,\n" lad_o.Scenario.max_stage;
   p "    \"evacuated_guests\": %d\n" lad_o.Scenario.evacuated_guests;
+  p "  },\n";
+  p "  \"policies\": {\n";
+  List.iteri
+    (fun i (name, (o : Scenario.outcome), wall_s, eps) ->
+      p "    \"%s\": {\n" name;
+      p "      \"sim_events\": %d,\n" o.Scenario.sim_events;
+      p "      \"wall_s\": %.4f,\n" wall_s;
+      p "      \"events_per_sec\": %.0f,\n" eps;
+      p "      \"slo_met\": %d,\n" o.Scenario.met;
+      p "      \"max_stage\": %d,\n" o.Scenario.max_stage;
+      p "      \"evacuated_guests\": %d\n" o.Scenario.evacuated_guests;
+      p "    }%s\n" (if i < List.length policy_cells - 1 then "," else ""))
+    policy_cells;
   p "  },\n";
   p "  \"parse\": {\n";
   p "    \"calls\": %d,\n" calls;

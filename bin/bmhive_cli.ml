@@ -57,6 +57,27 @@ let scenario_arg =
   in
   Arg.(value & opt (some scenario_conv) None & info [ "scenario" ] ~docv:"SEED:SPEC" ~doc)
 
+let policy_arg =
+  let doc =
+    "Degradation policy the $(b,game_day) experiment closes the loop with: $(b,ladder) \
+     (default, the legacy three-stage ladder), $(b,selective) (blast-radius-aware shedding), \
+     $(b,tiered) (per-tier admission ceilings) or $(b,congestion) (spine-queue / gold-p99 \
+     aware). The $(b,policy_race) experiment runs all four regardless."
+  in
+  let policy_conv =
+    Arg.conv ~docv:"NAME"
+      ( (fun s ->
+          match Bm_cloud.Policy.of_name s with
+          | Some _ -> Ok s
+          | None ->
+            Error
+              (`Msg
+                (Printf.sprintf "unknown policy %S (try: %s)" s
+                   (String.concat ", " (List.map Bm_cloud.Policy.name Bm_cloud.Policy.all))))),
+        Format.pp_print_string )
+  in
+  Arg.(value & opt (some policy_conv) None & info [ "policy" ] ~docv:"NAME" ~doc)
+
 let topology_arg =
   let doc =
     "Fabric topology for the cross-host experiments ($(b,xhost_rr), $(b,xhost_stream), \
@@ -112,7 +133,8 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,list)); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed scenario faults topo hosts guests tenants trace_file metrics_wanted jobs ids =
+  let run quick seed scenario policy faults topo hosts guests tenants trace_file metrics_wanted
+      jobs ids =
     if jobs < 0 then invalid_arg "--jobs must be non-negative";
     let jobs = if jobs = 0 then Bmhive.Parallel.default_jobs () else jobs in
     let fleet =
@@ -149,15 +171,15 @@ let run_cmd =
         | Error e -> `Error (false, e))
     in
     go
-      (Bmhive.Experiments.run_many ~quick ~seed ~fleet ?scenario ?faults ?topo ?trace ?metrics
-         ~jobs targets)
+      (Bmhive.Experiments.run_many ~quick ~seed ~fleet ?scenario ?policy ?faults ?topo ?trace
+         ?metrics ~jobs targets)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures from the simulation.")
     Term.(
       ret
-        (const run $ quick_arg $ seed_arg $ scenario_arg $ faults_arg $ topology_arg $ hosts_arg
-       $ guests_arg $ tenants_arg $ trace_arg $ metrics_arg $ jobs_arg $ ids_arg))
+        (const run $ quick_arg $ seed_arg $ scenario_arg $ policy_arg $ faults_arg $ topology_arg
+       $ hosts_arg $ guests_arg $ tenants_arg $ trace_arg $ metrics_arg $ jobs_arg $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

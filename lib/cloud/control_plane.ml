@@ -17,7 +17,7 @@ type server = {
   mutable failed : bool;
 }
 
-type record = { placement : placement; vcpus : int; image : Image.t }
+type record = { placement : placement; vcpus : int; image : Image.t; cls : string option }
 
 type t = {
   mutable servers : server list;
@@ -25,6 +25,12 @@ type t = {
   instances : (string, record) Hashtbl.t;
   mutable admission_ceiling : float;
   mutable admission_rejections : int;
+  (* Per-class admission: a class (e.g. an SLO tier) may be capped at a
+     fraction of fleet thread capacity, the tiered counterpart of the
+     single global ceiling. *)
+  class_ceilings : (string, float) Hashtbl.t;
+  class_used : (string, int) Hashtbl.t;  (* threads placed per class *)
+  mutable class_rejections : int;
 }
 
 let create ?(admission_ceiling = 1.0) () =
@@ -35,6 +41,9 @@ let create ?(admission_ceiling = 1.0) () =
     instances = Hashtbl.create 32;
     admission_ceiling;
     admission_rejections = 0;
+    class_ceilings = Hashtbl.create 4;
+    class_used = Hashtbl.create 4;
+    class_rejections = 0;
   }
 
 let set_admission_ceiling t c =
@@ -43,6 +52,21 @@ let set_admission_ceiling t c =
 
 let admission_ceiling t = t.admission_ceiling
 let admission_rejections t = t.admission_rejections
+
+let set_class_ceiling t ~cls c =
+  if not (c > 0.0 && c <= 1.0) then
+    invalid_arg "Control_plane.set_class_ceiling: ceiling must be in (0, 1]";
+  Hashtbl.replace t.class_ceilings cls c
+
+let clear_class_ceiling t ~cls = Hashtbl.remove t.class_ceilings cls
+let class_ceiling t ~cls = Hashtbl.find_opt t.class_ceilings cls
+let class_rejections t = t.class_rejections
+let class_used_of t cls = Option.value ~default:0 (Hashtbl.find_opt t.class_used cls)
+
+let class_charge t cls threads =
+  match cls with
+  | None -> ()
+  | Some c -> Hashtbl.replace t.class_used c (class_used_of t c + threads)
 
 let add_server ?(ceiling = 1.0) t kind =
   if not (ceiling > 0.0 && ceiling <= 1.0) then
@@ -130,6 +154,23 @@ let over_ceiling t =
   && float_of_int (used_threads t)
      > (t.admission_ceiling *. float_of_int (sellable_threads t)) +. 1e-9
 
+(* The per-class counterpart of [over_ceiling]: a class with a ceiling
+   set may not hold more than that fraction of fleet thread capacity.
+   Classless placements and classes without a ceiling are never over. *)
+let over_class t ~cls ~threads =
+  match cls with
+  | None -> false
+  | Some c -> (
+    match Hashtbl.find_opt t.class_ceilings c with
+    | None -> false
+    | Some frac ->
+      float_of_int (class_used_of t c + threads)
+      > (frac *. float_of_int (sellable_threads t)) +. 1e-9)
+
+let class_utilization t ~cls =
+  let cap = sellable_threads t in
+  if cap = 0 then 0.0 else float_of_int (class_used_of t cls) /. float_of_int cap
+
 let undo_placement server placement =
   match placement.substrate with
   | Bare_metal ->
@@ -137,11 +178,12 @@ let undo_placement server placement =
     server.used_threads <- server.used_threads - placement.threads
   | Virtual -> server.used_threads <- server.used_threads - placement.threads
 
-let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ?(avoid = []) ~image () =
+let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ?(avoid = []) ?cls ~image () =
   if Hashtbl.mem t.instances name then Error (name ^ " already placed")
   else begin
     let substrates = match prefer with Some s -> [ s ] | None -> [ Bare_metal; Virtual ] in
     let ceiling_hit = ref false in
+    let class_hit = ref false in
     (* Order candidate servers by strategy: first-fit keeps declaration
        order; best-fit packs the fullest feasible server; spread
        balances onto the emptiest. [avoid] (anti-affinity) removes
@@ -170,6 +212,12 @@ let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ?(avoid = []) ~image ()
           Error
             (Printf.sprintf "admission ceiling %.0f%% reached" (t.admission_ceiling *. 100.0))
         end
+        else if !class_hit then begin
+          t.class_rejections <- t.class_rejections + 1;
+          Error
+            (Printf.sprintf "class ceiling reached for %s"
+               (Option.value ~default:"?" cls))
+        end
         else Error "no capacity for request"
       | substrate :: rest ->
         let rec over_servers = function
@@ -182,8 +230,14 @@ let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ?(avoid = []) ~image ()
                 ceiling_hit := true;
                 over_servers others
               end
+              else if over_class t ~cls ~threads:placement.threads then begin
+                undo_placement server placement;
+                class_hit := true;
+                over_servers others
+              end
               else begin
-                Hashtbl.replace t.instances name { placement; vcpus; image };
+                Hashtbl.replace t.instances name { placement; vcpus; image; cls };
+                class_charge t cls placement.threads;
                 Ok placement
               end
             | None -> over_servers others)
@@ -195,11 +249,24 @@ let place t ~name ~vcpus ?prefer ?(strategy = First_fit) ?(avoid = []) ~image ()
 
 let lookup t name = Option.map (fun r -> r.placement) (Hashtbl.find_opt t.instances name)
 
+(* Retag a placed instance with a class, moving its threads between the
+   class accounts. Lets a classifier installed after placement backfill
+   class accounting for the existing fleet. Never refuses: ceilings
+   bind on future placements, not on retags. *)
+let reclassify t ~name ~cls =
+  match Hashtbl.find_opt t.instances name with
+  | None -> ()
+  | Some r ->
+    class_charge t r.cls (-r.placement.threads);
+    class_charge t (Some cls) r.placement.threads;
+    Hashtbl.replace t.instances name { r with cls = Some cls }
+
 let release t name =
   match Hashtbl.find_opt t.instances name with
   | None -> ()
-  | Some { placement; _ } ->
+  | Some { placement; cls; _ } ->
     Hashtbl.remove t.instances name;
+    class_charge t cls (-placement.threads);
     List.iter
       (fun server ->
         if server.id = placement.server then begin
@@ -214,11 +281,11 @@ let release t name =
 let cold_migrate t ~name ~to_ =
   match Hashtbl.find_opt t.instances name with
   | None -> Error (name ^ " not placed")
-  | Some { vcpus; image; placement } ->
+  | Some { vcpus; image; placement; cls } ->
     if placement.substrate = to_ then Error "already on that substrate"
     else begin
       release t name;
-      match place t ~name ~vcpus ~prefer:to_ ~image () with
+      match place t ~name ~vcpus ~prefer:to_ ?cls ~image () with
       | Ok p -> Ok p
       | Error e ->
         (* Roll back: restore the previous placement. *)
@@ -232,7 +299,8 @@ let cold_migrate t ~name ~to_ =
               | Virtual -> server.used_threads <- server.used_threads + placement.threads
             end)
           t.servers;
-        Hashtbl.replace t.instances name { placement; vcpus; image };
+        Hashtbl.replace t.instances name { placement; vcpus; image; cls };
+        class_charge t cls placement.threads;
         Error e
     end
 
@@ -250,9 +318,9 @@ let evacuate t ~server ?(strategy = First_fit) () =
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   List.map
-    (fun (name, { placement; vcpus; image }) ->
+    (fun (name, { placement; vcpus; image; cls }) ->
       release t name;
-      let try_sub sub = place t ~name ~vcpus ~prefer:sub ~strategy ~image () in
+      let try_sub sub = place t ~name ~vcpus ~prefer:sub ~strategy ?cls ~image () in
       let result =
         match try_sub placement.substrate with
         | Ok p -> Ok p

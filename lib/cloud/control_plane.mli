@@ -37,6 +37,27 @@ val admission_ceiling : t -> float
 val admission_rejections : t -> int
 (** Placements refused by the ceiling (not by lack of physical space). *)
 
+val set_class_ceiling : t -> cls:string -> float -> unit
+(** Cap one placement class (e.g. an SLO tier) at a fraction of fleet
+    thread capacity — the per-class counterpart of the single global
+    admission ceiling, so a degradation policy can squeeze best-effort
+    classes while leaving premium admission untouched. A placement whose
+    [cls] would push that class past [ceiling × sellable_threads] is
+    refused. Raises [Invalid_argument] unless the ceiling is in (0, 1]. *)
+
+val clear_class_ceiling : t -> cls:string -> unit
+(** Remove the cap for [cls]; placements of that class are again limited
+    only by physical capacity and the global ceiling. Idempotent. *)
+
+val class_ceiling : t -> cls:string -> float option
+
+val class_utilization : t -> cls:string -> float
+(** Threads currently placed under [cls] / fleet sellable threads
+    (0 when the fleet is empty or the class unused). *)
+
+val class_rejections : t -> int
+(** Placements refused by a class ceiling. *)
+
 val add_server : ?ceiling:float -> t -> server_kind -> int
 (** Returns the server id. [ceiling] (default 1.0) is this host's
     sellable fraction of capacity: a Bm base sells at most
@@ -53,6 +74,7 @@ val place :
   ?prefer:substrate ->
   ?strategy:strategy ->
   ?avoid:int list ->
+  ?cls:string ->
   image:Image.t ->
   unit ->
   (placement, string) result
@@ -61,9 +83,19 @@ val place :
     ≥ [vcpus]); a vm-guest occupies exactly [vcpus] threads. [strategy]
     defaults to [First_fit]. Servers whose id is in [avoid] (default
     none) are skipped entirely — the anti-affinity hook the
-    {!Scheduler} builds on. *)
+    {!Scheduler} builds on. [cls] tags the instance with a placement
+    class: its threads count toward that class's ceiling (if one is
+    set), and the class sticks to the instance through release,
+    migration and evacuation. *)
 
 val lookup : t -> string -> placement option
+
+val reclassify : t -> name:string -> cls:string -> unit
+(** Retag a placed instance with [cls], moving its threads between the
+    class accounts — how a classifier installed after the fleet was
+    built backfills {!class_utilization}. No-op for unknown names;
+    never refused (ceilings bind on future placements only). *)
+
 val release : t -> string -> unit
 
 val cold_migrate : t -> name:string -> to_:substrate -> (placement, string) result

@@ -28,6 +28,12 @@ let custom_net ?(policy = Block) ~pps ~gbit_s () =
 let custom_blk ?(policy = Block) ~iops ~mb_s () =
   { iops = bucket iops; blk_bw = bucket (mb_s *. 1e6); blk_policy = policy; blk_shed = 0 }
 
+(* A degradation-policy admission ceiling: fail-fast (Shed) on the
+   packet rate alone, with bandwidth left effectively unconstrained —
+   the knob a per-tier ceiling turns is "how many requests per second",
+   not "how fat they are". *)
+let ceiling_net ~pps () = custom_net ~policy:Shed ~pps ~gbit_s:1e4 ()
+
 let cloud_net ?policy () = custom_net ?policy ~pps:4e6 ~gbit_s:10.0 ()
 let cloud_blk ?policy () = custom_blk ?policy ~iops:25e3 ~mb_s:300.0 ()
 

@@ -36,6 +36,12 @@ val unlimited_blk : unit -> blk
 val custom_net : ?policy:policy -> pps:float -> gbit_s:float -> unit -> net
 val custom_blk : ?policy:policy -> iops:float -> mb_s:float -> unit -> blk
 
+val ceiling_net : pps:float -> unit -> net
+(** A degradation-policy admission ceiling: a [Shed] bucket that binds
+    on the packet rate alone (bandwidth is left effectively unlimited
+    at 10 Tbit/s), so a per-tier or per-tenant ceiling refuses bursts
+    beyond [pps] fail-fast instead of queueing them late. *)
+
 val set_net_policy : net -> policy -> unit
 val set_blk_policy : blk -> policy -> unit
 

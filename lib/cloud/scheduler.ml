@@ -23,6 +23,8 @@ type t = {
   tenants : (string, Tenant.t) Hashtbl.t;
   guests : (string, guest) Hashtbl.t;
   groups : (string, (int, int) Hashtbl.t) Hashtbl.t;  (* group -> host -> members *)
+  mutable classifier : request -> string option;
+      (* placement class per request, for per-class admission ceilings *)
 }
 
 let create ?(obs = Obs.none) ?(strategy = Control_plane.First_fit) cp =
@@ -33,9 +35,11 @@ let create ?(obs = Obs.none) ?(strategy = Control_plane.First_fit) cp =
     tenants = Hashtbl.create 16;
     guests = Hashtbl.create 1024;
     groups = Hashtbl.create 64;
+    classifier = (fun _ -> None);
   }
 
 let control_plane t = t.cp
+let set_classifier t f = t.classifier <- f
 
 let register_tenant t tenant =
   let name = Tenant.name tenant in
@@ -104,7 +108,7 @@ let try_place_cp t req ~substrates =
     | prefer :: rest -> (
       match
         Control_plane.place t.cp ~name:req.name ~vcpus:req.vcpus ?prefer
-          ~strategy:t.strategy ~avoid ~image:Image.centos7 ()
+          ~strategy:t.strategy ~avoid ?cls:(t.classifier req) ~image:Image.centos7 ()
       with
       | Ok p -> Ok p
       | Error e -> if rest = [] then Error e else go rest)
@@ -260,7 +264,7 @@ let rebalance t ?(max_moves = 64) ?(band = 0.05) () =
           match
             Control_plane.place t.cp ~name:g.req.name ~vcpus:g.req.vcpus
               ~prefer:p.Control_plane.substrate ~strategy:Control_plane.Spread ~avoid
-              ~image:Image.centos7 ()
+              ?cls:(t.classifier g.req) ~image:Image.centos7 ()
           with
           | Ok p' ->
             g.placement <- Some p';
@@ -307,6 +311,27 @@ let guests_on t ~server =
       | Some _ | None -> acc)
     t.guests []
   |> List.sort compare
+
+(* Sorted-distinct helper for the blast-radius views below. *)
+let sort_uniq_list l = List.sort_uniq compare l
+
+let hosts_of_tenant t ~tenant =
+  Hashtbl.fold
+    (fun _ g acc ->
+      match g.placement with
+      | Some p when g.req.tenant = tenant -> p.Control_plane.server :: acc
+      | Some _ | None -> acc)
+    t.guests []
+  |> sort_uniq_list
+
+let tenants_on_host t ~server =
+  Hashtbl.fold
+    (fun _ g acc ->
+      match g.placement with
+      | Some p when p.Control_plane.server = server -> g.req.tenant :: acc
+      | Some _ | None -> acc)
+    t.guests []
+  |> sort_uniq_list
 
 let occupancy t =
   let counts = Hashtbl.create 64 in

@@ -51,6 +51,14 @@ val create : ?obs:Bm_engine.Obs.t -> ?strategy:Control_plane.strategy -> Control
 
 val control_plane : t -> Control_plane.t
 
+val set_classifier : t -> (request -> string option) -> unit
+(** Install the placement classifier: every subsequent placement that
+    goes through the scheduler (including evacuation re-placement and
+    rebalance moves) tags its control-plane instance with the returned
+    class, so per-class admission ceilings
+    ({!Control_plane.set_class_ceiling}) can bind on it. The default
+    classifier returns [None] (no class, never capped). *)
+
 val register_tenant : t -> Tenant.t -> unit
 (** Raises [Invalid_argument] on a duplicate tenant name. *)
 
@@ -107,6 +115,15 @@ val guest_count : t -> int
 
 val guests_on : t -> server:int -> string list
 (** Names placed on one host, sorted. *)
+
+val hosts_of_tenant : t -> tenant:string -> int list
+(** Distinct server ids currently hosting any guest of [tenant],
+    sorted — one side of the blast-radius question a selective
+    degradation policy asks ("where does this tenant live?"). *)
+
+val tenants_on_host : t -> server:int -> string list
+(** Distinct tenant names with a guest on [server], sorted — the other
+    side ("who shares this host?"). *)
 
 val occupancy : t -> (int * int) list
 (** [(server id, placed guest count)] for every server, in declaration

@@ -181,20 +181,50 @@ let scores t ~until_ns =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
   |> List.map (fun (name, st) -> score_tenant name st ~nwindows)
 
+(* A tenant participates in a window's pressure only when it actually
+   resolved traffic there: a tenant idle through a traffic gap (no cell,
+   or a cell with nothing resolved) must not dilute the denominator by
+   counting as "meeting" an SLO it was never offered. *)
+let window_active st ~window =
+  match Hashtbl.find_opt st.cells window with
+  | None -> None
+  | Some c -> if resolved c > 0 then Some c else None
+
 let window_pressure t ?tiers ~window () =
   let counted tier = match tiers with None -> true | Some ts -> List.mem tier ts in
   let total = ref 0 and missing = ref 0 in
   Hashtbl.iter
     (fun _ st ->
-      match Hashtbl.find_opt st.cells window with
+      match window_active st ~window with
       | None -> ()
       | Some c ->
-        if counted st.tier && resolved c > 0 then begin
+        if counted st.tier then begin
           incr total;
           if not (cell_ok st.target c) then incr missing
         end)
     t.tenants;
   if !total = 0 then 0.0 else float_of_int !missing /. float_of_int !total
+
+let window_misses t ?tiers ~window () =
+  let counted tier = match tiers with None -> true | Some ts -> List.mem tier ts in
+  Hashtbl.fold
+    (fun name st acc ->
+      match window_active st ~window with
+      | Some c when counted st.tier && not (cell_ok st.target c) -> (name, st.tier) :: acc
+      | Some _ | None -> acc)
+    t.tenants []
+  |> List.sort compare
+
+let window_tier_p99 t ~tier ~window =
+  Hashtbl.fold
+    (fun _ (st : tenant_state) worst ->
+      if st.tier <> tier then worst
+      else
+        match window_active st ~window with
+        | Some c when Stats.Histogram.count c.latency > 0 ->
+          Float.max worst (Stats.Histogram.percentile c.latency 99.0 /. 1e6)
+        | Some _ | None -> worst)
+    t.tenants 0.0
 
 let row_header =
   [ "tenant"; "tier"; "offered"; "ok"; "shed"; "avail"; "p99 ms"; "goodput"; "windows"; "slo" ]

@@ -94,12 +94,31 @@ val scores : t -> until_ns:float -> tenant_score list
     no traffic count as compliant (no demand, no violation). *)
 
 val window_pressure : t -> ?tiers:tier list -> window:int -> unit -> float
-(** The degradation ladder's control signal: the fraction of declared
+(** The degradation policies' control signal: the fraction of declared
     tenants whose window [window] resolved at least one request and
     missed at least one objective. 0 when nothing was resolved. With
-    [tiers], only tenants of those tiers are counted — the ladder
+    [tiers], only tenants of those tiers are counted — a policy
     listens to the tiers it is protecting, so deliberately shedding
-    Bronze does not read back as sustained distress. *)
+    Bronze does not read back as sustained distress. Tenants with no
+    resolved traffic in the window (traffic gap, fully shed upstream)
+    are excluded from the denominator entirely: an idle tenant is not
+    "meeting" an SLO it was never offered, and must not dilute the
+    pressure the active tenants report. *)
+
+val window_misses : t -> ?tiers:tier list -> window:int -> unit -> (string * tier) list
+(** The tenants behind the pressure: every tenant that resolved at
+    least one request in window [window] and missed at least one
+    objective, sorted by name. Same [tiers] filter and empty-window
+    exclusion as {!window_pressure} — policies use this to aim a blast
+    radius instead of shedding a whole tier. *)
+
+val window_tier_p99 : t -> tier:tier -> window:int -> float
+(** The worst per-tenant p99 latency (ms) of [tier] in window [window]
+    — the gold-latency distress signal a congestion-aware policy
+    compares against the tier's [p99_ms] target. 0 when no tenant of
+    the tier recorded a latency sample in the window (the maximum is
+    taken per tenant, not over a merged histogram, so one slow tenant
+    is not averaged away by many fast ones). *)
 
 val windows_elapsed : t -> now_ns:float -> int
 (** Completed windows at [now_ns], i.e. [floor (now_ns / window_ns)]. *)

@@ -21,6 +21,7 @@ type spec = {
   paper_ref : string;
   run :
     scenario:string option ->
+    policy:string option ->
     fleet:fleet_opts ->
     faults:Fault.plan option ->
     trace:Trace.t option ->
@@ -37,7 +38,7 @@ let within ~tolerance ~target value =
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
 
-let run_table1 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_table1 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   {
     id = "table1";
     title = "Table 1: comparison of three cloud services";
@@ -49,7 +50,7 @@ let run_table1 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick
 (* ------------------------------------------------------------------ *)
 (* Table 2 *)
 
-let run_table2 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
+let run_table2 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
   let vms = if quick then 30_000 else 300_000 in
   let rng = Rng.create ~seed in
   let s = Fleet.survey_exits rng ~vms in
@@ -76,7 +77,7 @@ let run_table2 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick
 (* ------------------------------------------------------------------ *)
 (* Fig. 1 *)
 
-let run_fig1 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
+let run_fig1 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
   let vms = if quick then 2_000 else 20_000 in
   let hours = if quick then 8 else 24 in
   let rng = Rng.create ~seed in
@@ -118,7 +119,7 @@ let run_fig1 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let run_table3 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_table3 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let rows =
     List.map
       (fun i ->
@@ -144,7 +145,7 @@ let run_table3 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: SPEC CINT2006 *)
 
-let run_fig7 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick:_ ~seed =
+let run_fig7 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick:_ ~seed =
   let spec_on make =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let inst = make tb in
@@ -178,7 +179,7 @@ let run_fig7 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick:_ ~se
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: STREAM *)
 
-let run_fig8 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig8 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let elements = if quick then 20_000_000 else 200_000_000 in
   let runs = if quick then 3 else 10 in
   let stream_on make =
@@ -215,7 +216,7 @@ let run_fig8 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: UDP PPS *)
 
-let run_fig9 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig9 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 40.0 else Simtime.ms 400.0 in
   let pps_of pair =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -248,7 +249,7 @@ let run_fig9 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: latency *)
 
-let run_fig10 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig10 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let lat pair path =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -287,7 +288,7 @@ let run_fig10 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~see
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: storage latency *)
 
-let run_fig11 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig11 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 300.0 else Simtime.sec 4.0 in
   let fio_on make pattern =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -330,7 +331,7 @@ let nginx_rps_at tb ~server ~concurrency ~requests =
   Nginx.serve server ();
   Nginx.ab tb.Testbed.sim ~client ~server ~concurrency ~requests
 
-let run_fig12 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig12 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let concurrencies = if quick then [ 100; 400 ] else [ 50; 100; 200; 400; 800 ] in
   let per_level = if quick then 60 else 150 in
   let run_level make concurrency =
@@ -372,7 +373,7 @@ let sysbench_on ?trace ?metrics ~seed ~pattern ~duration make =
   Mariadb.serve tb.Testbed.sim (Rng.create ~seed:(seed + 13)) server ();
   Mariadb.sysbench tb.Testbed.sim ~client ~server ~pattern ~duration ()
 
-let run_mariadb ~id ~title ~patterns ~paper_notes ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_mariadb ~id ~title ~patterns ~paper_notes ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 200.0 else Simtime.sec 2.0 in
   let rows =
     List.map
@@ -422,7 +423,7 @@ let redis_on ?trace ?metrics ~seed make ~clients ~value_bytes ~requests =
   Redis_bench.serve tb.Testbed.sim server ();
   Redis_bench.benchmark tb.Testbed.sim ~client ~server ~clients ~value_bytes ~requests ()
 
-let run_fig15 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig15 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let clients_list = if quick then [ 1000; 4000 ] else [ 1000; 2000; 4000; 7000; 10000 ] in
   let requests = if quick then 8_000 else 40_000 in
   let rows =
@@ -454,7 +455,7 @@ let run_fig15 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~see
     notes = [ "Paper: bm 20-40% more requests/s across 1K..10K clients." ];
   }
 
-let run_fig16 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig16 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let sizes = if quick then [ 4; 1024 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
   let requests = if quick then 8_000 else 40_000 in
   let results =
@@ -514,7 +515,7 @@ let run_fig16 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~see
 (* ------------------------------------------------------------------ *)
 (* §2.3: nested virtualization *)
 
-let run_sec2_3 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec2_3 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let exec_time nested =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let host = Testbed.vm_host tb in
@@ -573,7 +574,7 @@ let run_sec2_3 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~se
 (* ------------------------------------------------------------------ *)
 (* §3.5: cost efficiency *)
 
-let run_sec3_5 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_sec3_5 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let d = Cost_model.density () in
   let vm_w = Cost_model.vm_watts_per_vcpu () in
   let bm_w = Cost_model.bm_single_board_watts_per_vcpu () in
@@ -601,7 +602,7 @@ let run_sec3_5 ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick
 (* ------------------------------------------------------------------ *)
 (* §4.3 network: TCP throughput + unrestricted PPS *)
 
-let run_sec4_3net ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec4_3net ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   (* Cross-server throughput at the 10 Gbit/s cap. *)
   let tcp make =
@@ -659,7 +660,7 @@ let run_sec4_3net ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick 
 (* ------------------------------------------------------------------ *)
 (* §4.3 storage: unrestricted local SSD *)
 
-let run_sec4_3blk ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec4_3blk ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 100.0 else Simtime.ms 800.0 in
   let unlimited () = Bm_cloud.Limits.unlimited_blk () in
   let small make =
@@ -707,7 +708,7 @@ let run_sec4_3blk ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick 
 (* ------------------------------------------------------------------ *)
 (* §6: ASIC IO-Bond ablation *)
 
-let run_sec6 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec6 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let probe profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, inst = Testbed.bm_guest ~profile tb in
@@ -755,7 +756,7 @@ let run_sec6 ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed
 (* How much does IO-Bond's register latency matter? Sweep the per-hop
    cost (the FPGA -> ASIC axis, extended) against the two things it
    touches: the emulated config path and end-to-end message latency. *)
-let run_ablation_reg ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_reg ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let count = if quick then 200 else 1000 in
   let probe_and_lat profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -792,7 +793,7 @@ let run_ablation_reg ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~qui
 
 (* How big must the DMA engine be? The paper picked 50 Gbit/s; sweep it
    against unrestricted guest throughput. *)
-let run_ablation_dma ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_dma ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let tput dma_gbit_s =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -832,7 +833,7 @@ let run_ablation_dma ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~qui
 
 (* How much do batched doorbells/PMD bursts buy? Sweep the burst size the
    guest stack hands to virtio. *)
-let run_ablation_batch ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_batch ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let pps batch =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -858,7 +859,7 @@ let run_ablation_batch ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~q
 (* S6's offload plan: with IO-Bond classifying flows, known traffic
    bypasses the bm-hypervisor's PMD entirely. Measure PPS and base-core
    utilization with and without it. *)
-let run_ablation_offload ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_offload ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let run offload =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -955,7 +956,7 @@ let mttr_of (plan : Fault.plan) completions =
       |> Option.map (fun c -> c -. e.Fault.at))
     plan.Fault.events
 
-let run_availability ~scenario:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_availability ~scenario:_ ~policy:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
   let workers = if quick then 2 else 4 in
   let plan =
     match faults with
@@ -1076,7 +1077,7 @@ let run_availability ~scenario:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick
 (* ------------------------------------------------------------------ *)
 (* Evacuation after a base-server failure *)
 
-let run_evacuation ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_evacuation ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
   let open Bm_cloud in
   let strategies =
     [
@@ -1156,7 +1157,7 @@ let run_evacuation ~scenario:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~q
    storage admission queue, drop-tail backlogs. The acceptance shape is
    the hockey stick — bounded goodput stays at the ceiling with flat
    latency while blocking latency diverges with the backlog. *)
-let run_overload ~scenario:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_overload ~scenario:_ ~policy:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
   let open Bm_cloud in
   let net_duration = if quick then Simtime.ms 8.0 else Simtime.ms 60.0 in
   let blk_duration = if quick then Simtime.ms 40.0 else Simtime.ms 250.0 in
@@ -1344,7 +1345,7 @@ let link_note net ~now =
       (Report.si (float_of_int s.delivered_pkts))
       (Report.si (float_of_int s.dropped_pkts))
 
-let run_xhost_rr ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_rr ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let rr tb (a, b) = Netperf.tcp_rr tb.Testbed.sim ~src:a ~dst:b ~count () in
   (* On-host baseline: the pre-fabric fast path, same server. *)
@@ -1420,7 +1421,7 @@ let run_xhost_rr ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~se
       ];
   }
 
-let run_xhost_stream ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_stream ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   let stream tb (a, b) = Netperf.tcp_stream tb.Testbed.sim ~src:a ~dst:b ~duration () in
   let topo_idle = Option.value topo ~default:(Topology.clos ~hosts:2 ~tors:2 ~spines:2 ()) in
@@ -1476,7 +1477,7 @@ let run_xhost_stream ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick
       ];
   }
 
-let run_xhost_migrate ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_migrate ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
   let mem_gb = if quick then 4 else 16 in
   let dirty = 2.0 in
   let migrate_in tb bm via =
@@ -1551,7 +1552,7 @@ let run_xhost_migrate ~scenario:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quic
 (* ------------------------------------------------------------------ *)
 (* Fleet scale: the live fleet simulation *)
 
-let run_fleet_scale ~scenario:_ ~fleet ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_fleet_scale ~scenario:_ ~policy:_ ~fleet ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
   let base = if quick then Fleet.Live.quick_config else Fleet.Live.default_config in
   let cfg =
     {
@@ -1651,7 +1652,18 @@ let run_fleet_scale ~scenario:_ ~fleet ~faults:_ ~trace ~metrics ~topo ~quick ~s
 (* ------------------------------------------------------------------ *)
 (* Game day: composed fault timeline + degradation ladder + SLO scores *)
 
-let run_game_day ~scenario ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let policy_kind ~experiment policy =
+  match policy with
+  | None -> Bm_cloud.Policy.Ladder
+  | Some name -> (
+    match Bm_cloud.Policy.of_name name with
+    | Some kind -> kind
+    | None ->
+      invalid_arg
+        (Printf.sprintf "%s: unknown policy %S (try: %s)" experiment name
+           (String.concat ", " (List.map Bm_cloud.Policy.name Bm_cloud.Policy.all))))
+
+let run_game_day ~scenario ~policy ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
   let spec =
     match scenario with
     | Some s -> (
@@ -1660,11 +1672,12 @@ let run_game_day ~scenario ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~se
       | Error e -> invalid_arg (Printf.sprintf "game_day: %s" e))
     | None -> Scenario.default_spec ~seed ()
   in
+  let kind = policy_kind ~experiment:"game_day" policy in
   let cfg = if quick then Fleet.Live.quick_config else Fleet.Live.default_config in
   (* The same timeline twice: open loop, then with the degradation
-     ladder closed around it. The scorecard delta is the experiment. *)
+     policy closed around it. The scorecard delta is the experiment. *)
   let off = Scenario.run ?trace ?metrics ~degrade:false ~fleet:cfg spec in
-  let on = Scenario.run ?trace ?metrics ~degrade:true ~fleet:cfg spec in
+  let on = Scenario.run ?trace ?metrics ~degrade:true ~policy:kind ~fleet:cfg spec in
   let by_tier tier (o : Scenario.outcome) =
     List.filter (fun (s : Bm_cloud.Slo.tenant_score) -> s.Bm_cloud.Slo.tier = tier) o.Scenario.scores
   in
@@ -1702,9 +1715,92 @@ let run_game_day ~scenario ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~se
         Scenario.render spec;
         off.Scenario.scorecard;
         on.Scenario.scorecard;
-        Printf.sprintf "degradation ladder: max stage %d, %d stage actions, %d guard retries"
-          on.Scenario.max_stage on.Scenario.stage_actions on.Scenario.guard_retries;
+        Printf.sprintf "degradation %s: max stage %d, %d stage actions, %d guard retries"
+          on.Scenario.policy on.Scenario.max_stage on.Scenario.stage_actions
+          on.Scenario.guard_retries;
       ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Policy race: every degradation policy over the same seeded timeline *)
+
+(* The same scenario seed (victims, fault times, traffic arrivals) for
+   every entrant, so the table differences are pure policy: which levers
+   each pulled, and what that bought per tier. Rows are ranked by total
+   SLOs met, Gold met breaking ties; the open-loop row is the floor. *)
+let run_policy_race ~scenario ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+  let spec =
+    match scenario with
+    | Some s -> (
+      match Scenario.parse_spec s with
+      | Ok spec -> spec
+      | Error e -> invalid_arg (Printf.sprintf "policy_race: %s" e))
+    | None -> Scenario.default_spec ~seed ()
+  in
+  let cfg = if quick then Fleet.Live.quick_config else Fleet.Live.default_config in
+  let open_loop = Scenario.run ?trace ?metrics ~degrade:false ~fleet:cfg spec in
+  let entrants =
+    List.map
+      (fun kind -> Scenario.run ?trace ?metrics ~degrade:true ~policy:kind ~fleet:cfg spec)
+      Bm_cloud.Policy.all
+  in
+  let by_tier tier (o : Scenario.outcome) =
+    List.filter
+      (fun (s : Bm_cloud.Slo.tenant_score) -> s.Bm_cloud.Slo.tier = tier)
+      o.Scenario.scores
+  in
+  let met scores =
+    List.length (List.filter (fun (s : Bm_cloud.Slo.tenant_score) -> s.Bm_cloud.Slo.met) scores)
+  in
+  let gold_met o = met (by_tier Bm_cloud.Slo.Gold o) in
+  let tier_cell tier o =
+    let ss = by_tier tier o in
+    Printf.sprintf "%d/%d" (met ss) (List.length ss)
+  in
+  let row label (o : Scenario.outcome) =
+    [
+      label;
+      string_of_int o.Scenario.met;
+      tier_cell Bm_cloud.Slo.Gold o;
+      tier_cell Bm_cloud.Slo.Silver o;
+      tier_cell Bm_cloud.Slo.Bronze o;
+      string_of_int o.Scenario.max_stage;
+      string_of_int o.Scenario.stage_actions;
+      string_of_int o.Scenario.evacuated_guests;
+    ]
+  in
+  let ranked =
+    List.stable_sort
+      (fun (a : Scenario.outcome) b ->
+        match compare b.Scenario.met a.Scenario.met with
+        | 0 -> compare (gold_met b) (gold_met a)
+        | c -> c)
+      entrants
+  in
+  let best = List.hd ranked in
+  let ladder =
+    List.find (fun (o : Scenario.outcome) -> o.Scenario.policy = "ladder") entrants
+  in
+  {
+    id = "policy_race";
+    title = "Policy race: every degradation policy on the same seeded game day";
+    header =
+      [ "policy"; "SLO met"; "gold"; "silver"; "bronze"; "max stage"; "actions"; "evacuated" ];
+    rows =
+      (row "open loop" open_loop :: List.map (fun o -> row o.Scenario.policy o) ranked)
+      @ [
+          Report.check ~paper:">= ladder"
+            ~measured:
+              (Printf.sprintf "%s: %d met (ladder %d)" best.Scenario.policy best.Scenario.met
+                 ladder.Scenario.met)
+            ~ok:(best.Scenario.met >= ladder.Scenario.met)
+            [ "winner at least matches the ladder"; "-"; "-"; "-"; "-" ];
+        ];
+    notes =
+      Scenario.render spec
+      :: Printf.sprintf "ranking: SLOs met, Gold met breaking ties; same seed for every row"
+      :: open_loop.Scenario.scorecard
+      :: List.map (fun (o : Scenario.outcome) -> o.Scenario.scorecard) ranked;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1742,16 +1838,17 @@ let all =
     { id = "xhost_migrate"; title = "Migration over the fabric"; paper_ref = "S6 + fleet"; run = run_xhost_migrate };
     { id = "fleet_scale"; title = "Live fleet at scale"; paper_ref = "S2/S3 fleet"; run = run_fleet_scale };
     { id = "game_day"; title = "Game-day composite scenario"; paper_ref = "robustness"; run = run_game_day };
+    { id = "policy_race"; title = "Degradation-policy race"; paper_ref = "robustness"; run = run_policy_race };
   ]
 
 let find id = List.find_opt (fun s -> s.id = id) all
 let ids () = List.map (fun s -> s.id) all
 
-let run_one ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?faults ?trace ?metrics ?topo
-    id =
+let run_one ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?policy ?faults ?trace
+    ?metrics ?topo id =
   match find id with
   | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
-  | Some spec -> Ok (spec.run ~scenario ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed)
+  | Some spec -> Ok (spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed)
 
 (* Trace/metrics sinks are single mutable buffers shared by every cell;
    recording from several domains would race, so their presence forces a
@@ -1760,8 +1857,8 @@ let run_one ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?
 let effective_jobs ~trace ~metrics jobs =
   if trace <> None || metrics <> None then 1 else max 1 jobs
 
-let run_many ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?faults ?trace ?metrics
-    ?topo ?(jobs = 1) targets =
+let run_many ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?policy ?faults ?trace
+    ?metrics ?topo ?(jobs = 1) targets =
   let specs =
     List.map
       (fun id ->
@@ -1777,14 +1874,16 @@ let run_many ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario 
     (fun spec ->
       match spec with
       | Error _ as e -> e
-      | Ok spec -> Ok (spec.run ~scenario ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed))
+      | Ok spec -> Ok (spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed))
     specs
   |> List.map2 (fun id r -> (id, r)) targets
 
-let run_all ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?faults ?trace ?metrics ?topo
-    ?(jobs = 1) () =
+let run_all ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?policy ?faults ?trace
+    ?metrics ?topo ?(jobs = 1) () =
   let jobs = effective_jobs ~trace ~metrics jobs in
-  Parallel.map ~jobs (fun spec -> spec.run ~scenario ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed) all
+  Parallel.map ~jobs
+    (fun spec -> spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed)
+    all
 
 let print_outcome (o : outcome) =
   print_endline "";

@@ -34,6 +34,7 @@ type spec = {
   paper_ref : string;  (** table/figure/section in the paper *)
   run :
     scenario:string option ->
+    policy:string option ->
     fleet:fleet_opts ->
     faults:Bm_engine.Fault.plan option ->
     trace:Bm_engine.Trace.t option ->
@@ -51,9 +52,12 @@ type spec = {
           single-server experiments ignore it. [fleet] resizes the
           fleet-scale experiments. [scenario] is the raw
           ["SEED:SPEC"] string of [--scenario], consumed by the
-          [game_day] experiment ({!Scenario.parse_spec}); everything
-          else ignores it. Same seed + same plan ⇒ bit-identical
-          outcome. *)
+          [game_day] and [policy_race] experiments
+          ({!Scenario.parse_spec}); everything else ignores it.
+          [policy] names the degradation policy ({!Bm_cloud.Policy.of_name})
+          the [game_day] experiment closes the loop with — default
+          ["ladder"]; [policy_race] runs every policy regardless.
+          Same seed + same plan ⇒ bit-identical outcome. *)
 }
 
 val all : spec list
@@ -65,6 +69,7 @@ val run_one :
   ?seed:int ->
   ?fleet:fleet_opts ->
   ?scenario:string ->
+  ?policy:string ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
@@ -77,6 +82,7 @@ val run_many :
   ?seed:int ->
   ?fleet:fleet_opts ->
   ?scenario:string ->
+  ?policy:string ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
@@ -96,6 +102,7 @@ val run_all :
   ?seed:int ->
   ?fleet:fleet_opts ->
   ?scenario:string ->
+  ?policy:string ->
   ?faults:Bm_engine.Fault.plan ->
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->

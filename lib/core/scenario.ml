@@ -6,6 +6,8 @@ module Slo = Bm_cloud.Slo
 module Limits = Bm_cloud.Limits
 module Scheduler = Bm_cloud.Scheduler
 module Cp = Bm_cloud.Control_plane
+module Policy = Bm_cloud.Policy
+module Topology = Bm_fabric.Topology
 
 (* --- timeline DSL --------------------------------------------------- *)
 
@@ -186,6 +188,7 @@ let parse_spec s =
 
 type outcome = {
   degrade : bool;
+  policy : string;
   scores : Slo.tenant_score list;
   met : int;
   missed : int;
@@ -213,7 +216,7 @@ let shuffle rng a =
     a.(j) <- tmp
   done
 
-let run ?trace ?metrics ?(degrade = true) ?(fleet = Fleet.Live.default_config) spec =
+let run ?trace ?metrics ?(degrade = true) ?(policy = Policy.Ladder) ?(fleet = Fleet.Live.default_config) spec =
   let t = Fleet.Live.build ?trace ?metrics ~seed:spec.seed fleet in
   let sim = Fleet.Live.sim t in
   let fab = Fleet.Live.fabric t in
@@ -238,6 +241,28 @@ let run ?trace ?metrics ?(degrade = true) ?(fleet = Fleet.Live.default_config) s
   Array.iteri
     (fun i name -> Slo.declare slo ~tenant:name ~tier:(Slo.tier_of_index i) ())
     tenant_names;
+  let tier_of_tenant = Hashtbl.create (Array.length tenant_names) in
+  Array.iteri
+    (fun i name -> Hashtbl.replace tier_of_tenant name (Slo.tier_of_index i))
+    tenant_names;
+  let tenant_tier tn =
+    Option.value ~default:Slo.Bronze (Hashtbl.find_opt tier_of_tenant tn)
+  in
+  (* Tag every placement with its tenant's tier so per-class admission
+     ceilings (the tiered policy's lever) can bind on evacuations and
+     retries; placements made while the fleet was built are backfilled.
+     Pure host-side accounting — no simulation operations. *)
+  Scheduler.set_classifier sched (fun req ->
+      Option.map Slo.tier_name (Hashtbl.find_opt tier_of_tenant req.Scheduler.tenant));
+  List.iter
+    (fun (name, _) ->
+      match Scheduler.request_of sched name with
+      | None -> ()
+      | Some req ->
+        Option.iter
+          (fun tier -> Cp.reclassify cp ~name ~cls:(Slo.tier_name tier))
+          (Hashtbl.find_opt tier_of_tenant req.Scheduler.tenant))
+    (Scheduler.assignments sched);
 
   (* Per-tenant hot working sets (the first eight placed guests, in name
      order): traffic concentrates on them zipf-style, so a host failure
@@ -349,12 +374,15 @@ let run ?trace ?metrics ?(degrade = true) ?(fleet = Fleet.Live.default_config) s
       incr brownout;
       Sim.schedule sim ~delay:e.Fault.duration_ns (fun () -> decr brownout));
 
-  (* Per-tier admission: roomy Block buckets in normal operation; the
-     ladder's first stage swaps Bronze onto a tight Shed bucket, the
-     paper's fail-fast limiter doing the refusing. *)
+  (* Per-tier admission: roomy Block buckets in normal operation; a
+     policy's Shed_tier action swaps a tier onto a tight Shed bucket,
+     the paper's fail-fast limiter doing the refusing. [tenant_net]
+     holds per-tenant overrides (Shed_tenants); empty unless a policy
+     sheds selectively, so the lookup costs one host-side miss. *)
   let roomy () = Limits.custom_net ~policy:Limits.Block ~pps:1e9 ~gbit_s:1e4 () in
   let tight () = Limits.custom_net ~policy:Limits.Shed ~pps:4e3 ~gbit_s:1e4 () in
   let tier_net = [| roomy (); roomy (); roomy () |] in
+  let tenant_net : (string, Limits.net) Hashtbl.t = Hashtbl.create 8 in
 
   (* Open-loop traffic: each tick, every tenant offers requests between
      hot guests (zipf source, distinct destination), scaled by the
@@ -363,18 +391,29 @@ let run ?trace ?metrics ?(degrade = true) ?(fleet = Fleet.Live.default_config) s
      the fabric drops it, delivered with its measured latency. *)
   let scale = ref 1.0 in
   let next_pkt = ref 0 in
+  (* Per-tier offered-request counters (host-side bookkeeping, not
+     simulation state): the policy's offered_pps signal reads the
+     per-window delta. *)
+  let tier_offered_counts = Array.make 3 0 in
+  let tier_offered_last = Array.make 3 0 in
   let issue ti =
     let hot = hot_sets.(ti) in
     let nh = Array.length hot in
     if nh > 0 then begin
       let tname = tenant_names.(ti) in
       let tier = Slo.tier_of_index ti in
+      tier_offered_counts.(tier_index tier) <- tier_offered_counts.(tier_index tier) + 1;
       let si = Rng.zipf traffic_rng ~n:nh ~s:1.1 in
       let di = if nh = 1 then si else (si + 1 + Rng.int traffic_rng (nh - 1)) mod nh in
       let src_g = hot.(si) and dst_g = hot.(di) in
       let size = 16_384 and count = 4 in
       let bytes = size * count in
-      if not (Limits.net_admit tier_net.(tier_index tier) ~packets:count ~bytes_:bytes) then
+      let bucket =
+        match Hashtbl.find_opt tenant_net tname with
+        | Some b -> b
+        | None -> tier_net.(tier_index tier)
+      in
+      if not (Limits.net_admit bucket ~packets:count ~bytes_:bytes) then
         Slo.shed slo ~tenant:tname ~bytes
       else
         match (Fleet.Live.guest_host t src_g, Fleet.Live.guest_host t dst_g) with
@@ -423,13 +462,16 @@ let run ?trace ?metrics ?(degrade = true) ?(fleet = Fleet.Live.default_config) s
   (* Cross-rack congestion trains: pseudo endpoints with distinct tags
      so ECMP spreads them over every spine; contends in the link queues
      without consuming guest resources. *)
+  let bulk_scale = ref 1.0 in
   let congest ~until_ns =
     let src_host = 0 and dst_host = fleet.Fleet.Live.hosts - 1 in
     for tag = 0 to 3 do
       Sim.spawn sim (fun () ->
           let rec tick () =
             if Sim.clock () < until_ns then begin
-              for _ = 1 to 4 do
+              (* Throttle_bulk scales the per-tick burst count; 1.0 is
+                 exactly the legacy four bursts. *)
+              for _ = 1 to int_of_float (Float.round (4.0 *. !bulk_scale)) do
                 incr next_pkt;
                 Fabric.send fab ~src_host ~dst_host
                   ~deliver:(fun _ -> ())
@@ -503,10 +545,12 @@ let run ?trace ?metrics ?(degrade = true) ?(fleet = Fleet.Live.default_config) s
     if moves <> [] then stream_from ~src:server moves
   in
 
-  (* The degradation ladder. Stage transitions run under a Guard:
-     brownouts make the control-plane action fail, the guard retries
-     with backoff, and the breaker defers the ladder to the next window
-     rather than hammering a browned-out control plane. *)
+  (* The degradation policy. Escalations run under a Guard: brownouts
+     make the control-plane action fail, the guard retries with
+     backoff, and the breaker defers the policy to the next window
+     rather than hammering a browned-out control plane. Relaxations
+     undo host-side state and run unguarded, exactly as the legacy
+     ladder's undo did. *)
   let guard =
     Fault.Guard.create ~obs
       ~policy:
@@ -519,74 +563,112 @@ let run ?trace ?metrics ?(degrade = true) ?(fleet = Fleet.Live.default_config) s
           circuit_threshold = 2;
           circuit_cooldown_ns = window_ns;
         }
-      sim ~name:"ladder"
+      sim ~name:(Policy.name policy)
   in
-  let stage = ref 0 and max_stage = ref 0 and stage_actions = ref 0 in
+  let pol = Policy.create policy in
+  let stage_actions = ref 0 in
   let base_ceiling = Cp.admission_ceiling cp in
   let failed_busy () =
     List.filter_map
       (fun (srv, n) -> if n > 0 && Cp.server_failed cp srv then Some srv else None)
       (Scheduler.occupancy sched)
   in
-  let apply_stage s =
+  let apply_action = function
+    | Policy.Shed_tier tier -> tier_net.(tier_index tier) <- tight ()
+    | Policy.Restore_tier tier -> tier_net.(tier_index tier) <- roomy ()
+    | Policy.Shed_tenants ts -> List.iter (fun tn -> Hashtbl.replace tenant_net tn (tight ())) ts
+    | Policy.Restore_tenants ts -> List.iter (fun tn -> Hashtbl.remove tenant_net tn) ts
+    | Policy.Tier_ceiling { tier; pps } -> tier_net.(tier_index tier) <- Limits.ceiling_net ~pps ()
+    | Policy.Restore_tier_ceiling tier -> tier_net.(tier_index tier) <- roomy ()
+    | Policy.Host_ceiling f -> Cp.set_admission_ceiling cp (Float.max 0.5 (base_ceiling *. f))
+    | Policy.Restore_host_ceiling -> Cp.set_admission_ceiling cp base_ceiling
+    | Policy.Class_ceiling { tier; frac } -> Cp.set_class_ceiling cp ~cls:(Slo.tier_name tier) frac
+    | Policy.Restore_class_ceiling tier -> Cp.clear_class_ceiling cp ~cls:(Slo.tier_name tier)
+    | Policy.Drain_failed -> List.iter evacuate_host (failed_busy ())
+    | Policy.Throttle_bulk f -> bulk_scale := f
+    | Policy.Restore_bulk -> bulk_scale := 1.0
+  in
+  let guarded actions =
     Fault.Guard.run guard (fun () ->
         if !brownout > 0 then Error "control-plane brownout"
         else begin
-          (match s with
-          | 1 -> tier_net.(2) <- tight ()
-          | 2 -> Cp.set_admission_ceiling cp (Float.max 0.5 (base_ceiling *. 0.88))
-          | 3 -> List.iter evacuate_host (failed_busy ())
-          | _ -> ());
+          List.iter apply_action actions;
           Ok ()
         end)
   in
-  let undo_stage = function
-    | 1 -> tier_net.(2) <- roomy ()
-    | 2 -> Cp.set_admission_ceiling cp base_ceiling
-    | _ -> ()
-  in
   let note_stage () =
     Trace.instant_opt (Obs.trace obs) ~track:"scenario"
-      (Printf.sprintf "stage=%d" !stage) ~now:(Sim.now sim)
+      (Printf.sprintf "stage=%d" (Policy.stage pol)) ~now:(Sim.now sim)
+  in
+  (* One signal bundle per closed window: pure reads only (SLO window
+     cells, scheduler occupancy, fabric queue depths), so assembling it
+     never perturbs the simulation. *)
+  let topo = Fabric.topology fab in
+  let tor_of h = if h >= 0 && h < fleet.Fleet.Live.hosts then Topology.tor_of topo ~host:h else -1 - h in
+  let signals w =
+    let distressed = Slo.window_misses slo ~window:w () in
+    let failed = failed_busy () in
+    let links = Fabric.queue_pressure fab in
+    let spine_queued, spine_dropped =
+      List.fold_left
+        (fun (q, d) (p : Fabric.pressure) ->
+          if p.Fabric.spine then (q + p.Fabric.queued_bursts, d + p.Fabric.dropped_pkts_total)
+          else (q, d))
+        (0, 0) links
+    in
+    {
+      Policy.window = w;
+      (* The policy listens to the tiers it protects: deliberately
+         shedding Bronze must not read back as sustained distress. *)
+      premium_pressure = Slo.window_pressure slo ~tiers:[ Slo.Gold; Slo.Silver ] ~window:w ();
+      all_pressure = Slo.window_pressure slo ~window:w ();
+      distressed;
+      suspects =
+        Policy.blast_radius ~sched ~tor_of ~tier_of:tenant_tier ~distressed
+          ~failed_hosts:failed;
+      gold_p99_ms = Slo.window_tier_p99 slo ~tier:Slo.Gold ~window:w;
+      offered_pps =
+        List.map
+          (fun tier ->
+            let i = tier_index tier in
+            let d = tier_offered_counts.(i) - tier_offered_last.(i) in
+            tier_offered_last.(i) <- tier_offered_counts.(i);
+            (tier, float_of_int d *. 1e9 /. window_ns))
+          [ Slo.Gold; Slo.Silver; Slo.Bronze ];
+      failed_hosts = failed;
+      spine_queued;
+      spine_dropped;
+      links;
+      links_down = Fabric.links_down fab;
+      brownout = !brownout > 0;
+      breaker = Fault.Guard.state guard;
+    }
   in
   if degrade then
     Sim.spawn sim (fun () ->
-        let calm = ref 0 in
         for w = 0 to windows - 1 do
           Sim.delay window_ns;
-          (* The ladder listens to the tiers it protects: deliberately
-             shedding Bronze must not read back as sustained distress. *)
-          let pressure = Slo.window_pressure slo ~tiers:[ Slo.Gold; Slo.Silver ] ~window:w () in
-          let failed = failed_busy () in
-          if pressure >= 0.05 || failed <> [] then begin
-            calm := 0;
-            if !stage < 3 then begin
-              match apply_stage (!stage + 1) with
-              | Ok () ->
-                incr stage;
-                max_stage := max !max_stage !stage;
-                incr stage_actions;
-                Metrics.incr_opt (Obs.metrics obs) "scenario.stage_up";
-                note_stage ()
-              | Error _ -> ()
-            end
-            else if failed <> [] then
-              (* Already fully escalated: keep evacuating newly failed
-                 hosts rather than leaving them to rot at stage 3. *)
-              match apply_stage 3 with
-              | Ok () -> incr stage_actions
-              | Error _ -> ()
-          end
-          else begin
-            incr calm;
-            if !calm >= 2 && !stage > 0 then begin
-              undo_stage !stage;
-              decr stage;
-              calm := 0;
-              Metrics.incr_opt (Obs.metrics obs) "scenario.stage_down";
+          match Policy.decide pol (signals w) with
+          | Policy.Hold -> Policy.confirm pol ~ok:true
+          | Policy.Escalate actions -> (
+            match guarded actions with
+            | Ok () ->
+              Policy.confirm pol ~ok:true;
+              incr stage_actions;
+              Metrics.incr_opt (Obs.metrics obs) "scenario.stage_up";
               note_stage ()
-            end
-          end
+            | Error _ -> Policy.confirm pol ~ok:false)
+          | Policy.Reapply actions -> (
+            match guarded actions with
+            | Ok () ->
+              Policy.confirm pol ~ok:true;
+              incr stage_actions
+            | Error _ -> Policy.confirm pol ~ok:false)
+          | Policy.Relax actions ->
+            List.iter apply_action actions;
+            Policy.confirm pol ~ok:true;
+            Metrics.incr_opt (Obs.metrics obs) "scenario.stage_down";
+            note_stage ()
         done);
 
   (* Schedule the non-fault timeline entries and run. *)
@@ -640,21 +722,23 @@ let run ?trace ?metrics ?(degrade = true) ?(fleet = Fleet.Live.default_config) s
     ^ Printf.sprintf "\nSLO met: %d/%d tenants (%d delivered, %d failed, %d shed)\n" met total
         delivered failed shed
     ^ fault_summary ^ "\n"
-    ^ Printf.sprintf "ladder: max stage %d, %d stage actions, %d guard retries, %d breaker opens\n"
-        !max_stage !stage_actions (Fault.Guard.retries guard) (Fault.Guard.circuit_opens guard)
+    ^ Printf.sprintf "%s: max stage %d, %d stage actions, %d guard retries, %d breaker opens\n"
+        (Policy.name policy) (Policy.max_stage pol) !stage_actions (Fault.Guard.retries guard)
+        (Fault.Guard.circuit_opens guard)
     ^ Printf.sprintf "blast radius: %d hosts failed, %d links failed, %d guests evacuated, %s bytes streamed post-copy\n"
         !hosts_down !links_down !evacuated_guests
         (Report.si (float_of_int !evac_bytes))
   in
   {
     degrade;
+    policy = Policy.name policy;
     scores;
     met;
     missed = total - met;
     delivered;
     failed;
     shed;
-    max_stage = !max_stage;
+    max_stage = Policy.max_stage pol;
     stage_actions = !stage_actions;
     guard_retries = Fault.Guard.retries guard;
     breaker_opens = Fault.Guard.circuit_opens guard;

@@ -19,9 +19,13 @@
     (injection counts, terminal recovery at the horizon, the fault
     summary) is shared with every other fault consumer in the tree.
 
-    {b Degradation ladder.} With [degrade:true] a monitor fiber walks a
-    three-stage ladder at window boundaries, driven by
-    {!Bm_cloud.Slo.window_pressure} and by failed-host detection:
+    {b Degradation policies.} With [degrade:true] a monitor fiber runs
+    one {!Bm_cloud.Policy} at window boundaries: it assembles a
+    per-window signal bundle (SLO window pressure and misses, failed
+    hosts, fabric queue pressure, brownout and breaker state — pure
+    reads, never simulation operations), asks the policy to decide,
+    and executes the returned actions. The default [Ladder] policy
+    reproduces the legacy three-stage ladder bit-identically:
 
     + shed the lowest tier — Bronze tenants' traffic is pushed through a
       tight {!Bm_cloud.Limits} [Shed] token bucket;
@@ -31,17 +35,27 @@
       placement switches instantly, memory streams over the fabric in
       the background).
 
-    Every stage transition runs under a {!Bm_engine.Fault.Guard}
-    (retry, exponential backoff, circuit breaker): a control-plane
-    brownout makes the stage action fail, the guard retries, and the
-    breaker defers the ladder to the next window rather than hammering
-    a browned-out control plane. Calm windows walk the ladder back
-    down, undoing each stage in reverse.
+    The other policies pull different levers: [Selective] sheds only
+    the Bronze tenants colocated with the distressed premium tenants
+    ({!Bm_cloud.Policy.blast_radius}); [Tiered] applies graduated
+    per-tier admission ceilings plus a Bronze placement-class cap
+    ({!Bm_cloud.Control_plane.set_class_ceiling}); [Congestion] reacts
+    to spine-queue depth and Gold p99 by throttling background bulk
+    flows and draining early.
 
-    Determinism: same [spec] + same fleet config + same [degrade] ⇒
-    byte-identical {!outcome.scorecard}. All scenario randomness comes
-    from SplitMix64 streams split off the spec seed; observability
-    never perturbs the run. *)
+    Every escalation runs under a {!Bm_engine.Fault.Guard} (retry,
+    exponential backoff, circuit breaker): a control-plane brownout
+    makes the stage action fail, the guard retries, and the breaker
+    defers the policy to the next window rather than hammering a
+    browned-out control plane — and a failed escalation discards the
+    stage move entirely (decide/confirm). Calm windows walk each
+    policy back down, undoing each stage in reverse, with per-policy
+    hysteresis (distinct raise/relax thresholds and a minimum hold).
+
+    Determinism: same [spec] + same fleet config + same [degrade] +
+    same [policy] ⇒ byte-identical {!outcome.scorecard}. All scenario
+    randomness comes from SplitMix64 streams split off the spec seed;
+    observability never perturbs the run. *)
 
 (** {2 Timeline DSL} *)
 
@@ -133,13 +147,14 @@ val render : spec -> string
 
 type outcome = {
   degrade : bool;
+  policy : string;  (** {!Bm_cloud.Policy.name} of the policy that ran *)
   scores : Bm_cloud.Slo.tenant_score list;
   met : int;  (** tenants meeting their SLO *)
   missed : int;
   delivered : int;  (** requests delivered fleet-wide *)
   failed : int;
   shed : int;
-  max_stage : int;  (** highest ladder stage reached (0 = never) *)
+  max_stage : int;  (** highest policy stage reached (0 = never) *)
   stage_actions : int;  (** successful guarded stage transitions *)
   guard_retries : int;
   breaker_opens : int;
@@ -158,6 +173,7 @@ val run :
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
   ?degrade:bool ->
+  ?policy:Bm_cloud.Policy.kind ->
   ?fleet:Bm_hyp.Fleet.Live.config ->
   spec ->
   outcome
@@ -174,6 +190,7 @@ val run :
     seeded distinct hosts once tenants run out. Link victim [k] is the
     [k]-th ToR→spine link in a seeded shuffle.
 
-    [degrade] (default [true]) enables the degradation ladder; with it
-    disabled the same timeline runs open-loop, which is exactly the
-    comparison the [game_day] experiment prints. *)
+    [degrade] (default [true]) enables the degradation policy —
+    [policy] (default [Ladder]) picks which one; with [degrade:false]
+    the same timeline runs open-loop, which is exactly the comparison
+    the [game_day] experiment prints. *)

@@ -307,6 +307,26 @@ module Guard = struct
   let circuit_opens g = g.circuit_opens
   let circuit_open g = Sim.now g.sim < g.open_until
 
+  type state = Closed | Open | Half_open
+
+  let state_name = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half_open"
+
+  (* Half-open is the probe state: the breaker has tripped (the failure
+     streak reached the threshold) and the cooldown has elapsed, so the
+     next run is allowed through; its outcome closes the breaker or
+     re-opens it. Observable so policies can defer to a browned-out
+     control plane instead of inferring from retry counts. *)
+  let state g =
+    if circuit_open g then Open
+    else if
+      g.policy.circuit_threshold > 0
+      && g.consecutive_failures >= g.policy.circuit_threshold
+    then Half_open
+    else Closed
+
   let metric g what = "fault.guard." ^ g.name ^ "." ^ what
 
   let with_timeout sim ~timeout_ns op =
@@ -370,6 +390,9 @@ module Guard = struct
             attempt (i + 1) (Float.min (backoff *. p.backoff_mult) p.backoff_max_ns)
           end
       in
-      attempt 1 p.backoff_ns
+      (* The ceiling caps the whole schedule, first sleep included: a
+         policy whose base backoff exceeds its cap still honours the
+         cap. *)
+      attempt 1 (Float.min p.backoff_ns p.backoff_max_ns)
     end
 end

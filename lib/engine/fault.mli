@@ -132,7 +132,9 @@ module Guard : sig
     max_attempts : int;  (** total tries per {!run} (≥ 1) *)
     backoff_ns : float;  (** sleep before the first retry *)
     backoff_mult : float;  (** exponential growth per retry *)
-    backoff_max_ns : float;  (** backoff cap *)
+    backoff_max_ns : float;
+        (** backoff ceiling — caps every sleep of the schedule,
+            including the first one when [backoff_ns] exceeds it *)
     circuit_threshold : int;
         (** consecutive exhausted {!run}s that open the circuit;
             [0] disables the breaker *)
@@ -173,4 +175,19 @@ module Guard : sig
   val circuit_opens : g -> int
   val circuit_open : g -> bool
   (** Is the breaker currently rejecting? *)
+
+  type state =
+    | Closed  (** normal operation: runs go through *)
+    | Open  (** breaker tripped, cooldown pending: runs are rejected *)
+    | Half_open
+        (** cooldown elapsed after a trip: the next run probes; a
+            success closes the breaker, an exhausted run re-opens it *)
+
+  val state : g -> state
+  (** The breaker's tri-state, so policies and tests can observe it
+      directly instead of inferring it from retry counts. [Half_open]
+      requires the breaker to be enabled ([circuit_threshold > 0]). *)
+
+  val state_name : state -> string
+  (** ["closed"] / ["open"] / ["half_open"]. *)
 end

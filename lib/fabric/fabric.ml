@@ -311,3 +311,30 @@ let link_stat ~elapsed (l : link) =
 let link_stats t ~now =
   let elapsed = now -. t.created_at in
   List.map (link_stat ~elapsed) (all_links t)
+
+type pressure = {
+  link : string;
+  spine : bool;
+  queued_bursts : int;
+  dropped_pkts_total : int;
+}
+
+(* The cheap congestion signal a closed-loop policy polls every SLO
+   window: current queue depth and the cumulative drop counter per
+   link, in the fixed link_stats order. Unlike link_stats this scans no
+   histograms, so sampling it every window costs a list walk. *)
+let queue_pressure t =
+  let of_link ~spine (l : link) =
+    {
+      link = l.name;
+      spine;
+      queued_bursts = Sim.Bounded.length l.queue;
+      dropped_pkts_total = l.dropped_pkts;
+    }
+  in
+  let host = List.map (of_link ~spine:false) in
+  let spine = List.map (of_link ~spine:true) in
+  host (Array.to_list t.host_up)
+  @ host (Array.to_list t.host_down)
+  @ spine (List.concat_map Array.to_list (Array.to_list t.tor_up))
+  @ spine (List.concat_map Array.to_list (Array.to_list t.spine_down))

@@ -116,3 +116,17 @@ val link_stats : t -> now:float -> link_stat list
     downlinks, ToR→spine, spine→ToR). Each link conserves
     [sent_bursts = delivered_bursts + dropped_bursts + queued]; at
     quiescence [queued = 0]. *)
+
+type pressure = {
+  link : string;
+  spine : bool;  (** ToR→spine or spine→ToR (the shared tier) *)
+  queued_bursts : int;  (** bursts in the egress queue right now *)
+  dropped_pkts_total : int;  (** cumulative drop counter *)
+}
+
+val queue_pressure : t -> pressure list
+(** The congestion signal a closed-loop degradation policy samples
+    every SLO window: instantaneous queue depth plus the cumulative
+    drop counter per directed link, in the {!link_stats} order. Pure
+    observation (no histogram scans, no simulation operations), cheap
+    enough to poll at window granularity. *)
