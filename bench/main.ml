@@ -19,6 +19,12 @@
      bench/main.exe --jobs N        run up to N experiment cells on parallel
                                     domains (0 = all cores); output is
                                     byte-identical for any N
+     bench/main.exe --shards N      intra-run parallelism (0 = all cores):
+                                    fleet_scale partitions its flow phase
+                                    across N fabric shards; game_day and
+                                    policy_race race their scenario arms
+                                    on N domains; output is byte-identical
+                                    for any N
      bench/main.exe --topology SPEC fabric topology for the cross-host
                                     experiments: two_host or key=value
                                     pairs (hosts, tors, spines,
@@ -34,8 +40,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--faults SEED:SPEC] \
-     [--scenario SEED:SPEC] [--policy NAME] [--jobs N] [--topology SPEC] [--hosts N] [--guests N] \
-     [--tenants N] [--list] [--bechamel] [experiment ids...]"
+     [--scenario SEED:SPEC] [--policy NAME] [--jobs N] [--shards N] [--topology SPEC] [--hosts N] \
+     [--guests N] [--tenants N] [--list] [--bechamel] [experiment ids...]"
 
 type options = {
   quick : bool;
@@ -48,6 +54,7 @@ type options = {
   topo : Bm_fabric.Topology.t option;
   fleet : Bmhive.Experiments.fleet_opts;
   jobs : int;
+  shards : int;
   list : bool;
   bechamel : bool;
   help : bool;
@@ -66,6 +73,7 @@ let default_options =
     topo = None;
     fleet = Bmhive.Experiments.default_fleet;
     jobs = 1;
+    shards = 1;
     list = false;
     bechamel = false;
     help = false;
@@ -131,6 +139,12 @@ let rec parse opts = function
     | Some jobs when jobs > 0 -> parse { opts with jobs } rest
     | Some _ | None -> fail "--jobs expects a non-negative integer, got %S" v)
   | [ "--jobs" ] -> fail "--jobs expects a value"
+  | "--shards" :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some 0 -> parse { opts with shards = Bmhive.Parallel.default_jobs () } rest
+    | Some shards when shards > 0 -> parse { opts with shards } rest
+    | Some _ | None -> fail "--shards expects a non-negative integer, got %S" v)
+  | [ "--shards" ] -> fail "--shards expects a value"
   | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> fail "unknown flag %S" arg
   | id :: rest -> parse { opts with targets = id :: opts.targets } rest
 
@@ -147,7 +161,7 @@ let bechamel_suite seed =
                ignore
                  (spec.Bmhive.Experiments.run ~scenario:None ~policy:None
                     ~fleet:Bmhive.Experiments.default_fleet ~faults:None ~trace:None ~metrics:None
-                    ~topo:None ~quick:true ~seed))))
+                    ~topo:None ~shards:1 ~quick:true ~seed))))
       Bmhive.Experiments.all
   in
   Test.make_grouped ~name:"experiments" tests
@@ -193,7 +207,7 @@ let () =
           exit 1)
       (Bmhive.Experiments.run_many ~quick:opts.quick ~seed:opts.seed ~fleet:opts.fleet
          ?scenario:opts.scenario ?policy:opts.policy ?faults:opts.faults ?trace ?metrics
-         ?topo:opts.topo ~jobs:opts.jobs targets);
+         ?topo:opts.topo ~jobs:opts.jobs ~shards:opts.shards targets);
     (match metrics with
     | Some m when not (Bm_engine.Metrics.is_empty m) ->
       print_endline "";

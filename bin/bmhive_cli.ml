@@ -113,6 +113,16 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  let doc =
+    "Intra-run parallelism on up to $(docv) domains (0 = one per recommended core): \
+     $(b,fleet_scale) partitions its east-west flow phase across that many fabric shards, \
+     $(b,game_day) and $(b,policy_race) race their independent scenario arms. Output is \
+     byte-identical for any value. Ignored (forced to 1) when $(b,--trace) or \
+     $(b,--metrics) is active."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
 (* --- list ----------------------------------------------------------- *)
 
 let list_cmd =
@@ -134,9 +144,11 @@ let run_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
   let run quick seed scenario policy faults topo hosts guests tenants trace_file metrics_wanted
-      jobs ids =
+      jobs shards ids =
     if jobs < 0 then invalid_arg "--jobs must be non-negative";
+    if shards < 0 then invalid_arg "--shards must be non-negative";
     let jobs = if jobs = 0 then Bmhive.Parallel.default_jobs () else jobs in
+    let shards = if shards = 0 then Bmhive.Parallel.default_jobs () else shards in
     let fleet =
       Bmhive.Experiments.{ fleet_hosts = hosts; fleet_guests = guests; fleet_tenants = tenants }
     in
@@ -172,14 +184,15 @@ let run_cmd =
     in
     go
       (Bmhive.Experiments.run_many ~quick ~seed ~fleet ?scenario ?policy ?faults ?topo ?trace
-         ?metrics ~jobs targets)
+         ?metrics ~jobs ~shards targets)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate the paper's tables and figures from the simulation.")
     Term.(
       ret
         (const run $ quick_arg $ seed_arg $ scenario_arg $ policy_arg $ faults_arg $ topology_arg
-       $ hosts_arg $ guests_arg $ tenants_arg $ trace_arg $ metrics_arg $ jobs_arg $ ids_arg))
+       $ hosts_arg $ guests_arg $ tenants_arg $ trace_arg $ metrics_arg $ jobs_arg $ shards_arg
+       $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

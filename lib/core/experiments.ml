@@ -27,6 +27,7 @@ type spec = {
     trace:Trace.t option ->
     metrics:Metrics.t option ->
     topo:Bm_fabric.Topology.t option ->
+    shards:int ->
     quick:bool ->
     seed:int ->
     outcome;
@@ -38,7 +39,7 @@ let within ~tolerance ~target value =
 (* ------------------------------------------------------------------ *)
 (* Table 1 *)
 
-let run_table1 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_table1 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~shards:_ ~quick:_ ~seed:_ =
   {
     id = "table1";
     title = "Table 1: comparison of three cloud services";
@@ -50,7 +51,7 @@ let run_table1 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~top
 (* ------------------------------------------------------------------ *)
 (* Table 2 *)
 
-let run_table2 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
+let run_table2 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~shards:_ ~quick ~seed =
   let vms = if quick then 30_000 else 300_000 in
   let rng = Rng.create ~seed in
   let s = Fleet.survey_exits rng ~vms in
@@ -77,7 +78,7 @@ let run_table2 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~top
 (* ------------------------------------------------------------------ *)
 (* Fig. 1 *)
 
-let run_fig1 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick ~seed =
+let run_fig1 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~shards:_ ~quick ~seed =
   let vms = if quick then 2_000 else 20_000 in
   let hours = if quick then 8 else 24 in
   let rng = Rng.create ~seed in
@@ -119,7 +120,7 @@ let run_fig1 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:
 (* ------------------------------------------------------------------ *)
 (* Table 3 *)
 
-let run_table3 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_table3 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~shards:_ ~quick:_ ~seed:_ =
   let rows =
     List.map
       (fun i ->
@@ -145,7 +146,7 @@ let run_table3 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~top
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: SPEC CINT2006 *)
 
-let run_fig7 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick:_ ~seed =
+let run_fig7 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick:_ ~seed =
   let spec_on make =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let inst = make tb in
@@ -179,7 +180,7 @@ let run_fig7 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~q
 (* ------------------------------------------------------------------ *)
 (* Fig. 8: STREAM *)
 
-let run_fig8 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig8 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let elements = if quick then 20_000_000 else 200_000_000 in
   let runs = if quick then 3 else 10 in
   let stream_on make =
@@ -216,7 +217,7 @@ let run_fig8 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~q
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: UDP PPS *)
 
-let run_fig9 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig9 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 40.0 else Simtime.ms 400.0 in
   let pps_of pair =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -249,7 +250,7 @@ let run_fig9 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~q
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: latency *)
 
-let run_fig10 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig10 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let lat pair path =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -288,7 +289,7 @@ let run_fig10 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~
 (* ------------------------------------------------------------------ *)
 (* Fig. 11: storage latency *)
 
-let run_fig11 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig11 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 300.0 else Simtime.sec 4.0 in
   let fio_on make pattern =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -331,7 +332,7 @@ let nginx_rps_at tb ~server ~concurrency ~requests =
   Nginx.serve server ();
   Nginx.ab tb.Testbed.sim ~client ~server ~concurrency ~requests
 
-let run_fig12 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig12 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let concurrencies = if quick then [ 100; 400 ] else [ 50; 100; 200; 400; 800 ] in
   let per_level = if quick then 60 else 150 in
   let run_level make concurrency =
@@ -373,7 +374,7 @@ let sysbench_on ?trace ?metrics ~seed ~pattern ~duration make =
   Mariadb.serve tb.Testbed.sim (Rng.create ~seed:(seed + 13)) server ();
   Mariadb.sysbench tb.Testbed.sim ~client ~server ~pattern ~duration ()
 
-let run_mariadb ~id ~title ~patterns ~paper_notes ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_mariadb ~id ~title ~patterns ~paper_notes ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 200.0 else Simtime.sec 2.0 in
   let rows =
     List.map
@@ -423,7 +424,7 @@ let redis_on ?trace ?metrics ~seed make ~clients ~value_bytes ~requests =
   Redis_bench.serve tb.Testbed.sim server ();
   Redis_bench.benchmark tb.Testbed.sim ~client ~server ~clients ~value_bytes ~requests ()
 
-let run_fig15 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig15 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let clients_list = if quick then [ 1000; 4000 ] else [ 1000; 2000; 4000; 7000; 10000 ] in
   let requests = if quick then 8_000 else 40_000 in
   let rows =
@@ -455,7 +456,7 @@ let run_fig15 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~
     notes = [ "Paper: bm 20-40% more requests/s across 1K..10K clients." ];
   }
 
-let run_fig16 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_fig16 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let sizes = if quick then [ 4; 1024 ] else [ 4; 16; 64; 256; 1024; 4096 ] in
   let requests = if quick then 8_000 else 40_000 in
   let results =
@@ -515,7 +516,7 @@ let run_fig16 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~
 (* ------------------------------------------------------------------ *)
 (* §2.3: nested virtualization *)
 
-let run_sec2_3 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec2_3 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let exec_time nested =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let host = Testbed.vm_host tb in
@@ -574,7 +575,7 @@ let run_sec2_3 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ 
 (* ------------------------------------------------------------------ *)
 (* §3.5: cost efficiency *)
 
-let run_sec3_5 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_sec3_5 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~shards:_ ~quick:_ ~seed:_ =
   let d = Cost_model.density () in
   let vm_w = Cost_model.vm_watts_per_vcpu () in
   let bm_w = Cost_model.bm_single_board_watts_per_vcpu () in
@@ -602,7 +603,7 @@ let run_sec3_5 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~top
 (* ------------------------------------------------------------------ *)
 (* §4.3 network: TCP throughput + unrestricted PPS *)
 
-let run_sec4_3net ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec4_3net ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   (* Cross-server throughput at the 10 Gbit/s cap. *)
   let tcp make =
@@ -660,7 +661,7 @@ let run_sec4_3net ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo
 (* ------------------------------------------------------------------ *)
 (* §4.3 storage: unrestricted local SSD *)
 
-let run_sec4_3blk ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec4_3blk ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 100.0 else Simtime.ms 800.0 in
   let unlimited () = Bm_cloud.Limits.unlimited_blk () in
   let small make =
@@ -708,7 +709,7 @@ let run_sec4_3blk ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo
 (* ------------------------------------------------------------------ *)
 (* §6: ASIC IO-Bond ablation *)
 
-let run_sec6 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_sec6 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let probe profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
     let _, inst = Testbed.bm_guest ~profile tb in
@@ -756,7 +757,7 @@ let run_sec6 ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~q
 (* How much does IO-Bond's register latency matter? Sweep the per-hop
    cost (the FPGA -> ASIC axis, extended) against the two things it
    touches: the emulated config path and end-to-end message latency. *)
-let run_ablation_reg ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_reg ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let count = if quick then 200 else 1000 in
   let probe_and_lat profile =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -793,7 +794,7 @@ let run_ablation_reg ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~t
 
 (* How big must the DMA engine be? The paper picked 50 Gbit/s; sweep it
    against unrestricted guest throughput. *)
-let run_ablation_dma ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_dma ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let tput dma_gbit_s =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -833,7 +834,7 @@ let run_ablation_dma ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~t
 
 (* How much do batched doorbells/PMD bursts buy? Sweep the burst size the
    guest stack hands to virtio. *)
-let run_ablation_batch ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_batch ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let pps batch =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -859,7 +860,7 @@ let run_ablation_batch ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics 
 (* S6's offload plan: with IO-Bond classifying flows, known traffic
    bypasses the bm-hypervisor's PMD entirely. Measure PPS and base-core
    utilization with and without it. *)
-let run_ablation_offload ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_ablation_offload ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 15.0 else Simtime.ms 80.0 in
   let run offload =
     let tb = Testbed.make ~seed ?trace ?metrics () in
@@ -956,7 +957,7 @@ let mttr_of (plan : Fault.plan) completions =
       |> Option.map (fun c -> c -. e.Fault.at))
     plan.Fault.events
 
-let run_availability ~scenario:_ ~policy:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_availability ~scenario:_ ~policy:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let workers = if quick then 2 else 4 in
   let plan =
     match faults with
@@ -1077,7 +1078,7 @@ let run_availability ~scenario:_ ~policy:_ ~fleet:_ ~faults ~trace ~metrics ~top
 (* ------------------------------------------------------------------ *)
 (* Evacuation after a base-server failure *)
 
-let run_evacuation ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~quick:_ ~seed:_ =
+let run_evacuation ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ ~topo:_ ~shards:_ ~quick:_ ~seed:_ =
   let open Bm_cloud in
   let strategies =
     [
@@ -1157,7 +1158,7 @@ let run_evacuation ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace:_ ~metrics:_ 
    storage admission queue, drop-tail backlogs. The acceptance shape is
    the hockey stick — bounded goodput stays at the ceiling with flat
    latency while blocking latency diverges with the backlog. *)
-let run_overload ~scenario:_ ~policy:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_overload ~scenario:_ ~policy:_ ~fleet:_ ~faults ~trace ~metrics ~topo:_ ~shards:_ ~quick ~seed =
   let open Bm_cloud in
   let net_duration = if quick then Simtime.ms 8.0 else Simtime.ms 60.0 in
   let blk_duration = if quick then Simtime.ms 40.0 else Simtime.ms 250.0 in
@@ -1345,7 +1346,7 @@ let link_note net ~now =
       (Report.si (float_of_int s.delivered_pkts))
       (Report.si (float_of_int s.dropped_pkts))
 
-let run_xhost_rr ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_rr ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~shards:_ ~quick ~seed =
   let count = if quick then 400 else 2000 in
   let rr tb (a, b) = Netperf.tcp_rr tb.Testbed.sim ~src:a ~dst:b ~count () in
   (* On-host baseline: the pre-fabric fast path, same server. *)
@@ -1421,7 +1422,7 @@ let run_xhost_rr ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo 
       ];
   }
 
-let run_xhost_stream ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_stream ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~shards:_ ~quick ~seed =
   let duration = if quick then Simtime.ms 30.0 else Simtime.ms 300.0 in
   let stream tb (a, b) = Netperf.tcp_stream tb.Testbed.sim ~src:a ~dst:b ~duration () in
   let topo_idle = Option.value topo ~default:(Topology.clos ~hosts:2 ~tors:2 ~spines:2 ()) in
@@ -1477,7 +1478,7 @@ let run_xhost_stream ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~t
       ];
   }
 
-let run_xhost_migrate ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_xhost_migrate ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo ~shards:_ ~quick ~seed =
   let mem_gb = if quick then 4 else 16 in
   let dirty = 2.0 in
   let migrate_in tb bm via =
@@ -1552,7 +1553,7 @@ let run_xhost_migrate ~scenario:_ ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~
 (* ------------------------------------------------------------------ *)
 (* Fleet scale: the live fleet simulation *)
 
-let run_fleet_scale ~scenario:_ ~policy:_ ~fleet ~faults:_ ~trace ~metrics ~topo ~quick ~seed =
+let run_fleet_scale ~scenario:_ ~policy:_ ~fleet ~faults:_ ~trace ~metrics ~topo ~shards ~quick ~seed =
   let base = if quick then Fleet.Live.quick_config else Fleet.Live.default_config in
   let cfg =
     {
@@ -1566,7 +1567,7 @@ let run_fleet_scale ~scenario:_ ~policy:_ ~fleet ~faults:_ ~trace ~metrics ~topo
   let sched = Fleet.Live.scheduler live in
   let cp = Bm_cloud.Scheduler.control_plane sched in
   let net = Fleet.Live.fabric live in
-  Fleet.Live.serve live ~duration_ns:(Simtime.ms (if quick then 2.0 else 10.0));
+  Fleet.Live.serve ~shards live ~duration_ns:(Simtime.ms (if quick then 2.0 else 10.0));
   (* Fail the busiest host, drain it through the fabric, repair it,
      then rebalance — the full maintenance cycle. *)
   let victim_host =
@@ -1579,7 +1580,7 @@ let run_fleet_scale ~scenario:_ ~policy:_ ~fleet ~faults:_ ~trace ~metrics ~topo
   let evac = Fleet.Live.evacuate live ~server:victim_host in
   let recovered = Fleet.Live.restore live ~server:victim_host in
   let moves = Bm_cloud.Scheduler.rebalance sched () in
-  Fleet.Live.serve live ~duration_ns:(Simtime.ms (if quick then 1.0 else 2.0));
+  Fleet.Live.serve ~shards live ~duration_ns:(Simtime.ms (if quick then 1.0 else 2.0));
   let survey = Fleet.Live.exit_survey live (Rng.create ~seed:(seed + 1)) in
   let placed_now = List.length (Bm_cloud.Scheduler.assignments sched) in
   let stranded_now = List.length (Bm_cloud.Scheduler.stranded sched) in
@@ -1663,7 +1664,7 @@ let policy_kind ~experiment policy =
         (Printf.sprintf "%s: unknown policy %S (try: %s)" experiment name
            (String.concat ", " (List.map Bm_cloud.Policy.name Bm_cloud.Policy.all))))
 
-let run_game_day ~scenario ~policy ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_game_day ~scenario ~policy ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards ~quick ~seed =
   let spec =
     match scenario with
     | Some s -> (
@@ -1675,9 +1676,22 @@ let run_game_day ~scenario ~policy ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~q
   let kind = policy_kind ~experiment:"game_day" policy in
   let cfg = if quick then Fleet.Live.quick_config else Fleet.Live.default_config in
   (* The same timeline twice: open loop, then with the degradation
-     policy closed around it. The scorecard delta is the experiment. *)
-  let off = Scenario.run ?trace ?metrics ~degrade:false ~fleet:cfg spec in
-  let on = Scenario.run ?trace ?metrics ~degrade:true ~policy:kind ~fleet:cfg spec in
+     policy closed around it. The scorecard delta is the experiment.
+     The two arms share nothing (each builds its own fleet from the
+     spec), so [--shards >= 2] runs them on two domains; results join
+     in input order, byte-identical to the sequential sweep. *)
+  let off, on =
+    match
+      Parallel.map
+        ~jobs:(min shards 2)
+        (fun degrade ->
+          if degrade then Scenario.run ?trace ?metrics ~degrade:true ~policy:kind ~fleet:cfg spec
+          else Scenario.run ?trace ?metrics ~degrade:false ~fleet:cfg spec)
+        [ false; true ]
+    with
+    | [ off; on ] -> (off, on)
+    | _ -> assert false
+  in
   let by_tier tier (o : Scenario.outcome) =
     List.filter (fun (s : Bm_cloud.Slo.tenant_score) -> s.Bm_cloud.Slo.tier = tier) o.Scenario.scores
   in
@@ -1728,7 +1742,7 @@ let run_game_day ~scenario ~policy ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~q
    every entrant, so the table differences are pure policy: which levers
    each pulled, and what that bought per tier. Rows are ranked by total
    SLOs met, Gold met breaking ties; the open-loop row is the floor. *)
-let run_policy_race ~scenario ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~quick ~seed =
+let run_policy_race ~scenario ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo:_ ~shards ~quick ~seed =
   let spec =
     match scenario with
     | Some s -> (
@@ -1738,11 +1752,19 @@ let run_policy_race ~scenario ~policy:_ ~fleet:_ ~faults:_ ~trace ~metrics ~topo
     | None -> Scenario.default_spec ~seed ()
   in
   let cfg = if quick then Fleet.Live.quick_config else Fleet.Live.default_config in
-  let open_loop = Scenario.run ?trace ?metrics ~degrade:false ~fleet:cfg spec in
-  let entrants =
-    List.map
-      (fun kind -> Scenario.run ?trace ?metrics ~degrade:true ~policy:kind ~fleet:cfg spec)
-      Bm_cloud.Policy.all
+  (* One independent arm per entrant (plus the open-loop floor), each
+     building its own fleet from the same seeded spec: [--shards >= 2]
+     races them across that many domains, joined in input order. *)
+  let open_loop, entrants =
+    match
+      Parallel.map ~jobs:(min shards (1 + List.length Bm_cloud.Policy.all))
+        (function
+          | None -> Scenario.run ?trace ?metrics ~degrade:false ~fleet:cfg spec
+          | Some kind -> Scenario.run ?trace ?metrics ~degrade:true ~policy:kind ~fleet:cfg spec)
+        (None :: List.map Option.some Bm_cloud.Policy.all)
+    with
+    | open_loop :: entrants -> (open_loop, entrants)
+    | [] -> assert false
   in
   let by_tier tier (o : Scenario.outcome) =
     List.filter
@@ -1844,12 +1866,6 @@ let all =
 let find id = List.find_opt (fun s -> s.id = id) all
 let ids () = List.map (fun s -> s.id) all
 
-let run_one ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?policy ?faults ?trace
-    ?metrics ?topo id =
-  match find id with
-  | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
-  | Some spec -> Ok (spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed)
-
 (* Trace/metrics sinks are single mutable buffers shared by every cell;
    recording from several domains would race, so their presence forces a
    sequential sweep. Cells themselves share nothing: each builds its own
@@ -1857,8 +1873,23 @@ let run_one ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?
 let effective_jobs ~trace ~metrics jobs =
   if trace <> None || metrics <> None then 1 else max 1 jobs
 
+(* Same reasoning one level down: intra-run sharding replays callbacks
+   that feed the shared sinks, so trace/metrics force a sequential run
+   inside each experiment too. Output is byte-identical either way —
+   sharding only changes which domain executes what. *)
+let effective_shards ~trace ~metrics shards =
+  if trace <> None || metrics <> None then 1 else max 1 shards
+
+let run_one ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?policy ?faults ?trace
+    ?metrics ?topo ?(shards = 1) id =
+  let shards = effective_shards ~trace ~metrics shards in
+  match find id with
+  | None -> Error (Printf.sprintf "unknown experiment %S (try: %s)" id (String.concat ", " (ids ())))
+  | Some spec ->
+    Ok (spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~shards ~quick ~seed)
+
 let run_many ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?policy ?faults ?trace
-    ?metrics ?topo ?(jobs = 1) targets =
+    ?metrics ?topo ?(jobs = 1) ?(shards = 1) targets =
   let specs =
     List.map
       (fun id ->
@@ -1870,19 +1901,22 @@ let run_many ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario 
       targets
   in
   let jobs = effective_jobs ~trace ~metrics jobs in
+  let shards = effective_shards ~trace ~metrics shards in
   Parallel.map ~jobs
     (fun spec ->
       match spec with
       | Error _ as e -> e
-      | Ok spec -> Ok (spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed))
+      | Ok spec ->
+        Ok (spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~shards ~quick ~seed))
     specs
   |> List.map2 (fun id r -> (id, r)) targets
 
 let run_all ?(quick = false) ?(seed = 2020) ?(fleet = default_fleet) ?scenario ?policy ?faults ?trace
-    ?metrics ?topo ?(jobs = 1) () =
+    ?metrics ?topo ?(jobs = 1) ?(shards = 1) () =
   let jobs = effective_jobs ~trace ~metrics jobs in
+  let shards = effective_shards ~trace ~metrics shards in
   Parallel.map ~jobs
-    (fun spec -> spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~quick ~seed)
+    (fun spec -> spec.run ~scenario ~policy ~fleet ~faults ~trace ~metrics ~topo ~shards ~quick ~seed)
     all
 
 let print_outcome (o : outcome) =

@@ -40,6 +40,7 @@ type spec = {
     trace:Bm_engine.Trace.t option ->
     metrics:Bm_engine.Metrics.t option ->
     topo:Bm_fabric.Topology.t option ->
+    shards:int ->
     quick:bool ->
     seed:int ->
     outcome;
@@ -57,6 +58,12 @@ type spec = {
           [policy] names the degradation policy ({!Bm_cloud.Policy.of_name})
           the [game_day] experiment closes the loop with — default
           ["ladder"]; [policy_race] runs every policy regardless.
+          [shards] enables intra-run parallelism where an experiment
+          supports it: [fleet_scale] carries its east-west flow phase
+          on that many fabric replicas ({!Fleet.Live.serve}), while
+          [game_day] and [policy_race] run their independent scenario
+          arms on up to that many domains; every other experiment
+          ignores it. Output is byte-identical for any [shards].
           Same seed + same plan ⇒ bit-identical outcome. *)
 }
 
@@ -74,8 +81,12 @@ val run_one :
   ?trace:Bm_engine.Trace.t ->
   ?metrics:Bm_engine.Metrics.t ->
   ?topo:Bm_fabric.Topology.t ->
+  ?shards:int ->
   string ->
   (outcome, string) result
+(** [shards] (default 1) is passed to the experiment for intra-run
+    parallelism (see {!spec}); like [jobs] in {!run_many}, a [trace] or
+    [metrics] sink forces it back to 1. *)
 
 val run_many :
   ?quick:bool ->
@@ -88,6 +99,7 @@ val run_many :
   ?metrics:Bm_engine.Metrics.t ->
   ?topo:Bm_fabric.Topology.t ->
   ?jobs:int ->
+  ?shards:int ->
   string list ->
   (string * (outcome, string) result) list
 (** Run the named experiments, up to [jobs] (default 1) at a time on
@@ -95,7 +107,7 @@ val run_many :
     order, so output is byte-identical for any [jobs]. Unknown ids
     surface as [Error] without aborting the rest. Because [trace] and
     [metrics] sinks are shared mutable buffers, passing either forces
-    [jobs = 1]. *)
+    [jobs = 1] (and [shards = 1] likewise). *)
 
 val run_all :
   ?quick:bool ->
@@ -108,6 +120,7 @@ val run_all :
   ?metrics:Bm_engine.Metrics.t ->
   ?topo:Bm_fabric.Topology.t ->
   ?jobs:int ->
+  ?shards:int ->
   unit ->
   outcome list
 (** Every registered experiment, same parallelism contract as

@@ -1,30 +1,53 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Structure-of-arrays binary heap: the (time, seq) key lives in two
+   flat arrays — [times] is an unboxed float array, [seqs] a plain int
+   array — and the payload in a third. Pushing or popping an event
+   therefore allocates nothing: the old boxed { time; seq; value }
+   entry record cost four words per event, which at millions of events
+   per second was the single largest allocation source in the engine
+   (see BENCH_engine.json "alloc"). Growth doubles all three arrays at
+   once; the amortized cost is unchanged. *)
 
-type 'a t = { mutable heap : 'a entry array; mutable size : int; dummy : 'a entry }
+type 'a t = {
+  mutable times : float array;  (* flat (Double_array_tag): no boxing *)
+  mutable seqs : int array;
+  mutable values : Obj.t array;  (* uniform representation, see below *)
+  mutable size : int;
+}
 
-(* The sentinel entry fills every slot past [size] so a popped entry's
-   closure (and everything it captures — whole fibers) becomes
-   collectable immediately. Its [value] is never read: slots past [size]
-   are only ever overwritten by [add]/[grow]. *)
-let create () =
-  let dummy = { time = nan; seq = min_int; value = Obj.magic () } in
-  { heap = [||]; size = 0; dummy }
+(* Payloads are stored as [Obj.t] so vacated slots can be nulled with a
+   shared immediate (the unit value) without manufacturing a dummy 'a,
+   and so a ['a = float] instantiation cannot flip the array to the
+   flat float representation behind the generic accessors. The magic is
+   confined to [add]/[value_at]: everything enters through Obj.repr and
+   leaves through Obj.obj at the same type. *)
+let nil = Obj.repr ()
+
+let create () = { times = [||]; seqs = [||]; values = [||]; size = 0 }
 
 let length q = q.size
 let is_empty q = q.size = 0
-let capacity q = Array.length q.heap
+let capacity q = Array.length q.times
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* (time, seq) lexicographic order on the flat keys. *)
+let lt q i j =
+  let ti = q.times.(i) and tj = q.times.(j) in
+  ti < tj || (ti = tj && q.seqs.(i) < q.seqs.(j))
 
 let swap q i j =
-  let tmp = q.heap.(i) in
-  q.heap.(i) <- q.heap.(j);
-  q.heap.(j) <- tmp
+  let t = q.times.(i) in
+  q.times.(i) <- q.times.(j);
+  q.times.(j) <- t;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let v = q.values.(i) in
+  q.values.(i) <- q.values.(j);
+  q.values.(j) <- v
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt q.heap.(i) q.heap.(parent) then begin
+    if lt q i parent then begin
       swap q i parent;
       sift_up q parent
     end
@@ -34,55 +57,84 @@ let rec sift_down q i =
   let left = (2 * i) + 1 in
   if left < q.size then begin
     let right = left + 1 in
-    let smallest = if right < q.size && lt q.heap.(right) q.heap.(left) then right else left in
-    if lt q.heap.(smallest) q.heap.(i) then begin
+    let smallest = if right < q.size && lt q right left then right else left in
+    if lt q smallest i then begin
       swap q i smallest;
       sift_down q smallest
     end
   end
 
 let grow q =
-  let capacity = Array.length q.heap in
+  let capacity = Array.length q.times in
   if q.size = capacity then begin
     let capacity' = max 16 (2 * capacity) in
-    let heap' = Array.make capacity' q.dummy in
-    Array.blit q.heap 0 heap' 0 q.size;
-    q.heap <- heap'
+    let times' = Array.make capacity' 0.0 in
+    let seqs' = Array.make capacity' 0 in
+    let values' = Array.make capacity' nil in
+    Array.blit q.times 0 times' 0 q.size;
+    Array.blit q.seqs 0 seqs' 0 q.size;
+    Array.blit q.values 0 values' 0 q.size;
+    q.times <- times';
+    q.seqs <- seqs';
+    q.values <- values'
   end
 
 let add q ~time ~seq value =
   grow q;
-  q.heap.(q.size) <- { time; seq; value };
-  q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  let i = q.size in
+  q.times.(i) <- time;
+  q.seqs.(i) <- seq;
+  q.values.(i) <- Obj.repr value;
+  q.size <- i + 1;
+  sift_up q i
+
+(* {2 Zero-allocation run-loop accessors}
+
+   The simulator's inner loop never materializes a (time, seq, value)
+   tuple: it asks [min_le] (a bool), reads [min_time] (small enough for
+   cross-module inlining, so the float stays unboxed at the use site)
+   and takes the payload alone with [pop_min]. All three are undefined
+   on an empty queue — the caller checks [length] first. *)
+
+let[@inline] min_time q = q.times.(0)
+let[@inline] min_seq q = q.seqs.(0)
+
+let[@inline] min_le q ~time ~seq =
+  let t0 = q.times.(0) in
+  t0 < time || (t0 = time && q.seqs.(0) <= seq)
+
+let pop_min q =
+  let v = q.values.(0) in
+  let last = q.size - 1 in
+  q.size <- last;
+  if last > 0 then begin
+    q.times.(0) <- q.times.(last);
+    q.seqs.(0) <- q.seqs.(last);
+    q.values.(0) <- q.values.(last)
+  end;
+  (* Null the vacated slot so the GC can reclaim the payload (fibers
+     retained through popped closures were a genuine space leak). *)
+  q.values.(last) <- nil;
+  if last > 1 then sift_down q 0;
+  Obj.obj v
+
+(* {2 Boxed convenience API} — model tests and non-hot-path callers. *)
 
 let peek q =
+  if q.size = 0 then None else Some (q.times.(0), q.seqs.(0), (Obj.obj q.values.(0) : 'a))
+
+let pop q =
   if q.size = 0 then None
-  else
-    let e = q.heap.(0) in
-    Some (e.time, e.seq, e.value)
+  else begin
+    let time = q.times.(0) and seq = q.seqs.(0) in
+    let v = pop_min q in
+    Some (time, seq, v)
+  end
 
-let remove_min q e =
-  q.size <- q.size - 1;
-  if q.size > 0 then begin
-    q.heap.(0) <- q.heap.(q.size);
-    sift_down q 0
-  end;
-  (* Null the vacated slot so the GC can reclaim the entry (fibers
-     retained through popped closures were a genuine space leak). *)
-  q.heap.(q.size) <- q.dummy;
-  Some (e.time, e.seq, e.value)
-
-let pop q = if q.size = 0 then None else remove_min q q.heap.(0)
-
-let pop_if_le q ~time ~seq =
-  if q.size = 0 then None
-  else
-    let e = q.heap.(0) in
-    if e.time < time || (e.time = time && e.seq <= seq) then remove_min q e else None
+let pop_if_le q ~time ~seq = if q.size > 0 && min_le q ~time ~seq then pop q else None
 
 let clear q =
-  (* Keep the backing array (steady-state simulations re-fill it at the
-     same size), but drop every reference held in it. *)
-  Array.fill q.heap 0 q.size q.dummy;
+  (* Keep the backing arrays (steady-state simulations re-fill them at
+     the same size), but drop every payload reference held in them. *)
+  Array.fill q.values 0 q.size nil;
   q.size <- 0

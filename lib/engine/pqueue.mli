@@ -1,11 +1,14 @@
 (** Minimum priority queue on [(time, sequence)] keys.
 
-    A classic array-backed binary heap. Ties on [time] are broken by an
-    insertion sequence number supplied by the caller, which makes event
-    ordering — and therefore whole simulations — deterministic.
+    An array-backed binary heap in structure-of-arrays layout: times in
+    a flat unboxed float array, sequence numbers in an int array, and
+    payloads in a third — so {!add} and {!pop_min} allocate nothing.
+    Ties on [time] are broken by an insertion sequence number supplied
+    by the caller, which makes event ordering — and therefore whole
+    simulations — deterministic.
 
-    Slots beyond the live size are nulled out with a sentinel, so popped
-    values (event closures, i.e. whole fibers) never outlive their pop. *)
+    Slots beyond the live size are nulled out, so popped values (event
+    closures, i.e. whole fibers) never outlive their pop. *)
 
 type 'a t
 
@@ -19,7 +22,30 @@ val capacity : 'a t -> int
 (** Current backing-array capacity (exposed for tests and benchmarks). *)
 
 val add : 'a t -> time:float -> seq:int -> 'a -> unit
-(** [add q ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+(** [add q ~time ~seq v] inserts [v] with priority [(time, seq)].
+    Allocation-free except when the backing arrays double. *)
+
+(** {2 Zero-allocation accessors — the simulator's inner loop}
+
+    All three are undefined on an empty queue; check {!length} first. *)
+
+val min_time : 'a t -> float
+(** Time of the minimum element. Small enough to inline cross-module,
+    so the float stays unboxed at a comparison use site. *)
+
+val min_seq : 'a t -> int
+(** Sequence number of the minimum element. *)
+
+val min_le : 'a t -> time:float -> seq:int -> bool
+(** [min_le q ~time ~seq] is true iff the minimum key is [<= (time,
+    seq)] lexicographically — the run-loop's pop guard, without
+    materializing an option or boxing a float. *)
+
+val pop_min : 'a t -> 'a
+(** Remove the minimum element and return its payload alone (read
+    {!min_time} first if the caller needs the timestamp). *)
+
+(** {2 Boxed convenience API} *)
 
 val peek : 'a t -> (float * int * 'a) option
 (** [peek q] is the minimum element without removing it. *)
@@ -29,10 +55,9 @@ val pop : 'a t -> (float * int * 'a) option
 
 val pop_if_le : 'a t -> time:float -> seq:int -> (float * int * 'a) option
 (** [pop_if_le q ~time ~seq] removes and returns the minimum element iff
-    its key is [<= (time, seq)] — a single heap access where the run
-    loop previously paid a peek plus a pop. [None] otherwise. *)
+    its key is [<= (time, seq)]. [None] otherwise. *)
 
 val clear : 'a t -> unit
-(** Drop every element. Keeps the backing array's capacity (a cleared
+(** Drop every element. Keeps the backing arrays' capacity (a cleared
     simulation agenda is usually refilled to the same size) but releases
     every held reference. *)

@@ -10,8 +10,19 @@ type t = {
      heap — a FIFO preserves their (time, seq) order exactly. The seq
      counter stays global across both lanes, so interleaving with heap
      events at the same timestamp is bit-identical to the all-heap
-     scheduler. *)
-  now_lane : (int * (unit -> unit)) Queue.t;
+     scheduler.
+
+     The lane is a growable power-of-two ring over two parallel arrays
+     (seq, callback) rather than a [Queue.t] of boxed pairs: pushing a
+     zero-delay event — the majority of all events in I/O-heavy runs —
+     allocates nothing. Popped slots are nulled so finished fibers stay
+     collectable. *)
+  mutable lane_seqs : int array;
+  mutable lane_fns : (unit -> unit) array;
+  mutable lane_head : int;
+  mutable lane_len : int;
+  mutable lane_executed : int;
+  mutable heap_executed : int;
   mutable executed : int;
   mutable stopped : bool;
 }
@@ -22,19 +33,77 @@ type _ Effect.t +=
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
   | Fork : (unit -> unit) -> unit Effect.t
 
+(* Shared filler for vacated lane slots: retains nothing. *)
+let lane_nil () = ()
+
 let create () =
   {
     time = 0.0;
     seq = 0;
     agenda = Pqueue.create ();
-    now_lane = Queue.create ();
+    lane_seqs = [||];
+    lane_fns = [||];
+    lane_head = 0;
+    lane_len = 0;
+    lane_executed = 0;
+    heap_executed = 0;
     executed = 0;
     stopped = false;
   }
 
 let now t = t.time
 let events_executed t = t.executed
-let pending_events t = Pqueue.length t.agenda + Queue.length t.now_lane
+let pending_events t = Pqueue.length t.agenda + t.lane_len
+
+type stats = {
+  executed : int;
+  lane : int;
+  heap : int;
+  pending_lane : int;
+  pending_heap : int;
+  lane_capacity : int;
+  heap_capacity : int;
+}
+
+let stats (t : t) =
+  {
+    executed = t.executed;
+    lane = t.lane_executed;
+    heap = t.heap_executed;
+    pending_lane = t.lane_len;
+    pending_heap = Pqueue.length t.agenda;
+    lane_capacity = Array.length t.lane_fns;
+    heap_capacity = Pqueue.capacity t.agenda;
+  }
+
+let lane_grow t =
+  let cap = Array.length t.lane_fns in
+  let cap' = max 16 (2 * cap) in
+  let seqs' = Array.make cap' 0 in
+  let fns' = Array.make cap' lane_nil in
+  for k = 0 to t.lane_len - 1 do
+    let i = (t.lane_head + k) land (cap - 1) in
+    seqs'.(k) <- t.lane_seqs.(i);
+    fns'.(k) <- t.lane_fns.(i)
+  done;
+  t.lane_seqs <- seqs';
+  t.lane_fns <- fns';
+  t.lane_head <- 0
+
+let[@inline] lane_push t seq f =
+  if t.lane_len = Array.length t.lane_fns then lane_grow t;
+  let i = (t.lane_head + t.lane_len) land (Array.length t.lane_fns - 1) in
+  t.lane_seqs.(i) <- seq;
+  t.lane_fns.(i) <- f;
+  t.lane_len <- t.lane_len + 1
+
+let[@inline] lane_pop t =
+  let i = t.lane_head in
+  let f = t.lane_fns.(i) in
+  t.lane_fns.(i) <- lane_nil;
+  t.lane_head <- (i + 1) land (Array.length t.lane_fns - 1);
+  t.lane_len <- t.lane_len - 1;
+  f
 
 let schedule t ~delay f =
   (* An explicit raise, not an assert: the guard must survive builds
@@ -42,8 +111,17 @@ let schedule t ~delay f =
      The negated comparison also rejects a NaN delay. *)
   if not (delay >= 0.0) then invalid_arg "Sim.schedule: delay must be non-negative";
   t.seq <- t.seq + 1;
-  if delay = 0.0 then Queue.add (t.seq, f) t.now_lane
+  if delay = 0.0 then lane_push t t.seq f
   else Pqueue.add t.agenda ~time:(t.time +. delay) ~seq:t.seq f
+
+(* Absolute-time variant for the sharded scheduler's barrier: a message
+   carries its exact arrival timestamp, and round-tripping it through a
+   delay ([now +. (arrival -. now)]) can land a ulp off — enough to
+   break byte-identity of anything derived from [now] at delivery. *)
+let schedule_at t ~time f =
+  if not (time >= t.time) then invalid_arg "Sim.schedule_at: time must be >= now";
+  t.seq <- t.seq + 1;
+  if time = t.time then lane_push t t.seq f else Pqueue.add t.agenda ~time ~seq:t.seq f
 
 (* Run [body] as a fiber, interpreting the blocking effects against [t]. *)
 let rec exec : t -> (unit -> unit) -> unit =
@@ -82,46 +160,79 @@ let rec exec : t -> (unit -> unit) -> unit =
 
 let spawn t body = schedule t ~delay:0.0 (fun () -> exec t body)
 
+(* The shared inner loop. Every pending hot-lane event runs at the
+   current time (zero-delay scheduling can only target "now", and the
+   lane always drains before the clock advances), so the next event is
+   either the lane's head or a heap event at the same instant with a
+   smaller seq. [hseq] selects the horizon semantics: [max_int] pops
+   heap events with time <= horizon (the classic inclusive [run]);
+   [min_int] pops strictly before it (the {!run_window} barrier of the
+   sharded scheduler — live seqs start at 1, so the tie branch of
+   [Pqueue.min_le] can never fire). No step of the loop allocates. *)
+let exec_loop t ~horizon ~hseq =
+  let rec loop () =
+    if not t.stopped then begin
+      if t.lane_len > 0 then begin
+        let lane_seq = t.lane_seqs.(t.lane_head) in
+        if Pqueue.length t.agenda > 0 && Pqueue.min_le t.agenda ~time:t.time ~seq:lane_seq
+        then begin
+          t.time <- Pqueue.min_time t.agenda;
+          let f = Pqueue.pop_min t.agenda in
+          t.heap_executed <- t.heap_executed + 1;
+          t.executed <- t.executed + 1;
+          f ()
+        end
+        else begin
+          let f = lane_pop t in
+          t.lane_executed <- t.lane_executed + 1;
+          t.executed <- t.executed + 1;
+          f ()
+        end;
+        loop ()
+      end
+      else if Pqueue.length t.agenda > 0 && Pqueue.min_le t.agenda ~time:horizon ~seq:hseq
+      then begin
+        t.time <- Pqueue.min_time t.agenda;
+        let f = Pqueue.pop_min t.agenda in
+        t.heap_executed <- t.heap_executed + 1;
+        t.executed <- t.executed + 1;
+        f ();
+        loop ()
+      end
+    end
+  in
+  loop ()
+
 let run ?until t =
   t.stopped <- false;
   let horizon = match until with Some u -> u | None -> infinity in
-  (* Every pending hot-lane event runs at the current time (zero-delay
-     scheduling can only target "now", and the lane always drains before
-     the clock advances), so the next event is either the lane's head or
-     a heap event at the same instant with a smaller seq. *)
-  let rec loop () =
-    if not t.stopped then begin
-      match Queue.peek_opt t.now_lane with
-      | Some (lane_seq, _) ->
-        (match Pqueue.pop_if_le t.agenda ~time:t.time ~seq:lane_seq with
-        | Some (time, _, f) ->
-          t.time <- time;
-          t.executed <- t.executed + 1;
-          f ()
-        | None ->
-          let _, f = Queue.pop t.now_lane in
-          t.executed <- t.executed + 1;
-          f ());
-        loop ()
-      | None -> (
-        match Pqueue.pop_if_le t.agenda ~time:horizon ~seq:max_int with
-        | Some (time, _, f) ->
-          t.time <- time;
-          t.executed <- t.executed + 1;
-          f ();
-          loop ()
-        | None -> ())
-    end
-  in
-  loop ();
+  exec_loop t ~horizon ~hseq:max_int;
   match until with
   | Some u when t.time < u && not t.stopped -> t.time <- u
   | _ -> ()
 
+let run_window t ~until =
+  t.stopped <- false;
+  if t.time < until then begin
+    exec_loop t ~horizon:until ~hseq:min_int;
+    (* Park the clock exactly at the window boundary so a message
+       injected for arrival >= until can be scheduled with a plain
+       non-negative delay. An infinite window (no conduits) leaves the
+       clock at the last executed event, like an exhausted [run]. *)
+    if (not t.stopped) && Float.is_finite until && t.time < until then t.time <- until
+  end
+
+let next_event_time t =
+  if t.lane_len > 0 then t.time
+  else if Pqueue.length t.agenda > 0 then Pqueue.min_time t.agenda
+  else infinity
+
 let stop t =
   t.stopped <- true;
   Pqueue.clear t.agenda;
-  Queue.clear t.now_lane
+  Array.fill t.lane_fns 0 (Array.length t.lane_fns) lane_nil;
+  t.lane_head <- 0;
+  t.lane_len <- 0
 
 let delay d =
   try Effect.perform (Delay d) with Effect.Unhandled _ -> raise Not_in_simulation

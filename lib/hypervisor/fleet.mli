@@ -114,12 +114,23 @@ module Live : sig
 
   val place_failures : t -> int
 
-  val serve : t -> duration_ns:float -> unit
+  val serve : ?shards:int -> t -> duration_ns:float -> unit
   (** Run the fleet for a window of simulated time: a metering fiber
       charges guest-seconds, bytes and IOPS to each owning tenant in
       eight ticks (class-dependent rates), while [2 x hosts] sampled
       east-west bursts cross the fabric. Runs the simulation to
-      quiescence. *)
+      quiescence.
+
+      With [shards > 1] (default 1) the east-west flow phase is
+      partitioned by source host ([h mod shards]) across that many
+      fabric replicas — same topology, same ECMP seed, one simulator
+      and one OCaml domain each ({!Bm_engine.Shard}) — and the per-link
+      and fabric-wide tallies fold back into the main fabric afterwards
+      ({!Bm_fabric.Fabric.absorb}). The offered traffic is drawn from
+      the flow RNG identically in both modes, so the accounting is
+      byte-identical to [shards = 1] whenever the flow phase is
+      drop-free (the regime the fleet experiments assert); the control
+      plane always stays on the main simulator. *)
 
   val flow_bursts : t -> int
   (** East-west bursts delivered by {!serve} so far. *)

@@ -628,6 +628,55 @@ let test_two_lane_tie_break () =
   Alcotest.(check (list int)) "global (time, seq) order" [ 1; 2; 3; 4; 5; 6; 7 ]
     (List.rev !order)
 
+let test_sim_stats_lanes () =
+  let sim = Sim.create () in
+  let ran = ref 0 in
+  for _ = 1 to 5 do
+    Sim.schedule sim ~delay:0.0 (fun () -> incr ran)
+  done;
+  for i = 1 to 3 do
+    Sim.schedule sim ~delay:(float_of_int i) (fun () -> incr ran)
+  done;
+  Sim.run sim;
+  let s = Sim.stats sim in
+  check_int "executed" 8 s.Sim.executed;
+  check_int "lane events" 5 s.Sim.lane;
+  check_int "heap events" 3 s.Sim.heap;
+  check_int "executed = lane + heap" s.Sim.executed (s.Sim.lane + s.Sim.heap);
+  check_int "pending lane drained" 0 s.Sim.pending_lane;
+  check_int "pending heap drained" 0 s.Sim.pending_heap;
+  check_bool "lane ring capacity is a power of two" true
+    (s.Sim.lane_capacity land (s.Sim.lane_capacity - 1) = 0)
+
+let test_run_window_strict () =
+  let sim = Sim.create () in
+  let hits = ref [] in
+  Sim.schedule sim ~delay:5.0 (fun () -> hits := 5 :: !hits);
+  Sim.schedule sim ~delay:10.0 (fun () -> hits := 10 :: !hits);
+  Sim.run_window sim ~until:10.0;
+  Alcotest.(check (list int)) "strictly before the window end" [ 5 ] (List.rev !hits);
+  Alcotest.(check (float 0.0)) "clock parked at the boundary" 10.0 (Sim.now sim);
+  Alcotest.(check (float 0.0)) "boundary event still pending" 10.0 (Sim.next_event_time sim);
+  Sim.run sim;
+  Alcotest.(check (list int)) "boundary event runs on resume" [ 5; 10 ] (List.rev !hits)
+
+let test_schedule_at_exact () =
+  let sim = Sim.create () in
+  (* A timestamp that a [now +. (time -. now)] round-trip would move by
+     a ulp from a nonzero clock. *)
+  let time = 0.1 +. 0.2 in
+  let seen = ref nan in
+  Sim.schedule sim ~delay:0.05 (fun () ->
+      Sim.schedule_at sim ~time (fun () -> seen := Sim.now sim));
+  Sim.run sim;
+  check_bool "delivered at the exact bit pattern" true
+    (Int64.equal (Int64.bits_of_float !seen) (Int64.bits_of_float time));
+  check_bool "past timestamp raises" true
+    (try
+       Sim.schedule_at sim ~time:0.0 (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let suites =
@@ -685,6 +734,9 @@ let suites =
         Alcotest.test_case "negative delay raises" `Quick test_schedule_negative_raises;
         Alcotest.test_case "event counters" `Quick test_event_counters;
         Alcotest.test_case "two-lane tie break" `Quick test_two_lane_tie_break;
+        Alcotest.test_case "per-lane stats" `Quick test_sim_stats_lanes;
+        Alcotest.test_case "run_window strict horizon" `Quick test_run_window_strict;
+        Alcotest.test_case "schedule_at bit-exact" `Quick test_schedule_at_exact;
       ] );
     qsuite "engine.sim.prop" [ prop_two_lane_order ];
     ( "engine.token_bucket",
