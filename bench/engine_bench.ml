@@ -278,6 +278,7 @@ let () =
   p "{\n";
   p "  \"seed\": %d,\n" !seed;
   p "  \"quick\": %b,\n" !quick;
+  p "  \"note\": \"committed baselines are measured on a single-core container; wall-clock ratios for --jobs/--shards are skipped there and only the determinism (outcomes_identical) and alloc gates are load-bearing\",\n";
   p "  \"recommended_domains\": %d,\n" rec_domains;
   p "  \"hot_lane\": {\n";
   p "    \"chains\": %d,\n" chains;

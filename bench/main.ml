@@ -33,6 +33,10 @@
      bench/main.exe --hosts N       fleet size for the fleet-scale
      bench/main.exe --guests N      experiments (fleet_scale); defaults
      bench/main.exe --tenants N     to the quick/full config
+     bench/main.exe --vfs N         SR-IOV functions per device/pool in the
+                                    vf_* experiments
+     bench/main.exe --datapath D    restrict vf_ablation to one datapath:
+                                    vring, passthrough or vf
      bench/main.exe --list          list experiment ids
      bench/main.exe --bechamel      bechamel micro-benchmarks of the
                                     (quick-scale) experiment runs *)
@@ -41,7 +45,7 @@ let usage () =
   print_endline
     "usage: main.exe [--quick] [--seed N] [--trace FILE] [--metrics] [--faults SEED:SPEC] \
      [--scenario SEED:SPEC] [--policy NAME] [--jobs N] [--shards N] [--topology SPEC] [--hosts N] \
-     [--guests N] [--tenants N] [--list] [--bechamel] [experiment ids...]"
+     [--guests N] [--tenants N] [--vfs N] [--datapath D] [--list] [--bechamel] [experiment ids...]"
 
 type options = {
   quick : bool;
@@ -53,6 +57,7 @@ type options = {
   policy : string option;
   topo : Bm_fabric.Topology.t option;
   fleet : Bmhive.Experiments.fleet_opts;
+  vf : Bmhive.Experiments.vf_opts;
   jobs : int;
   shards : int;
   list : bool;
@@ -72,6 +77,7 @@ let default_options =
     policy = None;
     topo = None;
     fleet = Bmhive.Experiments.default_fleet;
+    vf = Bmhive.Experiments.default_vf;
     jobs = 1;
     shards = 1;
     list = false;
@@ -133,6 +139,18 @@ let rec parse opts = function
       parse { opts with fleet } rest
     | Some _ | None -> fail "%s expects a positive integer, got %S" flag v)
   | [ ("--hosts" | "--guests" | "--tenants") as flag ] -> fail "%s expects a value" flag
+  | "--vfs" :: v :: rest -> (
+    match int_of_string_opt v with
+    | Some n when n > 0 ->
+      parse { opts with vf = { opts.vf with Bmhive.Experiments.vf_count = Some n } } rest
+    | Some _ | None -> fail "--vfs expects a positive integer, got %S" v)
+  | [ "--vfs" ] -> fail "--vfs expects a value"
+  | "--datapath" :: name :: rest -> (
+    match Bm_iobond.Vf.datapath_of_name name with
+    | Some d ->
+      parse { opts with vf = { opts.vf with Bmhive.Experiments.vf_datapath = Some d } } rest
+    | None -> fail "--datapath: unknown datapath %S (try: vring, passthrough, vf)" name)
+  | [ "--datapath" ] -> fail "--datapath expects a name (vring, passthrough, vf)"
   | "--jobs" :: v :: rest -> (
     match int_of_string_opt v with
     | Some 0 -> parse { opts with jobs = Bmhive.Parallel.default_jobs () } rest
@@ -160,8 +178,8 @@ let bechamel_suite seed =
           (Staged.stage (fun () ->
                ignore
                  (spec.Bmhive.Experiments.run ~scenario:None ~policy:None
-                    ~fleet:Bmhive.Experiments.default_fleet ~faults:None ~trace:None ~metrics:None
-                    ~topo:None ~shards:1 ~quick:true ~seed))))
+                    ~fleet:Bmhive.Experiments.default_fleet ~vf:Bmhive.Experiments.default_vf
+                    ~faults:None ~trace:None ~metrics:None ~topo:None ~shards:1 ~quick:true ~seed))))
       Bmhive.Experiments.all
   in
   Test.make_grouped ~name:"experiments" tests
@@ -206,8 +224,8 @@ let () =
           prerr_endline e;
           exit 1)
       (Bmhive.Experiments.run_many ~quick:opts.quick ~seed:opts.seed ~fleet:opts.fleet
-         ?scenario:opts.scenario ?policy:opts.policy ?faults:opts.faults ?trace ?metrics
-         ?topo:opts.topo ~jobs:opts.jobs ~shards:opts.shards targets);
+         ~vf:opts.vf ?scenario:opts.scenario ?policy:opts.policy ?faults:opts.faults ?trace
+         ?metrics ?topo:opts.topo ~jobs:opts.jobs ~shards:opts.shards targets);
     (match metrics with
     | Some m when not (Bm_engine.Metrics.is_empty m) ->
       print_endline "";

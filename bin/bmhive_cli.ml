@@ -32,8 +32,9 @@ let faults_arg =
   let doc =
     "Arm a deterministic fault plan in every testbed, as $(i,SEED):$(i,SPEC) where SPEC is \
      $(b,default) or comma-separated $(i,kind)=$(i,count) pairs (kinds: link_down, dma_stall, \
-     mailbox_drop, firmware_wedge, pmd_crash, server_failure), optionally with \
-     horizon=$(i,NS). Example: 42:link_down=2,firmware_wedge=1."
+     mailbox_drop, firmware_wedge, pmd_crash, server_failure, fabric_link_down, vf_stall, \
+     vf_reassign_timeout), optionally with horizon=$(i,NS). Example: \
+     42:link_down=2,firmware_wedge=1."
   in
   let fault_conv =
     Arg.conv ~docv:"SEED:SPEC"
@@ -46,7 +47,7 @@ let scenario_arg =
   let doc =
     "Game-day scenario timeline for the $(b,game_day) experiment, as $(i,SEED):$(i,SPEC) where \
      SPEC is $(b,default) or comma-separated $(i,key)=$(i,value) pairs (keys: hosts, links, \
-     congest, evac, brownout, ramp=$(i,lo)-$(i,hi), horizon=$(i,NS)). Example: \
+     congest, evac, brownout, vfstall, vfwedge, ramp=$(i,lo)-$(i,hi), horizon=$(i,NS)). Example: \
      42:hosts=2,links=1,congest=1,evac=1. Other experiments ignore it."
   in
   let scenario_conv =
@@ -105,6 +106,30 @@ let tenants_arg =
   let doc = "Tenant count for the fleet-scale experiments." in
   Arg.(value & opt (some int) None & info [ "tenants" ] ~docv:"N" ~doc)
 
+let vfs_arg =
+  let doc =
+    "Virtual functions per SR-IOV device/pool in the VF experiments ($(b,vf_scale), \
+     $(b,vf_reassign), $(b,vf_ablation)); each experiment's default otherwise."
+  in
+  Arg.(value & opt (some int) None & info [ "vfs" ] ~docv:"N" ~doc)
+
+let datapath_arg =
+  let doc =
+    "Restrict the $(b,vf_ablation) experiment to one guest datapath: $(b,vring) (the \
+     shadow-vring poll loop), $(b,passthrough) (whole-device assignment) or $(b,vf) (one \
+     sliced virtual function); all three when omitted."
+  in
+  let dp_conv =
+    Arg.conv ~docv:"NAME"
+      ( (fun s ->
+          match Bm_iobond.Vf.datapath_of_name s with
+          | Some d -> Ok d
+          | None ->
+            Error (`Msg (Printf.sprintf "unknown datapath %S (try: vring, passthrough, vf)" s))),
+        fun ppf d -> Format.pp_print_string ppf (Bm_iobond.Vf.datapath_name d) )
+  in
+  Arg.(value & opt (some dp_conv) None & info [ "datapath" ] ~docv:"NAME" ~doc)
+
 let jobs_arg =
   let doc =
     "Run up to $(docv) experiment cells concurrently on separate domains (0 = one per \
@@ -143,8 +168,8 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,list)); all when omitted." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick seed scenario policy faults topo hosts guests tenants trace_file metrics_wanted
-      jobs shards ids =
+  let run quick seed scenario policy faults topo hosts guests tenants vfs datapath trace_file
+      metrics_wanted jobs shards ids =
     if jobs < 0 then invalid_arg "--jobs must be non-negative";
     if shards < 0 then invalid_arg "--shards must be non-negative";
     let jobs = if jobs = 0 then Bmhive.Parallel.default_jobs () else jobs in
@@ -152,6 +177,7 @@ let run_cmd =
     let fleet =
       Bmhive.Experiments.{ fleet_hosts = hosts; fleet_guests = guests; fleet_tenants = tenants }
     in
+    let vf = Bmhive.Experiments.{ vf_count = vfs; vf_datapath = datapath } in
     let trace = Option.map (fun _ -> Bm_engine.Trace.create ()) trace_file in
     let metrics = if metrics_wanted then Some (Bm_engine.Metrics.create ()) else None in
     let targets = if ids = [] then Bmhive.Experiments.ids () else ids in
@@ -183,7 +209,7 @@ let run_cmd =
         | Error e -> `Error (false, e))
     in
     go
-      (Bmhive.Experiments.run_many ~quick ~seed ~fleet ?scenario ?policy ?faults ?topo ?trace
+      (Bmhive.Experiments.run_many ~quick ~seed ~fleet ~vf ?scenario ?policy ?faults ?topo ?trace
          ?metrics ~jobs ~shards targets)
   in
   Cmd.v
@@ -191,8 +217,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ quick_arg $ seed_arg $ scenario_arg $ policy_arg $ faults_arg $ topology_arg
-       $ hosts_arg $ guests_arg $ tenants_arg $ trace_arg $ metrics_arg $ jobs_arg $ shards_arg
-       $ ids_arg))
+       $ hosts_arg $ guests_arg $ tenants_arg $ vfs_arg $ datapath_arg $ trace_arg $ metrics_arg
+       $ jobs_arg $ shards_arg $ ids_arg))
 
 (* --- catalogue ------------------------------------------------------ *)
 

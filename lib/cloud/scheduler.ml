@@ -1,4 +1,5 @@
 open Bm_engine
+module Vf = Bm_iobond.Vf
 
 type request = {
   name : string;
@@ -7,14 +8,22 @@ type request = {
   mem_gb : int;
   prefer : Control_plane.substrate option;
   group : string option;
+  datapath : Vf.datapath;
 }
 
-let request ~name ~tenant ~vcpus ?mem_gb ?prefer ?group () =
+let request ~name ~tenant ~vcpus ?mem_gb ?prefer ?group ?(datapath = Vf.Vring) () =
   if vcpus <= 0 then invalid_arg "Scheduler.request: vcpus must be positive";
   let mem_gb = match mem_gb with Some m -> m | None -> 2 * vcpus in
-  { name; tenant; vcpus; mem_gb; prefer; group }
+  { name; tenant; vcpus; mem_gb; prefer; group; datapath }
 
-type guest = { req : request; mutable placement : Control_plane.placement option }
+type guest = {
+  req : request;
+  mutable placement : Control_plane.placement option;
+  mutable granted : Vf.datapath option;
+      (* the datapath the current placement actually got: [Some Vring]
+         for a VF request that hit an exhausted host (fell over to the
+         shadow-vring path), [None] while unplaced *)
+}
 
 type t = {
   cp : Control_plane.t;
@@ -23,11 +32,16 @@ type t = {
   tenants : (string, Tenant.t) Hashtbl.t;
   guests : (string, guest) Hashtbl.t;
   groups : (string, (int, int) Hashtbl.t) Hashtbl.t;  (* group -> host -> members *)
+  vfs_per_host : int;
+  vf_caps : (int, int) Hashtbl.t;  (* per-host override of [vfs_per_host] *)
+  vf_used : (int, int) Hashtbl.t;  (* host -> VFs handed out *)
+  mutable vf_fallback_count : int;
   mutable classifier : request -> string option;
       (* placement class per request, for per-class admission ceilings *)
 }
 
-let create ?(obs = Obs.none) ?(strategy = Control_plane.First_fit) cp =
+let create ?(obs = Obs.none) ?(strategy = Control_plane.First_fit) ?(vfs_per_host = 8) cp =
+  if vfs_per_host < 0 then invalid_arg "Scheduler.create: vfs_per_host must be >= 0";
   {
     cp;
     strategy;
@@ -35,6 +49,10 @@ let create ?(obs = Obs.none) ?(strategy = Control_plane.First_fit) cp =
     tenants = Hashtbl.create 16;
     guests = Hashtbl.create 1024;
     groups = Hashtbl.create 64;
+    vfs_per_host;
+    vf_caps = Hashtbl.create 16;
+    vf_used = Hashtbl.create 64;
+    vf_fallback_count = 0;
     classifier = (fun _ -> None);
   }
 
@@ -90,6 +108,52 @@ let group_remove t group host =
       | Some 1 -> Hashtbl.remove hosts host
       | Some n -> Hashtbl.replace hosts host (n - 1)))
 
+(* --- VF accounting --------------------------------------------------- *)
+
+(* The scheduler counts virtual functions the way it counts vCPUs: a
+   per-host budget, spent at placement time. It never touches the
+   hypervisor's pool device — it only promises a datapath; the
+   hypervisor grants the actual function when the guest is provisioned
+   (and applies the same fallback if reality disagrees). *)
+
+let vf_capacity t ~server =
+  match Hashtbl.find_opt t.vf_caps server with Some c -> c | None -> t.vfs_per_host
+
+let set_vf_capacity t ~server ~vfs =
+  if vfs < 0 then invalid_arg "Scheduler.set_vf_capacity: vfs must be >= 0";
+  Hashtbl.replace t.vf_caps server vfs
+
+let vf_in_use t ~server = Option.value ~default:0 (Hashtbl.find_opt t.vf_used server)
+let vf_free t ~server = vf_capacity t ~server - vf_in_use t ~server
+let vf_fallbacks t = t.vf_fallback_count
+
+(* Decide the datapath a fresh placement on [server] gets, spending a
+   VF credit when the request wants one and the host still has one. *)
+let vf_grant t g server =
+  let granted =
+    match g.req.datapath with
+    | Vf.Vring -> Vf.Vring
+    | (Vf.Passthrough | Vf.Sliced) as want ->
+      if vf_free t ~server > 0 then (
+        Hashtbl.replace t.vf_used server (1 + vf_in_use t ~server);
+        Metrics.incr_opt t.metrics "cloud.sched.vf_granted";
+        want)
+      else (
+        t.vf_fallback_count <- t.vf_fallback_count + 1;
+        Metrics.incr_opt t.metrics "cloud.sched.vf_fallbacks";
+        Vf.Vring)
+  in
+  g.granted <- Some granted
+
+(* Return the credit when a guest leaves [server] (release, drain,
+   rebalance move). *)
+let vf_revoke t g server =
+  (match g.granted with
+  | Some (Vf.Passthrough | Vf.Sliced) ->
+    Hashtbl.replace t.vf_used server (max 0 (vf_in_use t ~server - 1))
+  | Some Vf.Vring | None -> ());
+  g.granted <- None
+
 (* --- placement ------------------------------------------------------ *)
 
 (* First-fit-decreasing order: biggest request first so the small ones
@@ -131,8 +195,10 @@ let place t req =
       | Ok () -> (
         match try_place_cp t req ~substrates:(substrates_of req) with
         | Ok p ->
-          Hashtbl.replace t.guests req.name { req; placement = Some p };
+          let g = { req; placement = Some p; granted = None } in
+          Hashtbl.replace t.guests req.name g;
           group_add t req.group p.Control_plane.server;
+          vf_grant t g p.Control_plane.server;
           Metrics.incr_opt t.metrics "cloud.sched.placed";
           Ok p
         | Error e ->
@@ -150,6 +216,7 @@ let release t name =
     (match g.placement with
     | Some p ->
       group_remove t g.req.group p.Control_plane.server;
+      vf_revoke t g p.Control_plane.server;
       Control_plane.release t.cp name
     | None -> ());
     (match Hashtbl.find_opt t.tenants g.req.tenant with
@@ -173,6 +240,7 @@ let replace_guest t g ~first =
   | Ok p ->
     g.placement <- Some p;
     group_add t g.req.group p.Control_plane.server;
+    vf_grant t g p.Control_plane.server;
     Ok p
   | Error e -> Error e
 
@@ -196,6 +264,7 @@ let drain t ~server =
       (fun g ->
         let p = Option.get g.placement in
         group_remove t g.req.group p.Control_plane.server;
+        vf_revoke t g p.Control_plane.server;
         Control_plane.release t.cp g.req.name;
         g.placement <- None;
         (g, p.Control_plane.substrate))
@@ -258,6 +327,7 @@ let rebalance t ?(max_moves = 64) ?(band = 0.05) () =
         | g :: _ -> (
           let p = Option.get g.placement in
           group_remove t g.req.group p.Control_plane.server;
+          vf_revoke t g p.Control_plane.server;
           Control_plane.release t.cp g.req.name;
           g.placement <- None;
           let avoid = donor :: group_hosts t g.req.group in
@@ -269,6 +339,7 @@ let rebalance t ?(max_moves = 64) ?(band = 0.05) () =
           | Ok p' ->
             g.placement <- Some p';
             group_add t g.req.group p'.Control_plane.server;
+            vf_grant t g p'.Control_plane.server;
             Metrics.incr_opt t.metrics "cloud.sched.moves";
             moves := (g.req.name, donor, p'.Control_plane.server) :: !moves;
             decr budget
@@ -290,6 +361,36 @@ let lookup t name =
 
 let request_of t name =
   match Hashtbl.find_opt t.guests name with Some g -> Some g.req | None -> None
+
+let granted_datapath t name =
+  match Hashtbl.find_opt t.guests name with Some g -> g.granted | None -> None
+
+let check_vf_accounting t =
+  (* Recompute per-host VF consumption from the placed guests and
+     compare with the incremental counters. *)
+  let truth = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ g ->
+      match (g.placement, g.granted) with
+      | Some p, Some (Vf.Passthrough | Vf.Sliced) ->
+        let s = p.Control_plane.server in
+        Hashtbl.replace truth s (1 + Option.value ~default:0 (Hashtbl.find_opt truth s))
+      | Some _, (Some Vf.Vring | None) -> ()
+      | None, Some _ -> failwith "Scheduler: unplaced guest holds a VF grant"
+      | None, None -> ())
+    t.guests;
+  Control_plane.server_ids t.cp
+  |> List.iter (fun server ->
+         let counted = vf_in_use t ~server in
+         let actual = Option.value ~default:0 (Hashtbl.find_opt truth server) in
+         if counted <> actual then
+           failwith
+             (Printf.sprintf "Scheduler: host %d counts %d VFs in use, ground truth %d" server
+                counted actual);
+         if counted > vf_capacity t ~server then
+           failwith
+             (Printf.sprintf "Scheduler: host %d has %d VFs in use over capacity %d" server
+                counted (vf_capacity t ~server)))
 
 let assignments t =
   Hashtbl.fold

@@ -28,6 +28,20 @@ type fleet_opts = {
 val default_fleet : fleet_opts
 (** All [None]. *)
 
+type vf_opts = {
+  vf_count : int option;
+      (** [--vfs]: virtual functions per SR-IOV device/pool in the
+          [vf_*] experiments; [None] keeps each experiment's default *)
+  vf_datapath : Bm_iobond.Vf.datapath option;
+      (** [--datapath]: restrict [vf_ablation] to one datapath column;
+          [None] runs all three. Other experiments ignore it. *)
+}
+(** Knobs for the SR-IOV experiments ([vf_scale], [vf_reassign],
+    [vf_ablation]); everything else ignores them. *)
+
+val default_vf : vf_opts
+(** All [None]. *)
+
 type spec = {
   id : string;
   title : string;
@@ -36,6 +50,7 @@ type spec = {
     scenario:string option ->
     policy:string option ->
     fleet:fleet_opts ->
+    vf:vf_opts ->
     faults:Bm_engine.Fault.plan option ->
     trace:Bm_engine.Trace.t option ->
     metrics:Bm_engine.Metrics.t option ->
@@ -75,6 +90,7 @@ val run_one :
   ?quick:bool ->
   ?seed:int ->
   ?fleet:fleet_opts ->
+  ?vf:vf_opts ->
   ?scenario:string ->
   ?policy:string ->
   ?faults:Bm_engine.Fault.plan ->
@@ -92,6 +108,7 @@ val run_many :
   ?quick:bool ->
   ?seed:int ->
   ?fleet:fleet_opts ->
+  ?vf:vf_opts ->
   ?scenario:string ->
   ?policy:string ->
   ?faults:Bm_engine.Fault.plan ->
@@ -113,6 +130,7 @@ val run_all :
   ?quick:bool ->
   ?seed:int ->
   ?fleet:fleet_opts ->
+  ?vf:vf_opts ->
   ?scenario:string ->
   ?policy:string ->
   ?faults:Bm_engine.Fault.plan ->

@@ -72,6 +72,10 @@ let tenant_table ?(title = "tenants") tenants =
 let slo_scorecard ?(title = "per-tenant SLO scorecard") scores =
   table ~title ~header:Bm_cloud.Slo.row_header (List.map Bm_cloud.Slo.row scores)
 
-let metrics_table ?(title = "metrics") ?fabric ?(now = 0.0) m =
+let vf_table ?(title = "virtual functions") dev =
+  table ~title ~header:Bm_iobond.Vf.stats_header (Bm_iobond.Vf.stats_rows dev)
+
+let metrics_table ?(title = "metrics") ?fabric ?vf ?(now = 0.0) m =
   let base = table ~title ~header:Bm_engine.Metrics.table_header (Bm_engine.Metrics.rows m) in
-  match fabric with None -> base | Some f -> base ^ "\n" ^ fabric_table f ~now
+  let base = match fabric with None -> base | Some f -> base ^ "\n" ^ fabric_table f ~now in
+  match vf with None -> base | Some dev -> base ^ "\n" ^ vf_table dev

@@ -32,9 +32,20 @@ val slo_scorecard : ?title:string -> Bm_cloud.Slo.tenant_score list -> string
     aggregate availability / p99 / goodput, compliant windows, met/MISS.
     The game-day determinism smoke diffs this string byte-for-byte. *)
 
+val vf_table : ?title:string -> Bm_iobond.Vf.dev -> string
+(** Per-VF table for an SR-IOV device ({!Bm_iobond.Vf.stats_rows}):
+    state, owner, weight, queues, accepted / delivered / rejected,
+    in-flight, bytes moved. *)
+
 val metrics_table :
-  ?title:string -> ?fabric:Bm_fabric.Fabric.t -> ?now:float -> Bm_engine.Metrics.t -> string
+  ?title:string ->
+  ?fabric:Bm_fabric.Fabric.t ->
+  ?vf:Bm_iobond.Vf.dev ->
+  ?now:float ->
+  Bm_engine.Metrics.t ->
+  string
 (** Render a metrics snapshot as an aligned table (one row per
     registered counter/histogram/meter, sorted by name). With [fabric],
     a {!fabric_table} as of [now] (default 0) follows, so [--metrics]
-    output covers the network layer. *)
+    output covers the network layer; with [vf], a {!vf_table} of the
+    device follows likewise. *)

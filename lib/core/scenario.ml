@@ -18,6 +18,8 @@ type action =
   | Congest of { duration_ns : float }
   | Evacuate of { victim : int }
   | Brownout of { duration_ns : float }
+  | Vf_stall of { duration_ns : float }
+  | Vf_wedge of { duration_ns : float }
 
 type entry = { at : float; action : action }
 
@@ -86,6 +88,8 @@ let describe = function
   | Congest { duration_ns } -> Printf.sprintf "congest duration=%.0fns" duration_ns
   | Evacuate { victim } -> Printf.sprintf "evacuate victim=%d" victim
   | Brownout { duration_ns } -> Printf.sprintf "brownout duration=%.0fns" duration_ns
+  | Vf_stall { duration_ns } -> Printf.sprintf "vf-stall duration=%.0fns" duration_ns
+  | Vf_wedge { duration_ns } -> Printf.sprintf "vf-wedge duration=%.0fns" duration_ns
 
 let render spec =
   let b = Buffer.create 256 in
@@ -116,6 +120,7 @@ let parse_spec s =
         let ramp_opt = ref None in
         let hosts = ref 0 and links = ref 0 and congests = ref 0 in
         let evacs = ref 0 and brownouts = ref 0 in
+        let vfstalls = ref 0 and vfwedges = ref 0 in
         let err = ref None in
         let int_of v tok = match int_of_string_opt v with
           | Some n when n >= 0 -> Some n
@@ -137,6 +142,8 @@ let parse_spec s =
                 | "congest" -> Option.iter (fun n -> congests := n) (int_of v tok)
                 | "evac" -> Option.iter (fun n -> evacs := n) (int_of v tok)
                 | "brownout" -> Option.iter (fun n -> brownouts := n) (int_of v tok)
+                | "vfstall" -> Option.iter (fun n -> vfstalls := n) (int_of v tok)
+                | "vfwedge" -> Option.iter (fun n -> vfwedges := n) (int_of v tok)
                 | "horizon" -> (
                   match float_of_string_opt v with
                   | Some h when h > 0.0 -> horizon := h
@@ -162,6 +169,10 @@ let parse_spec s =
           let congest_rng = Rng.split root in
           let evac_rng = Rng.split root in
           let brown_rng = Rng.split root in
+          (* New kinds split after the historical five, so old specs
+             keep their exact event times. *)
+          let vfstall_rng = Rng.split root in
+          let vfwedge_rng = Rng.split root in
           let band rng lo hi = Rng.uniform rng ~lo:(lo *. h) ~hi:(hi *. h) in
           let tl = ref (if !use_default then default_timeline h else []) in
           let add e = tl := !tl @ e in
@@ -180,6 +191,12 @@ let parse_spec s =
           done;
           for _ = 1 to !brownouts do
             add (at (band brown_rng 0.20 0.50) (Brownout { duration_ns = 0.06 *. h }))
+          done;
+          for _ = 1 to !vfstalls do
+            add (at (band vfstall_rng 0.25 0.60) (Vf_stall { duration_ns = 0.04 *. h }))
+          done;
+          for _ = 1 to !vfwedges do
+            add (at (band vfwedge_rng 0.30 0.65) (Vf_wedge { duration_ns = 0.05 *. h }))
           done;
           Ok (make ~seed ~horizon_ns:h !tl)
       end))
@@ -340,6 +357,10 @@ let run ?trace ?metrics ?(degrade = true) ?(policy = Policy.Ladder) ?(fleet = Fl
           Some { Fault.kind = Fault.Fabric_link_down; at = e.at; duration_ns }
         | Brownout { duration_ns } ->
           Some { Fault.kind = Fault.Pmd_crash; at = e.at; duration_ns }
+        | Vf_stall { duration_ns } ->
+          Some { Fault.kind = Fault.Vf_stall; at = e.at; duration_ns }
+        | Vf_wedge { duration_ns } ->
+          Some { Fault.kind = Fault.Vf_reassign_timeout; at = e.at; duration_ns }
         | Traffic _ | Congest _ | Evacuate _ -> None)
       spec.timeline
   in
@@ -699,7 +720,7 @@ let run ?trace ?metrics ?(degrade = true) ?(policy = Policy.Ladder) ?(fleet = Fl
                         ignore (Scheduler.retry_stranded sched)
                       end)
                 | Error _ -> ()))
-      | Host_fail _ | Link_fail _ | Brownout _ -> ())
+      | Host_fail _ | Link_fail _ | Brownout _ | Vf_stall _ | Vf_wedge _ -> ())
     spec.timeline;
   Fault.arm inj;
   Sim.run sim;

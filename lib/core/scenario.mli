@@ -81,6 +81,17 @@ type action =
       (** Control-plane brownout: ladder stage actions fail while the
           window is open — the {!Bm_engine.Fault.Guard} machinery earns
           its keep. *)
+  | Vf_stall of { duration_ns : float }
+      (** SR-IOV virtual functions stop draining for [duration_ns]
+          (compiled to {!Bm_engine.Fault.Vf_stall}): VF-backed guests
+          see their queue pairs freeze, then pick up where they left
+          off. *)
+  | Vf_wedge of { duration_ns : float }
+      (** The device's VF-reassignment doorbell wedges for
+          [duration_ns] (compiled to
+          {!Bm_engine.Fault.Vf_reassign_timeout}): hot-reassignments
+          attempted inside the window retry under the
+          {!Bm_engine.Fault.Guard} and stretch their blackout. *)
 
 type entry = { at : float; action : action }
 
@@ -130,7 +141,8 @@ val parse_spec : string -> (spec, string) result
 
     - [default] — the {!default_spec} timeline;
     - [hosts=<n>] / [links=<n>] / [congest=<n>] / [evac=<n>] /
-      [brownout=<n>] — [n] events of that kind at seeded times;
+      [brownout=<n>] / [vfstall=<n>] / [vfwedge=<n>] — [n] events of
+      that kind at seeded times;
     - [ramp=<lo>-<hi>] — a diurnal ramp between the two multipliers;
     - [horizon=<ns>] — override the horizon.
 

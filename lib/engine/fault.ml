@@ -6,11 +6,13 @@ type kind =
   | Pmd_crash
   | Server_failure
   | Fabric_link_down
+  | Vf_stall
+  | Vf_reassign_timeout
 
 let all_kinds =
   [
     Link_down; Dma_stall; Mailbox_drop; Firmware_wedge; Pmd_crash; Server_failure;
-    Fabric_link_down;
+    Fabric_link_down; Vf_stall; Vf_reassign_timeout;
   ]
 
 let kind_index = function
@@ -21,8 +23,10 @@ let kind_index = function
   | Pmd_crash -> 4
   | Server_failure -> 5
   | Fabric_link_down -> 6
+  | Vf_stall -> 7
+  | Vf_reassign_timeout -> 8
 
-let nkinds = 7
+let nkinds = 9
 
 let kind_name = function
   | Link_down -> "link_down"
@@ -32,6 +36,8 @@ let kind_name = function
   | Pmd_crash -> "pmd_crash"
   | Server_failure -> "server_failure"
   | Fabric_link_down -> "fabric_link_down"
+  | Vf_stall -> "vf_stall"
+  | Vf_reassign_timeout -> "vf_reassign_timeout"
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
 
@@ -46,6 +52,8 @@ let default_duration_ns = function
   | Pmd_crash -> 200_000.0
   | Server_failure -> infinity
   | Fabric_link_down -> 150_000.0
+  | Vf_stall -> 30_000.0
+  | Vf_reassign_timeout -> 80_000.0
 
 type event = { kind : kind; at : float; duration_ns : float }
 

@@ -30,6 +30,13 @@ type kind =
           dropped until repair. The single-host datapath ignores this
           kind — fleet-level consumers ({!Bmhive.Scenario}) subscribe
           and map each window onto a {!Bm_fabric.Fabric} link. *)
+  | Vf_stall
+      (** a virtual function's queue pair stops draining (the SR-IOV
+          analogue of [Dma_stall]); submissions wait out the window *)
+  | Vf_reassign_timeout
+      (** the device's VF reassignment doorbell wedges: an in-flight
+          reassignment's drain step stalls for the window, stretching
+          the blackout. Recovery is Guard-wrapped in {!Bm_iobond.Vf}. *)
 
 val all_kinds : kind list
 val kind_name : kind -> string

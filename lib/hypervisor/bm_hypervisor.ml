@@ -19,6 +19,8 @@ type guest_state = {
   offload : Offload.t option;
   rekick : unit -> unit; (* re-arm backend work hints after a respawn *)
   mutable backend_version : int;
+  datapath : Vf.datapath; (* the net path this guest actually got *)
+  vf : Vf.vf option;
 }
 
 type server = {
@@ -36,13 +38,20 @@ type server = {
   pmd_alive : bool ref;
   mutable pmd_crashes : int;
   mutable guests : (string * guest_state) list;
+  vf_total : int;
+  vf_queues : int;
+  mutable vf_pool : Vf.dev option; (* created on first VF attachment *)
+  mutable vf_fallbacks : int;
 }
 
 let create_server ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~storage
     ?(profile = Profile.Fpga) ?(board_spec = Cpu_spec.xeon_e5_2682_v4) ?(board_mem_gb = 64)
-    ?(boards = 8) ?dma_gbit_s ?(params = default_params) ?(batch = 1) () =
+    ?(boards = 8) ?dma_gbit_s ?(params = default_params) ?(batch = 1) ?(vfs = 8)
+    ?(vf_queues = 2) () =
   if boards < 1 || boards > 16 then invalid_arg "Bm_hypervisor: 1..16 boards per server (§3.3)";
   if batch < 1 then invalid_arg "Bm_hypervisor: batch must be >= 1";
+  if vfs < 1 then invalid_arg "Bm_hypervisor: vfs must be >= 1";
+  if vf_queues < 1 then invalid_arg "Bm_hypervisor: vf_queues must be >= 1";
   let base_cores = Cores.create sim ~spec:Cpu_spec.base_server_e5 () in
   let t =
     {
@@ -63,6 +72,10 @@ let create_server ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~stora
       pmd_alive = ref true;
       pmd_crashes = 0;
       guests = [];
+      vf_total = vfs;
+      vf_queues;
+      vf_pool = None;
+      vf_fallbacks = 0;
     }
   in
   (* The per-guest backend processes are ordinary user-space processes:
@@ -92,6 +105,25 @@ let profile t = t.profile
 let free_boards t =
   Array.fold_left (fun acc b -> if Board.power b = Board.Off then acc + 1 else acc) 0 t.board_pool
 
+(* The server's SR-IOV pool is created on first use, so a fleet that
+   never asks for a VF datapath schedules exactly the events it always
+   did — seed behaviour is bit-identical. *)
+let vf_pool_dev t =
+  match t.vf_pool with
+  | Some d -> d
+  | None ->
+    let d =
+      Vf.create_device ~obs:t.obs ~fault:t.fault t.sim ~profile:t.profile ~vfs:t.vf_total
+        ~queues_per_vf:t.vf_queues ()
+    in
+    t.vf_pool <- Some d;
+    d
+
+let vf_capacity t = t.vf_total
+let vf_free t = match t.vf_pool with None -> t.vf_total | Some d -> Vf.free_vfs d
+let vf_fallbacks t = t.vf_fallbacks
+let vf_pool_device t = t.vf_pool
+
 (* Net rings sized like a multiqueue device (8 queues x 256). *)
 let net_queue_size = 2048
 let rx_buffer_target = 1536
@@ -118,7 +150,7 @@ let wait_pmd_alive t =
   done
 
 let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.cloud_blk ())
-    ?(offload = false) () =
+    ?(offload = false) ?(datapath = Vf.Vring) () =
   if List.mem_assoc name t.guests then Error (name ^ " already provisioned")
   else
     match Array.find_opt (fun b -> Board.power b = Board.Off) t.board_pool with
@@ -141,6 +173,29 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
       let rx_drops = ref 0 in
       let poll_mode = ref false in
       let offload_table = if offload then Some (Offload.create ()) else None in
+
+      (* SR-IOV attachment: passthrough gets a whole device to itself,
+         a slice comes from the server's shared pool; an exhausted pool
+         falls back to the shadow-vring path (the scheduler's failover)
+         and the fallback is counted, not silent. *)
+      let vf_attached =
+        match datapath with
+        | Vf.Vring -> None
+        | Vf.Passthrough ->
+          let dev =
+            Vf.create_device ~obs:t.obs ~fault:t.fault sim ~profile:t.profile ~vfs:1
+              ~queues_per_vf:t.vf_queues ()
+          in
+          (match Vf.attach dev ~owner:name () with Ok vf -> Some vf | Error _ -> None)
+        | Vf.Sliced -> (
+          match Vf.attach (vf_pool_dev t) ~owner:name () with
+          | Ok vf -> Some vf
+          | Error _ ->
+            t.vf_fallbacks <- t.vf_fallbacks + 1;
+            Metrics.incr_opt (Obs.metrics t.obs) "hyp.bm.vf_fallbacks";
+            None)
+      in
+      let effective_datapath = if Option.is_none vf_attached then Vf.Vring else datapath in
 
       (* Guest-side interrupt handlers: genuine MSIs, no exits. *)
       Virtio_net.set_interrupt net (fun () ->
@@ -241,7 +296,37 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
       in
       Obs.watch_bounded t.obs ~track:"hyp.bm.rx_backlog" rx_chan;
       let endpoint =
-        Vswitch.register t.vswitch ~deliver:(fun pkt -> ignore (Sim.Bounded.send rx_chan pkt))
+        match vf_attached with
+        | None ->
+          Vswitch.register t.vswitch ~deliver:(fun pkt -> ignore (Sim.Bounded.send rx_chan pkt))
+        | Some vf ->
+          (* Direct assignment: the device DMAs into guest buffers and
+             interrupts the guest itself — the PMD never sees the
+             packet. A ring-full or mid-reassignment window is a NIC
+             drop, same as the vring path's backlog overflow. *)
+          let rxq = ref 0 in
+          Vswitch.register t.vswitch ~deliver:(fun pkt ->
+              let q = !rxq in
+              rxq := (q + 1) mod Vf.queues vf;
+              let deliver _c =
+                Sim.spawn sim (fun () ->
+                    if !poll_mode then Sim.delay 500.0 (* PMD poll pickup *)
+                    else Sim.delay os.Guest_os.irq_entry_ns;
+                    let count = pkt.Packet.count in
+                    let stack_ns =
+                      if !poll_mode then Guest_os.dpdk_rx_ns_of os ~count
+                      else Guest_os.net_rx_ns os ~kind:pkt.Packet.protocol ~count
+                    in
+                    Cores.execute_ns cores stack_ns;
+                    !rx_handler pkt)
+              in
+              match Vf.submit vf ~queue:q ~bytes_:pkt.Packet.size ~deliver with
+              | `Submitted _ -> ()
+              | `Rejected ->
+                rx_drops := !rx_drops + pkt.Packet.count;
+                Metrics.incr_opt (Obs.metrics t.obs)
+                  ~by:(float_of_int pkt.Packet.count)
+                  "hyp.bm.rx_drops")
       in
       let process_rx pkt =
         Cores.execute_ns t.base_cores (p.pmd_pkt_ns *. float_of_int pkt.Packet.count);
@@ -358,6 +443,43 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
           Virtio_net.xmit net pkt
         else net_shed pkt
       in
+      (* On a VF datapath the doorbell rings the device directly: the
+         descriptor streams at the VF's arbitrated DMA share and the
+         device forwards it into the fabric in hardware — the poll loop
+         and the base cores are skipped entirely. *)
+      let send, send_dpdk =
+        match vf_attached with
+        | None -> (send, send_dpdk)
+        | Some vf ->
+          let txq = ref 0 in
+          let vf_xmit pkt =
+            let q = !txq in
+            txq := (q + 1) mod Vf.queues vf;
+            match
+              Vf.submit vf ~queue:q ~bytes_:pkt.Packet.size ~deliver:(fun _ ->
+                  Vswitch.forward_hw t.vswitch pkt)
+            with
+            | `Submitted _ -> true
+            | `Rejected ->
+              Metrics.incr_opt (Obs.metrics t.obs)
+                ~by:(float_of_int pkt.Packet.count)
+                "hyp.bm.vf_tx_rejects";
+              false
+          in
+          ( (fun pkt ->
+              Cores.execute_ns cores
+                (Guest_os.net_tx_ns os ~kind:pkt.Packet.protocol ~count:pkt.Packet.count
+                +. doorbell_cpu_ns);
+              if Limits.net_admit net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size
+              then vf_xmit pkt
+              else net_shed pkt),
+            fun pkt ->
+              Cores.execute_ns cores
+                (Guest_os.dpdk_tx_ns_of os ~count:pkt.Packet.count +. doorbell_cpu_ns);
+              if Limits.net_admit net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size
+              then vf_xmit pkt
+              else net_shed pkt )
+      in
       let blk_attempt ~op ~bytes_ =
         Cores.execute_ns cores os.Guest_os.blk_submit_ns;
         if not (Limits.blk_admit blk_limits ~bytes_) then begin
@@ -465,6 +587,8 @@ let provision t ~name ?(net_limits = Limits.cloud_net ()) ?(blk_limits = Limits.
             offload = offload_table;
             rekick;
             backend_version = 1;
+            datapath = effective_datapath;
+            vf = vf_attached;
           } )
         :: t.guests;
       (* Post the initial rx buffers and mirror them into the shadow ring. *)
@@ -477,8 +601,18 @@ let release t ~name =
   match List.assoc_opt name t.guests with
   | None -> ()
   | Some state ->
+    (* Hot-unplug drains the VF's in-flight work on the agenda before
+       returning it to the pool; the board frees immediately. *)
+    (match state.vf with
+    | Some vf -> Sim.spawn t.sim (fun () -> Vf.detach vf)
+    | None -> ());
     Board.power_off state.board;
     t.guests <- List.remove_assoc name t.guests
+
+let guest_datapath t ~name =
+  Option.map (fun s -> s.datapath) (List.assoc_opt name t.guests)
+
+let guest_vf t ~name = Option.bind (List.assoc_opt name t.guests) (fun s -> s.vf)
 
 let guest_board t ~name = Option.map (fun s -> s.board) (List.assoc_opt name t.guests)
 

@@ -34,6 +34,8 @@ val create_server :
   ?dma_gbit_s:float ->
   ?params:params ->
   ?batch:int ->
+  ?vfs:int ->
+  ?vf_queues:int ->
   unit ->
   server
 (** Default server: FPGA IO-Bond, 8 Xeon E5-2682 v4 boards with 64 GB
@@ -56,7 +58,13 @@ val create_server :
     a 1 µs poll tick between bursts so descriptors accumulate into them,
     trading up to one tick of added latency per request for coalesced
     host-side events (see [bench/engine_bench.ml]). Raises
-    [Invalid_argument] if [batch < 1]. *)
+    [Invalid_argument] if [batch < 1].
+
+    [vfs] (default 8) and [vf_queues] (default 2) size the server's
+    SR-IOV pool: one shared physical function whose virtual functions
+    guests provisioned with [~datapath:Sliced] attach to. The pool
+    device is created on first use, so a server that never hands out a
+    VF schedules exactly the events it always did. *)
 
 val vswitch : server -> Bm_cloud.Vswitch.t
 val base_cores : server -> Bm_hw.Cores.t
@@ -70,18 +78,53 @@ val provision :
   ?net_limits:Bm_cloud.Limits.net ->
   ?blk_limits:Bm_cloud.Limits.blk ->
   ?offload:bool ->
+  ?datapath:Bm_iobond.Vf.datapath ->
   unit ->
   (Bm_guest.Instance.t, string) result
 (** Power on a free compute board, attach its IO-Bond virtio devices,
     start the per-guest backend process, and return the instance handle.
     Limits default to the cloud-standard ones (§4.1). With [offload]
     (default false), IO-Bond classifies tx flows and forwards known ones
-    entirely in hardware (§6). *)
+    entirely in hardware (§6).
+
+    [datapath] (default [Vring]) selects the guest's net path:
+    [Passthrough] assigns a whole SR-IOV device exclusively,
+    [Sliced] attaches one virtual function of the server's shared pool
+    (weighted DMA arbitration, bounded per-VF rings). Both deliver
+    completions directly into the guest at device latency, skipping
+    the bm-hypervisor poll loop; block I/O stays on the shadow-vring
+    path either way. When the pool is exhausted, [Sliced] falls back
+    to [Vring] (see {!vf_fallbacks}); {!guest_datapath} reports the
+    path actually granted. *)
 
 val release : server -> name:string -> unit
-(** Power the board off and return it to the free pool. *)
+(** Power the board off and return it to the free pool. A VF-backed
+    guest's function is hot-unplugged (drained on the agenda, then
+    freed for the next attachment). *)
 
 val guest_board : server -> name:string -> Bm_guest.Board.t option
+
+(** {2 SR-IOV pool} *)
+
+val vf_capacity : server -> int
+(** Virtual functions the server's shared pool can hand out. *)
+
+val vf_free : server -> int
+(** Currently unattached pool VFs (the full capacity before first use). *)
+
+val vf_fallbacks : server -> int
+(** [Sliced] provisions that found the pool exhausted and fell back to
+    the shadow-vring path. *)
+
+val vf_pool_device : server -> Bm_iobond.Vf.dev option
+(** The shared pool device, once something attached to it — for the
+    per-VF report table and the reassignment experiments. *)
+
+val guest_datapath : server -> name:string -> Bm_iobond.Vf.datapath option
+(** The net datapath the guest actually got (after any fallback). *)
+
+val guest_vf : server -> name:string -> Bm_iobond.Vf.vf option
+(** The guest's virtual function, for SVFF-style hot-reassignment. *)
 
 val offload_table : server -> name:string -> Bm_iobond.Offload.t option
 (** The guest's flow-offload engine when provisioned with [~offload]. *)

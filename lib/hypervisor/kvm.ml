@@ -3,6 +3,7 @@ open Bm_hw
 open Bm_virtio
 open Bm_cloud
 open Bm_guest
+module Vf = Bm_iobond.Vf
 
 type params = {
   cpu_overhead : float;
@@ -49,6 +50,8 @@ type vm = {
   exits : Vmexit.counters;
   preempt : Preempt.t;
   rekick : unit -> unit; (* re-arm backend work hints after a respawn *)
+  vm_datapath : Vf.datapath;
+  vm_vf : Vf.vf option;
 }
 
 type host = {
@@ -65,6 +68,11 @@ type host = {
   vhost_alive : bool ref;
   mutable provisioned_threads : int;
   mutable vms : (string * vm) list;
+  fault : Fault.t;
+  vf_total : int;
+  vf_queues : int;
+  mutable vf_pool : Vf.dev option; (* created on first VFIO attachment *)
+  mutable vf_fallbacks : int;
 }
 
 let reserved_threads = 8
@@ -75,8 +83,10 @@ let rx_backlog_capacity = 512
 
 let create_host ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~storage
     ?(spec = Cpu_spec.xeon_e5_2682_v4) ?(sockets = 2) ?(params = default_params) ?(batch = 1)
-    () =
+    ?(vfs = 8) ?(vf_queues = 2) () =
   if batch < 1 then invalid_arg "Kvm.create_host: batch must be >= 1";
+  if vfs < 1 then invalid_arg "Kvm.create_host: vfs must be >= 1";
+  if vf_queues < 1 then invalid_arg "Kvm.create_host: vf_queues must be >= 1";
   let total = sockets * spec.Cpu_spec.threads in
   let service_cores = Cores.create sim ~spec ~threads:reserved_threads () in
   let host =
@@ -94,6 +104,11 @@ let create_host ?(obs = Obs.none) ?(fault = Fault.none) sim rng ~fabric ~storage
       vhost_alive = ref true;
       provisioned_threads = 0;
       vms = [];
+      fault;
+      vf_total = vfs;
+      vf_queues;
+      vf_pool = None;
+      vf_fallbacks = 0;
     }
   in
   (* The vhost worker threads die and respawn just like the bm path's
@@ -126,6 +141,25 @@ let vswitch host = host.vswitch
 let sellable_threads host = host.total_threads
 let service_cores host = host.service_cores
 
+(* The host's VFIO-capable SR-IOV NIC: a commodity ASIC part, created
+   on first use so vring-only hosts schedule exactly the events they
+   always did. *)
+let vf_pool_dev host =
+  match host.vf_pool with
+  | Some d -> d
+  | None ->
+    let d =
+      Vf.create_device ~obs:host.obs ~fault:host.fault host.sim
+        ~profile:Bm_iobond.Profile.Asic ~vfs:host.vf_total ~queues_per_vf:host.vf_queues ()
+    in
+    host.vf_pool <- Some d;
+    d
+
+let vf_capacity host = host.vf_total
+let vf_free host = match host.vf_pool with None -> host.vf_total | Some d -> Vf.free_vfs d
+let vf_fallbacks host = host.vf_fallbacks
+let vf_pool_device host = host.vf_pool
+
 type vm_config = {
   name : string;
   vcpus : int;
@@ -136,6 +170,7 @@ type vm_config = {
   blk_limits : Limits.blk;
   nested : bool;
   halt_polling : bool;
+  datapath : Vf.datapath;
 }
 
 let default_config ~name =
@@ -149,6 +184,7 @@ let default_config ~name =
     blk_limits = Limits.cloud_blk ();
     nested = false;
     halt_polling = true;
+    datapath = Vf.Vring;
   }
 
 let create_vm host config =
@@ -284,6 +320,28 @@ let create_vm host config =
       in
       loop ());
 
+  (* VFIO direct assignment: passthrough pins a whole SR-IOV device to
+     this VM, a slice attaches one VF of the host NIC; an exhausted
+     pool falls back to the vhost path. Guest MMIO to the assigned
+     device does not exit — that is the point of the comparison. *)
+  let vf_attached =
+    match config.datapath with
+    | Vf.Vring -> None
+    | Vf.Passthrough ->
+      let dev =
+        Vf.create_device ~obs:host.obs ~fault:host.fault sim
+          ~profile:Bm_iobond.Profile.Asic ~vfs:1 ~queues_per_vf:host.vf_queues ()
+      in
+      (match Vf.attach dev ~owner:config.name () with Ok vf -> Some vf | Error _ -> None)
+    | Vf.Sliced -> (
+      match Vf.attach (vf_pool_dev host) ~owner:config.name () with
+      | Ok vf -> Some vf
+      | Error _ ->
+        host.vf_fallbacks <- host.vf_fallbacks + 1;
+        Metrics.incr_opt (Obs.metrics host.obs) "hyp.vm.vf_fallbacks";
+        None)
+  in
+
   (* Receive path: vswitch delivery -> bounded backlog -> rx ring ->
      injected interrupt. A backlog overflow is a NIC-queue drop. *)
   let rx_chan =
@@ -291,7 +349,38 @@ let create_vm host config =
   in
   Obs.watch_bounded host.obs ~track:"hyp.vm.rx_backlog" rx_chan;
   let endpoint =
-    Vswitch.register host.vswitch ~deliver:(fun pkt -> ignore (Sim.Bounded.send rx_chan pkt))
+    match vf_attached with
+    | None ->
+      Vswitch.register host.vswitch ~deliver:(fun pkt -> ignore (Sim.Bounded.send rx_chan pkt))
+    | Some vf ->
+      (* The assigned device DMAs into guest memory and its MSI is
+         injected directly; the vhost workers never see the packet. *)
+      let rxq = ref 0 in
+      Vswitch.register host.vswitch ~deliver:(fun pkt ->
+          let q = !rxq in
+          rxq := (q + 1) mod Vf.queues vf;
+          let deliver _c =
+            Sim.spawn sim (fun () ->
+                if !poll_mode then Sim.delay 500.0
+                else begin
+                  Vmexit.record exits Vmexit.Interrupt_window;
+                  Sim.delay
+                    (wake_ns () +. ((p.injection_ns +. os.Guest_os.irq_entry_ns) *. io_factor))
+                end;
+                let count = pkt.Packet.count in
+                let stack_ns =
+                  if !poll_mode then Guest_os.dpdk_rx_ns_of os ~count
+                  else Guest_os.net_rx_ns os ~kind:pkt.Packet.protocol ~count
+                in
+                Cores.execute_ns guest_cores (stack_ns *. io_factor);
+                !rx_handler pkt)
+          in
+          match Vf.submit vf ~queue:q ~bytes_:pkt.Packet.size ~deliver with
+          | `Submitted _ -> ()
+          | `Rejected ->
+            Metrics.incr_opt (Obs.metrics host.obs)
+              ~by:(float_of_int pkt.Packet.count)
+              "hyp.vm.rx_drops")
   in
   Sim.spawn sim (fun () ->
       let process_rx pkt =
@@ -427,6 +516,42 @@ let create_vm host config =
     then Virtio_net.xmit net pkt
     else net_shed pkt
   in
+  (* With an assigned device the tx doorbell is a plain MMIO store to
+     real hardware — no exit, no vhost worker: the device streams the
+     descriptor at its arbitrated share and forwards it in hardware. *)
+  let send, send_dpdk =
+    match vf_attached with
+    | None -> (send, send_dpdk)
+    | Some vf ->
+      let txq = ref 0 in
+      let vf_xmit pkt =
+        let q = !txq in
+        txq := (q + 1) mod Vf.queues vf;
+        match
+          Vf.submit vf ~queue:q ~bytes_:pkt.Packet.size ~deliver:(fun _ ->
+              Vswitch.forward_hw host.vswitch pkt)
+        with
+        | `Submitted _ -> true
+        | `Rejected ->
+          Metrics.incr_opt (Obs.metrics host.obs)
+            ~by:(float_of_int pkt.Packet.count)
+            "hyp.vm.vf_tx_rejects";
+          false
+      in
+      ( (fun pkt ->
+          Cores.execute_ns guest_cores
+            (Guest_os.net_tx_ns os ~kind:pkt.Packet.protocol ~count:pkt.Packet.count
+            *. io_factor);
+          if Limits.net_admit config.net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size
+          then vf_xmit pkt
+          else net_shed pkt),
+        fun pkt ->
+          Cores.execute_ns guest_cores
+            (Guest_os.dpdk_tx_ns_of os ~count:pkt.Packet.count *. io_factor);
+          if Limits.net_admit config.net_limits ~packets:pkt.Packet.count ~bytes_:pkt.Packet.size
+          then vf_xmit pkt
+          else net_shed pkt )
+  in
   let blk_attempt ~op ~bytes_ =
     Cores.execute_ns guest_cores (os.Guest_os.blk_submit_ns *. io_factor);
     if not (Limits.blk_admit config.blk_limits ~bytes_) then begin
@@ -516,10 +641,25 @@ let create_vm host config =
     if Vring.avail_pending (Virtio_blk.ring blkdev) > 0 then
       ignore (Sim.Bounded.send blk_hint ())
   in
-  host.vms <- (config.name, { instance; exits; preempt; rekick }) :: host.vms;
+  host.vms <-
+    ( config.name,
+      {
+        instance;
+        exits;
+        preempt;
+        rekick;
+        vm_datapath = (if Option.is_none vf_attached then Vf.Vring else config.datapath);
+        vm_vf = vf_attached;
+      } )
+    :: host.vms;
   instance
 
 let exit_counters host ~name =
   Option.map (fun vm -> vm.exits) (List.assoc_opt name host.vms)
 
 let preempt_of host ~name = Option.map (fun vm -> vm.preempt) (List.assoc_opt name host.vms)
+
+let vm_datapath host ~name =
+  Option.map (fun vm -> vm.vm_datapath) (List.assoc_opt name host.vms)
+
+let vm_vf host ~name = Option.bind (List.assoc_opt name host.vms) (fun vm -> vm.vm_vf)

@@ -38,6 +38,8 @@ val create_host :
   ?sockets:int ->
   ?params:params ->
   ?batch:int ->
+  ?vfs:int ->
+  ?vf_queues:int ->
   unit ->
   host
 (** Default host: two sockets of Xeon E5-2682 v4 (the §4.2 comparison
@@ -52,11 +54,25 @@ val create_host :
     burst. At the default the drain stays hint-driven and the event
     schedule is bit-identical to the unbatched engine; at [batch > 1]
     the worker sleeps a 1 µs poll tick between bursts so descriptors
-    accumulate into them. Raises [Invalid_argument] if [batch < 1]. *)
+    accumulate into them. Raises [Invalid_argument] if [batch < 1].
+
+    [vfs] (default 8) and [vf_queues] (default 2) size the host's
+    VFIO-capable SR-IOV NIC (an ASIC part), created on first use by a
+    VM whose [vm_config.datapath] asks for direct assignment. *)
 
 val vswitch : host -> Bm_cloud.Vswitch.t
 val sellable_threads : host -> int
 val service_cores : host -> Bm_hw.Cores.t
+
+(** {2 SR-IOV pool} *)
+
+val vf_capacity : host -> int
+val vf_free : host -> int
+
+val vf_fallbacks : host -> int
+(** [Sliced] VMs that found the pool exhausted and fell back to vhost. *)
+
+val vf_pool_device : host -> Bm_iobond.Vf.dev option
 
 type vm_config = {
   name : string;
@@ -71,6 +87,12 @@ type vm_config = {
       (** KVM's halt-polling (on by default, as deployed): polls for wake
           conditions before descheduling an idle vCPU, avoiding a host
           scheduling round trip on every interrupt delivery (§5) *)
+  datapath : Bm_iobond.Vf.datapath;
+      (** net path: [Vring] (default) is virtio/vhost; [Passthrough]
+          pins a whole SR-IOV device (VFIO), [Sliced] one VF of the
+          host NIC — both skip the vhost workers, tx doorbells stop
+          exiting, and completions inject directly. Falls back to
+          [Vring] when the pool is exhausted (see {!vf_fallbacks}). *)
 }
 
 val default_config : name:string -> vm_config
@@ -84,3 +106,9 @@ val exit_counters : host -> name:string -> Vmexit.counters option
 (** Per-VM exit telemetry. *)
 
 val preempt_of : host -> name:string -> Preempt.t option
+
+val vm_datapath : host -> name:string -> Bm_iobond.Vf.datapath option
+(** The net datapath the VM actually got (after any fallback). *)
+
+val vm_vf : host -> name:string -> Bm_iobond.Vf.vf option
+(** The VM's assigned virtual function, for hot-reassignment. *)

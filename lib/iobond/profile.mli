@@ -24,3 +24,22 @@ val dma_setup_ns : t -> float
 
 val name : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** {2 Bounded per-VF/per-queue metric labels}
+
+    {!Vf} devices emit per-function and per-queue counters; these
+    helpers keep the metric cardinality bounded regardless of how many
+    functions a device exposes — indexes past the caps share one
+    overflow bucket. *)
+
+val max_labeled_vfs : int
+(** Distinct VF labels before collapsing (8). *)
+
+val max_labeled_queues : int
+(** Distinct queue labels before collapsing (4). *)
+
+val vf_label : int -> string
+(** ["vf0"].."vf7"], else ["vf_other"]. *)
+
+val queue_label : int -> string
+(** ["q0"].."q3"], else ["q_other"]. *)

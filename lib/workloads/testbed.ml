@@ -44,13 +44,13 @@ let make ?(seed = 2020) ?(storage_kind = Blockstore.Cloud_ssd) ?storage_queue ?t
   in
   { sim; rng; fabric; net; storage; obs; fault }
 
-let bm_server ?profile ?boards t =
+let bm_server ?profile ?boards ?vfs ?vf_queues t =
   Bm_hypervisor.create_server ~obs:t.obs ~fault:t.fault t.sim (Rng.split t.rng) ~fabric:t.fabric
-    ~storage:t.storage ?profile ?boards ()
+    ~storage:t.storage ?profile ?boards ?vfs ?vf_queues ()
 
-let bm_guest ?profile ?net_limits ?blk_limits ?(name = "bm0") t =
-  let server = bm_server ?profile t in
-  match Bm_hypervisor.provision server ~name ?net_limits ?blk_limits () with
+let bm_guest ?profile ?net_limits ?blk_limits ?vfs ?vf_queues ?datapath ?(name = "bm0") t =
+  let server = bm_server ?profile ?vfs ?vf_queues t in
+  match Bm_hypervisor.provision server ~name ?net_limits ?blk_limits ?datapath () with
   | Ok inst -> (server, inst)
   | Error e -> failwith e
 
@@ -65,13 +65,13 @@ let bm_pair ?profile ?net_limits t =
   in
   (server, provision "bm0", provision "bm1")
 
-let vm_host t =
+let vm_host ?vfs ?vf_queues t =
   Kvm.create_host ~obs:t.obs ~fault:t.fault t.sim (Rng.split t.rng) ~fabric:t.fabric
-    ~storage:t.storage ()
+    ~storage:t.storage ?vfs ?vf_queues ()
 
 let vm_guest ?net_limits ?blk_limits ?(vcpus = 32) ?(host_load = 0.5)
-    ?(pinning = Preempt.Exclusive) ?(name = "vm0") t =
-  let host = vm_host t in
+    ?(pinning = Preempt.Exclusive) ?vfs ?vf_queues ?datapath ?(name = "vm0") t =
+  let host = vm_host ?vfs ?vf_queues t in
   let config = Kvm.default_config ~name in
   let config =
     {
@@ -81,6 +81,7 @@ let vm_guest ?net_limits ?blk_limits ?(vcpus = 32) ?(host_load = 0.5)
       pinning;
       net_limits = Option.value net_limits ~default:config.Kvm.net_limits;
       blk_limits = Option.value blk_limits ~default:config.Kvm.blk_limits;
+      datapath = Option.value datapath ~default:config.Kvm.datapath;
     }
   in
   (host, Kvm.create_vm host config)

@@ -41,15 +41,26 @@ val make :
     consumes a port too. *)
 
 val bm_server :
-  ?profile:Bm_iobond.Profile.t -> ?boards:int -> t -> Bm_hyp.Bm_hypervisor.server
+  ?profile:Bm_iobond.Profile.t ->
+  ?boards:int ->
+  ?vfs:int ->
+  ?vf_queues:int ->
+  t ->
+  Bm_hyp.Bm_hypervisor.server
 
 val bm_guest :
   ?profile:Bm_iobond.Profile.t ->
   ?net_limits:Bm_cloud.Limits.net ->
   ?blk_limits:Bm_cloud.Limits.blk ->
+  ?vfs:int ->
+  ?vf_queues:int ->
+  ?datapath:Bm_iobond.Vf.datapath ->
   ?name:string ->
   t ->
   Bm_hyp.Bm_hypervisor.server * Bm_guest.Instance.t
+(** [datapath] (default [Vring]) selects the guest's net path; [vfs] /
+    [vf_queues] size the server's SR-IOV pool (see
+    {!Bm_hyp.Bm_hypervisor.create_server}). *)
 
 val bm_pair :
   ?profile:Bm_iobond.Profile.t ->
@@ -58,7 +69,7 @@ val bm_pair :
   Bm_hyp.Bm_hypervisor.server * Bm_guest.Instance.t * Bm_guest.Instance.t
 (** Two bm-guests co-resident on one base server (Fig. 9 topology). *)
 
-val vm_host : t -> Bm_hyp.Kvm.host
+val vm_host : ?vfs:int -> ?vf_queues:int -> t -> Bm_hyp.Kvm.host
 
 val vm_guest :
   ?net_limits:Bm_cloud.Limits.net ->
@@ -66,9 +77,14 @@ val vm_guest :
   ?vcpus:int ->
   ?host_load:float ->
   ?pinning:Bm_hyp.Preempt.mode ->
+  ?vfs:int ->
+  ?vf_queues:int ->
+  ?datapath:Bm_iobond.Vf.datapath ->
   ?name:string ->
   t ->
   Bm_hyp.Kvm.host * Bm_guest.Instance.t
+(** [datapath] (default [Vring]) selects the VM's net path; [vfs] /
+    [vf_queues] size the host's VFIO-capable NIC. *)
 
 val vm_pair :
   ?net_limits:Bm_cloud.Limits.net ->

@@ -1,0 +1,397 @@
+(* Tests for SR-IOV virtual functions: lifecycle FSM unit tests, the
+   fault-window behaviours, and the QCheck invariant suite the issue
+   demands — same-seed determinism of all three vf experiments,
+   no-loss/no-dup across hot-reassignment under load, VF-count
+   conservation under random attach/detach/reassign histories, and the
+   scheduler's VF credit accounting across place / release / drain /
+   rebalance sequences. *)
+
+open Bm_engine
+module Vf = Bm_iobond.Vf
+module Profile = Bm_iobond.Profile
+module Cp = Bm_cloud.Control_plane
+module Scheduler = Bm_cloud.Scheduler
+module Tenant = Bm_cloud.Tenant
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let device ?fault ?(vfs = 4) ?(queues = 2) sim =
+  Vf.create_device ?fault sim ~profile:Profile.Fpga ~vfs ~queues_per_vf:queues ()
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle FSM *)
+
+let test_attach_lowest_free () =
+  let sim = Sim.create () in
+  let dev = device sim ~vfs:3 in
+  check_int "all free" 3 (Vf.free_vfs dev);
+  let a = ok (Vf.attach dev ~owner:"a" ()) in
+  let b = ok (Vf.attach dev ~owner:"b" ()) in
+  check_int "lowest index first" 0 (Vf.id a);
+  check_int "then the next" 1 (Vf.id b);
+  check_string "owner recorded" "a" (Option.get (Vf.owner a));
+  check_bool "attached state" true (Vf.state a = Vf.Attached);
+  (* Free the middle one from inside the simulation, then re-attach:
+     the freed slot is the lowest free index again. *)
+  Sim.spawn sim (fun () -> Vf.detach b);
+  Sim.run ~until:1_000_000.0 sim;
+  check_bool "detached back to free" true (Vf.state b = Vf.Free);
+  let c = ok (Vf.attach dev ~owner:"c" ()) in
+  check_int "freed slot reused" 1 (Vf.id c);
+  ignore (ok (Vf.attach dev ~owner:"d" ()));
+  check_bool "exhausted pool refuses" true (Result.is_error (Vf.attach dev ~owner:"e" ()));
+  check_bool "conservation" true (Vf.check_conservation dev = Ok ())
+
+let test_attach_weight_validation () =
+  let sim = Sim.create () in
+  let dev = device sim in
+  check_bool "zero weight raises" true
+    (match Vf.attach dev ~owner:"z" ~weight:0.0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_detach_idempotent () =
+  let sim = Sim.create () in
+  let dev = device sim ~vfs:2 in
+  let a = ok (Vf.attach dev ~owner:"a" ()) in
+  Sim.spawn sim (fun () ->
+      Vf.detach a;
+      Vf.detach a (* second detach on a Free VF is a no-op *));
+  Sim.run ~until:1_000_000.0 sim;
+  check_bool "free after double detach" true (Vf.state a = Vf.Free);
+  check_int "both free" 2 (Vf.free_vfs dev);
+  check_bool "conservation" true (Vf.check_conservation dev = Ok ())
+
+let test_submit_rejected_off_fsm () =
+  let sim = Sim.create () in
+  let dev = device sim ~vfs:1 in
+  let a = ok (Vf.attach dev ~owner:"a" ()) in
+  Sim.spawn sim (fun () -> Vf.detach a);
+  Sim.run ~until:1_000_000.0 sim;
+  check_bool "submit on a free VF is rejected" true
+    (Vf.submit a ~queue:0 ~bytes_:100 ~deliver:(fun _ -> ()) = `Rejected);
+  check_int "rejection counted" 1 (Vf.rejected a)
+
+let test_reassign_requires_attached () =
+  let sim = Sim.create () in
+  let dev = device sim ~vfs:1 in
+  let a = ok (Vf.attach dev ~owner:"a" ()) in
+  let freed_err = ref None in
+  let live = ref None in
+  Sim.spawn sim (fun () ->
+      (match Vf.reassign a ~owner:"b" with
+      | Ok blackout -> live := Some blackout
+      | Error e -> Alcotest.fail e);
+      Vf.detach a;
+      match Vf.reassign a ~owner:"c" with
+      | Ok _ -> ()
+      | Error e -> freed_err := Some e);
+  Sim.run ~until:10_000_000.0 sim;
+  check_bool "idle reassignment measured finite blackout" true
+    (match !live with Some b -> Float.is_finite b && b >= 0.0 | None -> false);
+  check_bool "reassign on a free VF fails" true (!freed_err <> None);
+  check_int "one reassignment recorded" 1 (Vf.reassignments dev);
+  check_string "new owner until detach freed it" "" (Option.value ~default:"" (Vf.owner a))
+
+let test_completion_roundtrip () =
+  let sim = Sim.create () in
+  let dev = device sim ~vfs:2 in
+  let a = ok (Vf.attach dev ~owner:"a" ()) in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 8 do
+        (match Vf.submit a ~queue:0 ~bytes_:1500 ~deliver:(fun c -> got := c :: !got) with
+        | `Submitted _ -> ()
+        | `Rejected -> Alcotest.fail "submit rejected on attached VF");
+        Sim.delay 500.0
+      done);
+  Sim.run ~until:10_000_000.0 sim;
+  let got = List.rev !got in
+  check_int "all delivered" 8 (List.length got);
+  List.iteri
+    (fun i c ->
+      check_int "sequence numbers are dense and monotonic" i c.Vf.c_seq;
+      check_string "owner at submit time" "a" c.Vf.c_owner;
+      check_bool "device latency is positive" true (c.Vf.c_completed_ns > c.Vf.c_submitted_ns))
+    got;
+  check_int "nothing in flight" 0 (Vf.in_flight a);
+  check_bool "conservation" true (Vf.check_conservation dev = Ok ())
+
+(* A Vf_stall window parks the queue engine, not the submitter: work
+   submitted inside the window completes only after it clears. *)
+let test_stall_window_delays_completion () =
+  let sim = Sim.create () in
+  let plan =
+    Fault.
+      { seed = 1; horizon_ns = 1_000_000.0; events = [ { kind = Vf_stall; at = 0.0; duration_ns = 50_000.0 } ] }
+  in
+  let fault = Fault.create sim plan in
+  Fault.arm fault;
+  let dev = device ~fault sim ~vfs:1 in
+  let a = ok (Vf.attach dev ~owner:"a" ()) in
+  let done_at = ref nan in
+  Sim.spawn sim (fun () ->
+      ignore (Vf.submit a ~queue:0 ~bytes_:100 ~deliver:(fun c -> done_at := c.Vf.c_completed_ns)));
+  Sim.run ~until:1_000_000.0 sim;
+  check_bool "completed after the window cleared" true (!done_at >= 50_000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler VF credits: grant, fallback, release *)
+
+let vf_fleet ?(vfs_per_host = 8) ~hosts () =
+  let cp = Cp.create () in
+  for _ = 1 to hosts do
+    ignore (Cp.add_server cp (Cp.Vm_server { sellable_threads = 16 }))
+  done;
+  let sched = Scheduler.create ~vfs_per_host cp in
+  Scheduler.register_tenant sched (Tenant.create ~name:"t0" Tenant.unlimited);
+  sched
+
+let test_sched_grant_and_fallback () =
+  let sched = vf_fleet ~vfs_per_host:1 ~hosts:1 () in
+  let place name dp =
+    ok (Scheduler.place sched (Scheduler.request ~name ~tenant:"t0" ~vcpus:1 ~datapath:dp ()))
+  in
+  ignore (place "a" Vf.Sliced);
+  ignore (place "b" Vf.Sliced);
+  ignore (place "c" Vf.Vring);
+  check_bool "first gets the function" true (Scheduler.granted_datapath sched "a" = Some Vf.Sliced);
+  check_bool "second falls back to the vring" true
+    (Scheduler.granted_datapath sched "b" = Some Vf.Vring);
+  check_bool "vring request untouched" true (Scheduler.granted_datapath sched "c" = Some Vf.Vring);
+  check_int "one fallback counted" 1 (Scheduler.vf_fallbacks sched);
+  check_int "host budget spent" 0 (Scheduler.vf_free sched ~server:0);
+  Scheduler.check_vf_accounting sched;
+  (* Releasing the holder returns the credit; the next non-vring
+     placement gets a real function again. *)
+  Scheduler.release sched "a";
+  check_int "credit returned" 1 (Scheduler.vf_free sched ~server:0);
+  ignore (place "d" Vf.Passthrough);
+  check_bool "fresh grant after release" true
+    (Scheduler.granted_datapath sched "d" = Some Vf.Passthrough);
+  Scheduler.check_vf_accounting sched
+
+let test_sched_drain_returns_credits () =
+  let sched = vf_fleet ~vfs_per_host:2 ~hosts:2 () in
+  for i = 0 to 3 do
+    ignore
+      (Scheduler.place sched
+         (Scheduler.request ~name:(Printf.sprintf "g%d" i) ~tenant:"t0" ~vcpus:4
+            ~datapath:Vf.Sliced ()))
+  done;
+  Scheduler.check_vf_accounting sched;
+  let victims = Scheduler.drain sched ~server:0 in
+  check_bool "drain produced victims" true (victims <> []);
+  (* Whatever moved or stranded, per-host usage must still match the
+     recomputed truth and never exceed capacity. *)
+  Scheduler.check_vf_accounting sched;
+  check_int "failed host holds no credits" 0 (Scheduler.vf_in_use sched ~server:0)
+
+(* ------------------------------------------------------------------ *)
+(* Property suite *)
+
+(* Same seed => byte-identical outcome, for each of the three vf
+   experiments. Runs the spec twice back to back. *)
+let outcome_fingerprint (o : Bmhive.Experiments.outcome) =
+  String.concat "\n" (List.map (String.concat "|") (o.Bmhive.Experiments.header :: o.rows))
+  ^ "\n"
+  ^ String.concat "\n" o.Bmhive.Experiments.notes
+
+let run_vf_experiment ~id ~seed ~shards =
+  let spec = Option.get (Bmhive.Experiments.find id) in
+  spec.Bmhive.Experiments.run ~scenario:None ~policy:None ~fleet:Bmhive.Experiments.default_fleet
+    ~vf:Bmhive.Experiments.default_vf ~faults:None ~trace:None ~metrics:None ~topo:None ~shards
+    ~quick:true ~seed
+
+let prop_experiment_determinism =
+  QCheck.Test.make ~name:"vf experiments: same seed => identical outcome" ~count:4
+    QCheck.(pair (int_bound 999) (int_bound 2))
+    (fun (seed, which) ->
+      let id = List.nth [ "vf_scale"; "vf_reassign"; "vf_ablation" ] which in
+      let a = run_vf_experiment ~id ~seed ~shards:1 in
+      let b = run_vf_experiment ~id ~seed ~shards:1 in
+      outcome_fingerprint a = outcome_fingerprint b)
+
+let prop_shard_invariance =
+  QCheck.Test.make ~name:"vf experiments: output independent of shards" ~count:3
+    QCheck.(pair (int_bound 999) (int_bound 2))
+    (fun (seed, which) ->
+      let id = List.nth [ "vf_scale"; "vf_reassign"; "vf_ablation" ] which in
+      let a = run_vf_experiment ~id ~seed ~shards:1 in
+      let b = run_vf_experiment ~id ~seed ~shards:4 in
+      outcome_fingerprint a = outcome_fingerprint b)
+
+(* Hot-reassignment under load: every accepted descriptor is delivered
+   exactly once — no loss, no duplicates — regardless of how many
+   reassignments interleave with the submissions. *)
+let prop_no_loss_no_dup =
+  QCheck.Test.make ~name:"reassignment under load loses and duplicates nothing" ~count:25
+    QCheck.(triple (int_bound 9999) (int_range 2 4) (int_range 1 6))
+    (fun (seed, vfs, rounds) ->
+      let sim = Sim.create () in
+      let dev = device sim ~vfs ~queues:2 in
+      let submitted = Hashtbl.create 256 and got = Hashtbl.create 256 in
+      let dups = ref 0 in
+      let handles =
+        Array.init vfs (fun v -> ok (Vf.attach dev ~owner:(Printf.sprintf "t%d" v) ()))
+      in
+      Array.iteri
+        (fun v f ->
+          let rng = Rng.create ~seed:(seed + v) in
+          Sim.spawn sim (fun () ->
+              for i = 0 to 199 do
+                (match
+                   Vf.submit f ~queue:(i mod 2) ~bytes_:1500 ~deliver:(fun c ->
+                       let key = (c.Vf.c_vf, c.Vf.c_queue, c.Vf.c_seq) in
+                       if Hashtbl.mem got key then incr dups;
+                       Hashtbl.replace got key ())
+                 with
+                | `Submitted seq -> Hashtbl.replace submitted (Vf.id f, i mod 2, seq) ()
+                | `Rejected -> () (* blackout is visible, not silent *));
+                Sim.delay (Rng.exponential rng ~mean:1_000.0)
+              done))
+        handles;
+      Sim.spawn sim (fun () ->
+          for r = 0 to rounds - 1 do
+            Sim.delay 12_000.0;
+            ignore (Vf.reassign handles.(r mod vfs) ~owner:(Printf.sprintf "r%d" r))
+          done);
+      Sim.run ~until:100_000_000.0 sim;
+      let lost =
+        Hashtbl.fold (fun k () acc -> if Hashtbl.mem got k then acc else k :: acc) submitted []
+      in
+      lost = [] && !dups = 0 && Vf.check_conservation dev = Ok ())
+
+(* Random attach / detach / reassign histories keep the device's
+   structural invariants: free + in-use = total, every VF in exactly
+   one state, accepted = delivered + in-flight. *)
+let prop_fsm_conservation =
+  QCheck.Test.make ~name:"VF count conserved under random histories" ~count:50
+    QCheck.(pair (int_bound 9999) (list_of_size Gen.(int_range 1 30) (int_bound 5)))
+    (fun (seed, ops) ->
+      let sim = Sim.create () in
+      let vfs = 4 in
+      let dev = device sim ~vfs ~queues:2 in
+      let rng = Rng.create ~seed in
+      let attached = ref [] in
+      let pick l = List.nth l (Rng.int rng (List.length l)) in
+      Sim.spawn sim (fun () ->
+          List.iteri
+            (fun i op ->
+              (match op with
+              | 0 | 1 -> (
+                (* attach *)
+                match Vf.attach dev ~owner:(Printf.sprintf "o%d" i) () with
+                | Ok f -> attached := f :: !attached
+                | Error _ -> ())
+              | 2 ->
+                (* detach a random attached VF *)
+                if !attached <> [] then begin
+                  let f = pick !attached in
+                  Vf.detach f;
+                  attached := List.filter (fun g -> Vf.id g <> Vf.id f) !attached
+                end
+              | 3 | 4 ->
+                (* reassign a random attached VF *)
+                if !attached <> [] then
+                  ignore (Vf.reassign (pick !attached) ~owner:(Printf.sprintf "n%d" i))
+              | _ ->
+                (* submit a little load on a random attached VF *)
+                if !attached <> [] then
+                  ignore (Vf.submit (pick !attached) ~queue:0 ~bytes_:500 ~deliver:(fun _ -> ())));
+              Sim.delay 1_000.0)
+            ops);
+      Sim.run ~until:1_000_000_000.0 sim;
+      let free = Vf.free_vfs dev in
+      let in_use = List.length !attached in
+      Vf.check_conservation dev = Ok () && free + in_use = vfs)
+
+(* The scheduler's VF credit book stays consistent with the recomputed
+   per-host truth across arbitrary place / release / drain / rebalance
+   sequences; check_vf_accounting raises on any violation. *)
+let prop_sched_vf_accounting =
+  QCheck.Test.make ~name:"scheduler VF accounting consistent under random sequences" ~count:60
+    QCheck.(pair (int_bound 9999) (list_of_size Gen.(int_range 1 40) (int_bound 9)))
+    (fun (seed, ops) ->
+      let rng = Rng.create ~seed in
+      let sched = vf_fleet ~vfs_per_host:2 ~hosts:3 () in
+      let placed = ref [] and next = ref 0 in
+      let dp_of n = List.nth Vf.all_datapaths (n mod 3) in
+      List.iter
+        (fun op ->
+          (match op with
+          | 0 | 1 | 2 | 3 | 4 | 5 ->
+            (* place with a datapath drawn from the op code *)
+            let name = Printf.sprintf "g%d" !next in
+            incr next;
+            let req =
+              Scheduler.request ~name ~tenant:"t0" ~vcpus:(1 + Rng.int rng 4) ~datapath:(dp_of op)
+                ()
+            in
+            (match Scheduler.place sched req with
+            | Ok _ -> placed := name :: !placed
+            | Error _ -> ())
+          | 6 | 7 ->
+            (* release a random placed guest *)
+            if !placed <> [] then begin
+              let name = List.nth !placed (Rng.int rng (List.length !placed)) in
+              Scheduler.release sched name;
+              placed := List.filter (fun n -> n <> name) !placed
+            end
+          | 8 ->
+            (* drain a random host; victims that re-place keep (new)
+               grants, stranded ones must hold none *)
+            let server = Rng.int rng 3 in
+            ignore (Scheduler.drain sched ~server);
+            Cp.restore_server (Scheduler.control_plane sched) server;
+            ignore (Scheduler.retry_stranded sched);
+            placed :=
+              List.filter (fun n -> Scheduler.lookup sched n <> None) !placed
+          | _ -> ignore (Scheduler.rebalance sched ()));
+          Scheduler.check_vf_accounting sched)
+        ops;
+      (* Final cross-check: spent credits equal the granted non-vring
+         population. *)
+      let spent = List.fold_left (fun acc s -> acc + Scheduler.vf_in_use sched ~server:s) 0 [ 0; 1; 2 ] in
+      let granted =
+        List.length
+          (List.filter
+             (fun n ->
+               match Scheduler.granted_datapath sched n with
+               | Some Vf.Passthrough | Some Vf.Sliced -> true
+               | _ -> false)
+             !placed)
+      in
+      spent = granted)
+
+let suites =
+  [
+    ( "vf.lifecycle",
+      [
+        Alcotest.test_case "attach lowest free" `Quick test_attach_lowest_free;
+        Alcotest.test_case "weight validation" `Quick test_attach_weight_validation;
+        Alcotest.test_case "detach idempotent" `Quick test_detach_idempotent;
+        Alcotest.test_case "submit off-FSM rejected" `Quick test_submit_rejected_off_fsm;
+        Alcotest.test_case "reassign requires attached" `Quick test_reassign_requires_attached;
+        Alcotest.test_case "completion roundtrip" `Quick test_completion_roundtrip;
+        Alcotest.test_case "stall window delays completion" `Quick test_stall_window_delays_completion;
+      ] );
+    ( "vf.scheduler",
+      [
+        Alcotest.test_case "grant and fallback" `Quick test_sched_grant_and_fallback;
+        Alcotest.test_case "drain returns credits" `Quick test_sched_drain_returns_credits;
+      ] );
+    ( "vf.properties",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_experiment_determinism;
+          prop_shard_invariance;
+          prop_no_loss_no_dup;
+          prop_fsm_conservation;
+          prop_sched_vf_accounting;
+        ] );
+  ]
